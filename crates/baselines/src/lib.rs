@@ -1,0 +1,27 @@
+//! Baseline algorithms the paper compares against (Section 1.2 and Related Work).
+//!
+//! | Baseline | Guarantee | Where it comes from |
+//! |---|---|---|
+//! | [`greedy::sequential_greedy`] | `Δ+1` colors, centralized (lower bound on palette quality) | folklore |
+//! | [`luby::luby_mis`] | MIS in `O(log n)` rounds w.h.p. | Luby '86 / Alon–Babai–Itai '86 |
+//! | [`randomized::randomized_coloring`] | `Δ+1` colors in `O(log n)` rounds w.h.p. | Johansson '99 / folklore trial coloring |
+//! | [`linial_reduce::linial_then_reduce`] | `Δ+1` colors in `O(Δ² + log* n)` rounds | Linial '87 + folklore reduction |
+//! | [`kw::kw_coloring`] | `Δ+1` colors in `O(Δ log Δ·(log* n)) `-ish rounds | Kuhn–Wattenhofer '06 |
+//! | [`arbcolor_decompose::delta_linear::delta_plus_one_coloring`] | `Δ+1` colors, time linear in `Δ` | Barenboim–Elkin '09 / Kuhn '09 |
+//! | [`arbcolor_decompose::arb_linear::arboricity_linear_coloring`] | `O(a)` colors in `poly(a)·log n` rounds | Barenboim–Elkin '08 |
+//!
+//! The [`registry`] module exposes all of them (plus the paper's own algorithms, injected by
+//! the caller) behind a single trait so the experiment harness can tabulate colors and rounds
+//! uniformly.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod greedy;
+pub mod kw;
+pub mod linial_reduce;
+pub mod luby;
+pub mod randomized;
+pub mod registry;
+
+pub use registry::{BaselineOutcome, ColoringBaseline};

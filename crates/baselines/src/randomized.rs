@@ -1,0 +1,91 @@
+//! Randomized `(Δ+1)`-coloring by repeated trials (Johansson '99-style).
+//!
+//! Each round every uncolored vertex proposes a uniformly random color from its remaining
+//! palette; a proposal is kept if no uncolored neighbor proposed the same color and no
+//! already-colored neighbor owns it.  With high probability all vertices are colored after
+//! `O(log n)` rounds.  This is the randomized reference point of the §1.2 comparison: fast,
+//! but not deterministic.
+
+use arbcolor_graph::{Coloring, Graph};
+use arbcolor_runtime::RoundReport;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Result of [`randomized_coloring`].
+#[derive(Debug, Clone)]
+pub struct RandomizedColoring {
+    /// The legal coloring (at most `Δ + 1` colors).
+    pub coloring: Coloring,
+    /// Rounds and messages.
+    pub report: RoundReport,
+}
+
+/// Runs the trial-based randomized `(Δ+1)`-coloring with the given seed.
+pub fn randomized_coloring(graph: &Graph, seed: u64) -> RandomizedColoring {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let n = graph.n();
+    let palette = graph.max_degree() as u64 + 1;
+    let mut colors: Vec<Option<u64>> = vec![None; n];
+    let mut report = RoundReport::zero();
+
+    while colors.iter().any(Option::is_none) {
+        report.rounds += 1;
+        let proposals: Vec<Option<u64>> = (0..n)
+            .map(|v| {
+                if colors[v].is_some() {
+                    return None;
+                }
+                let forbidden: Vec<u64> =
+                    graph.neighbors(v).iter().filter_map(|&u| colors[u]).collect();
+                let available: Vec<u64> =
+                    (0..palette).filter(|c| !forbidden.contains(c)).collect();
+                Some(available[rng.gen_range(0..available.len())])
+            })
+            .collect();
+        report.messages += 2 * graph.m();
+        for v in 0..n {
+            let Some(p) = proposals[v] else { continue };
+            let conflict = graph.neighbors(v).iter().any(|&u| {
+                proposals.get(u).copied().flatten() == Some(p) || colors[u] == Some(p)
+            });
+            if !conflict {
+                colors[v] = Some(p);
+            }
+        }
+    }
+    let coloring =
+        Coloring::new(graph, colors.into_iter().map(|c| c.expect("loop exits when all colored")).collect())
+            .expect("one color per vertex");
+    debug_assert!(coloring.is_legal(graph));
+    RandomizedColoring { coloring, report }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arbcolor_graph::generators;
+
+    #[test]
+    fn randomized_coloring_is_legal_and_fast() {
+        let graphs = vec![
+            generators::gnp(400, 0.02, 1).unwrap(),
+            generators::complete(25).unwrap(),
+            generators::grid(15, 15).unwrap(),
+        ];
+        for g in &graphs {
+            let out = randomized_coloring(g, 3);
+            assert!(out.coloring.is_legal(g));
+            assert!(out.coloring.distinct_colors() <= g.max_degree() + 1);
+            assert!(out.report.rounds <= 60, "rounds = {}", out.report.rounds);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let g = generators::gnp(150, 0.05, 2).unwrap();
+        assert_eq!(
+            randomized_coloring(&g, 4).coloring.colors(),
+            randomized_coloring(&g, 4).coloring.colors()
+        );
+    }
+}

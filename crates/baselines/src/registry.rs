@@ -1,0 +1,204 @@
+//! A uniform interface over all coloring algorithms, used by the experiment harness to build
+//! the §1.2 comparison table.
+
+use arbcolor_decompose::arb_linear::arboricity_linear_coloring;
+use arbcolor_decompose::delta_linear::delta_plus_one_coloring;
+use arbcolor_graph::{degeneracy, Coloring, Graph};
+use arbcolor_runtime::RoundReport;
+
+/// The outcome of running one baseline on one graph.
+#[derive(Debug, Clone)]
+pub struct BaselineOutcome {
+    /// Short name of the algorithm.
+    pub name: String,
+    /// The coloring it produced.
+    pub coloring: Coloring,
+    /// Number of distinct colors.
+    pub colors: usize,
+    /// Simulated LOCAL cost (zero for centralized references).
+    pub report: RoundReport,
+    /// Whether the algorithm is deterministic.
+    pub deterministic: bool,
+}
+
+/// A coloring baseline that can be tabulated by the harness.
+pub trait ColoringBaseline {
+    /// Short display name.
+    fn name(&self) -> &'static str;
+
+    /// Runs the baseline on `graph`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable error when the baseline cannot run on this graph.
+    fn run(&self, graph: &Graph) -> Result<BaselineOutcome, String>;
+}
+
+/// Centralized greedy (quality reference, zero rounds reported).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GreedyBaseline;
+
+impl ColoringBaseline for GreedyBaseline {
+    fn name(&self) -> &'static str {
+        "greedy-centralized"
+    }
+
+    fn run(&self, graph: &Graph) -> Result<BaselineOutcome, String> {
+        let coloring = crate::greedy::degeneracy_greedy(graph);
+        Ok(BaselineOutcome {
+            name: self.name().to_string(),
+            colors: coloring.distinct_colors(),
+            coloring,
+            report: RoundReport::zero(),
+            deterministic: true,
+        })
+    }
+}
+
+/// Randomized trial coloring (`Δ+1` colors, `O(log n)` rounds w.h.p.).
+#[derive(Debug, Clone, Copy)]
+pub struct RandomizedBaseline {
+    /// PRNG seed.
+    pub seed: u64,
+}
+
+impl ColoringBaseline for RandomizedBaseline {
+    fn name(&self) -> &'static str {
+        "randomized-delta-plus-one"
+    }
+
+    fn run(&self, graph: &Graph) -> Result<BaselineOutcome, String> {
+        let out = crate::randomized::randomized_coloring(graph, self.seed);
+        Ok(BaselineOutcome {
+            name: self.name().to_string(),
+            colors: out.coloring.distinct_colors(),
+            coloring: out.coloring,
+            report: out.report,
+            deterministic: false,
+        })
+    }
+}
+
+/// Linial `O(Δ²)` colors in `O(log* n)` rounds (no reduction) — the deterministic
+/// polylogarithmic-time state of the art before this paper.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LinialBaseline;
+
+impl ColoringBaseline for LinialBaseline {
+    fn name(&self) -> &'static str {
+        "linial-delta-squared"
+    }
+
+    fn run(&self, graph: &Graph) -> Result<BaselineOutcome, String> {
+        let out = arbcolor_decompose::linial::linial_coloring(graph).map_err(|e| e.to_string())?;
+        Ok(BaselineOutcome {
+            name: self.name().to_string(),
+            colors: out.colors_used,
+            coloring: out.coloring,
+            report: out.report,
+            deterministic: true,
+        })
+    }
+}
+
+/// Kuhn–Wattenhofer `(Δ+1)`-coloring.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct KwBaseline;
+
+impl ColoringBaseline for KwBaseline {
+    fn name(&self) -> &'static str {
+        "kuhn-wattenhofer"
+    }
+
+    fn run(&self, graph: &Graph) -> Result<BaselineOutcome, String> {
+        let out = crate::kw::kw_coloring(graph).map_err(|e| e.to_string())?;
+        Ok(BaselineOutcome {
+            name: self.name().to_string(),
+            colors: out.coloring.distinct_colors(),
+            coloring: out.coloring,
+            report: out.report,
+            deterministic: true,
+        })
+    }
+}
+
+/// Degree-linear `(Δ+1)`-coloring (BE'09 / Kuhn'09 style).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DeltaLinearBaseline;
+
+impl ColoringBaseline for DeltaLinearBaseline {
+    fn name(&self) -> &'static str {
+        "delta-linear"
+    }
+
+    fn run(&self, graph: &Graph) -> Result<BaselineOutcome, String> {
+        let out = delta_plus_one_coloring(graph).map_err(|e| e.to_string())?;
+        Ok(BaselineOutcome {
+            name: self.name().to_string(),
+            colors: out.coloring.distinct_colors(),
+            coloring: out.coloring,
+            report: out.report,
+            deterministic: true,
+        })
+    }
+}
+
+/// Arboricity-linear `O(a)`-coloring (BE'08) — the prior state of the art for
+/// arboricity-parameterized coloring.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ArboricityLinearBaseline;
+
+impl ColoringBaseline for ArboricityLinearBaseline {
+    fn name(&self) -> &'static str {
+        "be08-arboricity-linear"
+    }
+
+    fn run(&self, graph: &Graph) -> Result<BaselineOutcome, String> {
+        let a = degeneracy::degeneracy(graph).max(1);
+        let out = arboricity_linear_coloring(graph, a, 1.0).map_err(|e| e.to_string())?;
+        Ok(BaselineOutcome {
+            name: self.name().to_string(),
+            colors: out.coloring.distinct_colors(),
+            coloring: out.coloring,
+            report: out.report,
+            deterministic: true,
+        })
+    }
+}
+
+/// All baselines, in the order the §1.2 comparison table lists them.
+pub fn standard_baselines(seed: u64) -> Vec<Box<dyn ColoringBaseline>> {
+    vec![
+        Box::new(GreedyBaseline),
+        Box::new(RandomizedBaseline { seed }),
+        Box::new(LinialBaseline),
+        Box::new(KwBaseline),
+        Box::new(DeltaLinearBaseline),
+        Box::new(ArboricityLinearBaseline),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arbcolor_graph::generators;
+
+    #[test]
+    fn all_standard_baselines_produce_legal_colorings() {
+        let g = generators::union_of_random_forests(150, 3, 5).unwrap().with_shuffled_ids(2);
+        for baseline in standard_baselines(7) {
+            let outcome = baseline.run(&g).unwrap_or_else(|e| panic!("{} failed: {e}", baseline.name()));
+            assert!(outcome.coloring.is_legal(&g), "{} produced an illegal coloring", outcome.name);
+            assert!(outcome.colors >= 2);
+        }
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let names: Vec<&str> = standard_baselines(1).iter().map(|b| b.name()).collect();
+        let mut deduped = names.clone();
+        deduped.sort_unstable();
+        deduped.dedup();
+        assert_eq!(names.len(), deduped.len());
+    }
+}

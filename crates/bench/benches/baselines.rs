@@ -1,0 +1,41 @@
+//! Criterion benchmark for the §1.2 comparison (E13), the trade-offs (E10, E11) and the MIS
+//! result (E12): the paper's algorithm versus the baseline suite on a sparse high-degree graph.
+
+use arbcolor::legal_coloring::{a_power_coloring, APowerParams};
+use arbcolor::mis::mis_bounded_arboricity;
+use arbcolor::tradeoffs::color_time_tradeoff;
+use arbcolor_baselines::luby::luby_mis;
+use arbcolor_baselines::registry::standard_baselines;
+use arbcolor_graph::{degeneracy, generators};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_baseline_table(c: &mut Criterion) {
+    let g = generators::star_forest_union(600, 2, 4, 67).unwrap().with_shuffled_ids(8);
+    let a = degeneracy::degeneracy(&g).max(1);
+    let mut group = c.benchmark_group("e13_baselines");
+    group.sample_size(10);
+    group.bench_function("this_paper_cor_4_6", |b| {
+        b.iter(|| a_power_coloring(&g, a, APowerParams { eta: 0.5, epsilon: 1.0 }).unwrap())
+    });
+    for baseline in standard_baselines(71) {
+        group.bench_function(baseline.name(), |b| b.iter(|| baseline.run(&g).unwrap()));
+    }
+    group.finish();
+}
+
+fn bench_tradeoff_and_mis(c: &mut Criterion) {
+    let g = generators::union_of_random_forests(400, 8, 53).unwrap().with_shuffled_ids(9);
+    let mut group = c.benchmark_group("e10_e11_e12");
+    group.sample_size(10);
+    group.bench_function("e11_tradeoff_t4", |b| {
+        b.iter(|| color_time_tradeoff(&g, 8, 4, 0.5, 1.0).unwrap())
+    });
+    group.bench_function("e12_mis_deterministic", |b| {
+        b.iter(|| mis_bounded_arboricity(&g, 8, 0.5, 1.0).unwrap())
+    });
+    group.bench_function("e12_mis_luby", |b| b.iter(|| luby_mis(&g, 61)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_baseline_table, bench_tradeoff_and_mis);
+criterion_main!(benches);

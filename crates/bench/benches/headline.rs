@@ -1,0 +1,37 @@
+//! Criterion benchmark for the headline result (Corollary 4.6, experiment E8) and the
+//! Section 4 parameter selections (E5–E7): wall-clock time of the full simulated execution as
+//! the graph grows.  The quantity of scientific interest (simulated LOCAL rounds) is produced
+//! by the `experiments` binary; this bench tracks the simulator's own cost.
+
+use arbcolor::legal_coloring::{a_power_coloring, o_a_coloring, APowerParams, OaParams};
+use arbcolor_graph::generators;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_headline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e8_headline_cor_4_6");
+    group.sample_size(10);
+    for n in [250usize, 500, 1000] {
+        let g = generators::union_of_random_forests(n, 4, 37).unwrap().with_shuffled_ids(1);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
+            b.iter(|| {
+                a_power_coloring(g, 4, APowerParams { eta: 0.5, epsilon: 1.0 }).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_o_a(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e6_theorem_4_3");
+    group.sample_size(10);
+    let g = generators::union_of_random_forests(500, 8, 29).unwrap().with_shuffled_ids(2);
+    for mu in [0.3f64, 0.6, 0.9] {
+        group.bench_with_input(BenchmarkId::from_parameter(mu), &mu, |b, &mu| {
+            b.iter(|| o_a_coloring(&g, 8, OaParams { mu, epsilon: 1.0 }).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_headline, bench_o_a);
+criterion_main!(benches);

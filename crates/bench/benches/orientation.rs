@@ -1,0 +1,37 @@
+//! Criterion benchmarks for the Section 3 machinery: Procedure Partial-Orientation /
+//! Complete-Orientation (E2, E3) and Procedure Arbdefective-Coloring (E1, E4).
+
+use arbcolor::arbdefective_coloring::arbdefective_coloring;
+use arbcolor::orientation_procs::{complete_orientation, partial_orientation};
+use arbcolor_graph::generators;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_orientations(c: &mut Criterion) {
+    let g = generators::union_of_random_forests(500, 6, 17).unwrap().with_shuffled_ids(3);
+    let mut group = c.benchmark_group("e2_e3_orientations");
+    group.sample_size(10);
+    group.bench_function("complete_orientation", |b| {
+        b.iter(|| complete_orientation(&g, 6, 1.0).unwrap())
+    });
+    for t in [1usize, 3, 6] {
+        group.bench_with_input(BenchmarkId::new("partial_orientation_t", t), &t, |b, &t| {
+            b.iter(|| partial_orientation(&g, 6, t, 1.0).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_arbdefective(c: &mut Criterion) {
+    let g = generators::union_of_random_forests(400, 6, 19).unwrap().with_shuffled_ids(4);
+    let mut group = c.benchmark_group("e1_e4_arbdefective");
+    group.sample_size(10);
+    for p in [2usize, 3, 6] {
+        group.bench_with_input(BenchmarkId::new("k_t", p), &p, |b, &p| {
+            b.iter(|| arbdefective_coloring(&g, 6, p as u64, p, 1.0).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_orientations, bench_arbdefective);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Regenerates every experiment table of EXPERIMENTS.md.
+//!
+//! Usage:
+//!   cargo run --release -p arbcolor-bench --bin experiments            # all experiments, scale 1
+//!   cargo run --release -p arbcolor-bench --bin experiments -- E8      # one experiment
+//!   cargo run --release -p arbcolor-bench --bin experiments -- all 2   # all, scale 2
+//!   cargo run --release -p arbcolor-bench --bin experiments -- E8 1 --json
+
+use arbcolor_bench::experiments;
+use arbcolor_bench::Row;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let which = args.first().map(String::as_str).unwrap_or("all").to_uppercase();
+    let scale: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(1).max(1);
+    let json = args.iter().any(|a| a == "--json");
+
+    let all = experiments::run_all(scale);
+    let mut printed = false;
+    for (id, rows) in &all {
+        if which != "ALL" && which != *id {
+            continue;
+        }
+        printed = true;
+        println!("\n## {id}\n");
+        if json {
+            println!("{}", Row::to_json_lines(rows));
+        } else {
+            println!("{}", Row::to_markdown(rows));
+        }
+    }
+    if !printed {
+        eprintln!("unknown experiment id {which}; known ids are E1..E15 or 'all'");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,14 @@
+//! Experiment harness reproducing every claim of the paper (see DESIGN.md §5 for the
+//! experiment index and EXPERIMENTS.md for the recorded results).
+//!
+//! Each experiment function returns a vector of [`Row`]s; the `experiments` binary prints them
+//! as markdown tables and JSON lines.  The same functions back the Criterion benchmarks, which
+//! time representative configurations.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod row;
+
+pub use row::Row;

@@ -1,0 +1,94 @@
+//! The flat result row every experiment emits.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// One measurement row: an experiment id, a workload description and a set of named values.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Row {
+    /// Experiment id (e.g. `"E8"`).
+    pub experiment: String,
+    /// Workload description (graph family and parameters).
+    pub workload: String,
+    /// Named measurements (colors, rounds, bounds, …), in insertion order.
+    pub values: BTreeMap<String, f64>,
+}
+
+impl Row {
+    /// Creates a row with no values yet.
+    pub fn new(experiment: &str, workload: impl Into<String>) -> Self {
+        Row { experiment: experiment.to_string(), workload: workload.into(), values: BTreeMap::new() }
+    }
+
+    /// Adds a named value (builder style).
+    #[must_use]
+    pub fn with(mut self, key: &str, value: f64) -> Self {
+        self.values.insert(key.to_string(), value);
+        self
+    }
+
+    /// Renders a set of rows as a markdown table (union of all value keys as columns).
+    pub fn to_markdown(rows: &[Row]) -> String {
+        if rows.is_empty() {
+            return String::from("(no rows)\n");
+        }
+        let mut keys: Vec<String> = Vec::new();
+        for row in rows {
+            for key in row.values.keys() {
+                if !keys.contains(key) {
+                    keys.push(key.clone());
+                }
+            }
+        }
+        let mut out = String::new();
+        out.push_str("| experiment | workload |");
+        for key in &keys {
+            out.push_str(&format!(" {key} |"));
+        }
+        out.push('\n');
+        out.push_str("|---|---|");
+        for _ in &keys {
+            out.push_str("---|");
+        }
+        out.push('\n');
+        for row in rows {
+            out.push_str(&format!("| {} | {} |", row.experiment, row.workload));
+            for key in &keys {
+                match row.values.get(key) {
+                    Some(v) if (v.fract()).abs() < 1e-9 => out.push_str(&format!(" {} |", *v as i64)),
+                    Some(v) => out.push_str(&format!(" {v:.2} |")),
+                    None => out.push_str(" - |"),
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders rows as JSON lines.
+    pub fn to_json_lines(rows: &[Row]) -> String {
+        rows.iter()
+            .map(|r| serde_json::to_string(r).expect("rows are serializable"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn markdown_and_json_render() {
+        let rows = vec![
+            Row::new("E1", "forests n=100").with("colors", 4.0).with("rounds", 12.0),
+            Row::new("E1", "forests n=200").with("colors", 4.0).with("bound", 6.5),
+        ];
+        let md = Row::to_markdown(&rows);
+        assert!(md.contains("| E1 | forests n=100 |"));
+        assert!(md.contains("colors"));
+        let json = Row::to_json_lines(&rows);
+        assert_eq!(json.lines().count(), 2);
+        assert!(Row::to_markdown(&[]).contains("no rows"));
+    }
+}

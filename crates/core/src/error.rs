@@ -1,0 +1,87 @@
+//! Error type of the core algorithms.
+
+use arbcolor_decompose::DecomposeError;
+use arbcolor_graph::GraphError;
+use arbcolor_runtime::RuntimeError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised by the paper's procedures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// A parameter was outside its valid range.
+    InvalidParameter {
+        /// Human-readable description.
+        reason: String,
+    },
+    /// An invariant guaranteed by the paper's analysis was found violated at run time.
+    InvariantViolated {
+        /// Description of the violated invariant.
+        reason: String,
+    },
+    /// Error from a substrate algorithm.
+    Decompose(DecomposeError),
+    /// Error from the graph layer.
+    Graph(GraphError),
+    /// Error from the LOCAL-model runtime.
+    Runtime(RuntimeError),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::InvalidParameter { reason } => write!(f, "invalid parameter: {reason}"),
+            CoreError::InvariantViolated { reason } => write!(f, "invariant violated: {reason}"),
+            CoreError::Decompose(e) => write!(f, "substrate error: {e}"),
+            CoreError::Graph(e) => write!(f, "graph error: {e}"),
+            CoreError::Runtime(e) => write!(f, "runtime error: {e}"),
+        }
+    }
+}
+
+impl Error for CoreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CoreError::Decompose(e) => Some(e),
+            CoreError::Graph(e) => Some(e),
+            CoreError::Runtime(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DecomposeError> for CoreError {
+    fn from(e: DecomposeError) -> Self {
+        CoreError::Decompose(e)
+    }
+}
+
+impl From<GraphError> for CoreError {
+    fn from(e: GraphError) -> Self {
+        CoreError::Graph(e)
+    }
+}
+
+impl From<RuntimeError> for CoreError {
+    fn from(e: RuntimeError) -> Self {
+        CoreError::Runtime(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversions() {
+        let e = CoreError::InvalidParameter { reason: "k = 0".to_string() };
+        assert!(e.to_string().contains("k = 0"));
+        let e: CoreError = GraphError::NotAcyclic.into();
+        assert!(e.source().is_some());
+        let e: CoreError = DecomposeError::InvalidParameter { reason: "x".into() }.into();
+        assert!(e.to_string().contains("substrate"));
+        let e: CoreError = RuntimeError::RoundLimitExceeded { limit: 1, still_active: 1 }.into();
+        assert!(e.to_string().contains("runtime"));
+    }
+}

@@ -1,0 +1,157 @@
+//! A single entry point over all of the paper's coloring modes.
+//!
+//! Downstream users usually do not care which theorem they are invoking — they have a graph,
+//! an idea of its sparsity, and a preference on the colors/time trade-off.  [`ColoringGoal`]
+//! names the regimes, [`color`] dispatches to the right Section 4/5 routine, and
+//! [`recommend_goal`] picks a sensible default from the measured degeneracy of the graph.
+
+use crate::error::CoreError;
+use crate::legal_coloring::{
+    a_one_plus_o1_coloring, a_power_coloring, o_a_coloring, one_shot_coloring,
+    sparse_delta_plus_one, APowerParams, OaParams,
+};
+use crate::report::ColoringRun;
+use crate::tradeoffs::{color_time_tradeoff, sub_quadratic_coloring};
+use arbcolor_graph::{degeneracy, Graph};
+
+/// The coloring regimes exposed by the paper, in decreasing order of palette quality.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ColoringGoal {
+    /// `O(a)` colors in `O(a^µ log n)` rounds (Theorem 4.3).
+    FewestColors {
+        /// The exponent `µ ∈ (0, 1)` of the running time.
+        mu: f64,
+    },
+    /// `O(a)` colors from a single refinement step in `O(a^{2/3} log n)` rounds (Lemma 4.1).
+    OneShot,
+    /// `a^{1+o(1)}` colors in `O(f(a) log a log n)` rounds (Theorem 4.5).
+    AlmostLinearColors,
+    /// `O(a^{1+η})` colors in `O(log a · log n)` rounds (Corollary 4.6) — the headline.
+    PolylogTime {
+        /// The exponent `η > 0` of the palette.
+        eta: f64,
+    },
+    /// At most `Δ + 1` colors on graphs with `a ≤ Δ^{1−ν}` (Corollary 4.7).
+    SparseDeltaPlusOne {
+        /// The sparsity exponent `ν ∈ (0, 1)`.
+        nu: f64,
+    },
+    /// `O(a²/g)` colors in `O(log g · log n)` rounds (Theorem 5.2).
+    SubQuadratic {
+        /// The split value `g = g(a)`.
+        g: usize,
+    },
+    /// `O(a·t)` colors in `O((a/t)^µ log n)` rounds (Theorem 5.3).
+    ColorTimeTradeoff {
+        /// The trade-off parameter `t ∈ [1, a]`.
+        t: usize,
+        /// The exponent `µ` of the per-class coloring time.
+        mu: f64,
+    },
+}
+
+/// Runs the paper's algorithm for the requested [`ColoringGoal`].
+///
+/// `arboricity` must upper-bound the arboricity of `graph` (the degeneracy always works);
+/// `epsilon` is the H-partition slack used throughout.
+///
+/// # Errors
+///
+/// Propagates parameter and substrate errors from the underlying routine.
+///
+/// # Examples
+///
+/// ```
+/// use arbcolor_graph::{generators, degeneracy};
+/// use arbcolor::goal::{color, ColoringGoal};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let g = generators::union_of_random_forests(300, 2, 1)?.with_shuffled_ids(2);
+/// let a = degeneracy::degeneracy(&g);
+/// let run = color(&g, a, ColoringGoal::PolylogTime { eta: 0.5 }, 1.0)?;
+/// assert!(run.coloring.is_legal(&g));
+/// # Ok(())
+/// # }
+/// ```
+pub fn color(
+    graph: &Graph,
+    arboricity: usize,
+    goal: ColoringGoal,
+    epsilon: f64,
+) -> Result<ColoringRun, CoreError> {
+    match goal {
+        ColoringGoal::FewestColors { mu } => o_a_coloring(graph, arboricity, OaParams { mu, epsilon }),
+        ColoringGoal::OneShot => one_shot_coloring(graph, arboricity, epsilon),
+        ColoringGoal::AlmostLinearColors => a_one_plus_o1_coloring(graph, arboricity, epsilon),
+        ColoringGoal::PolylogTime { eta } => {
+            a_power_coloring(graph, arboricity, APowerParams { eta, epsilon })
+        }
+        ColoringGoal::SparseDeltaPlusOne { nu } => {
+            sparse_delta_plus_one(graph, arboricity, nu, epsilon)
+        }
+        ColoringGoal::SubQuadratic { g } => {
+            sub_quadratic_coloring(graph, arboricity, g, 1.0, epsilon)
+        }
+        ColoringGoal::ColorTimeTradeoff { t, mu } => {
+            color_time_tradeoff(graph, arboricity, t, mu, epsilon)
+        }
+    }
+}
+
+/// Picks a reasonable goal for a graph: the headline `PolylogTime` regime when the graph is
+/// genuinely sparse relative to its maximum degree (the paper's sweet spot), and the
+/// `FewestColors` regime otherwise.
+pub fn recommend_goal(graph: &Graph) -> (usize, ColoringGoal) {
+    let a = degeneracy::degeneracy(graph).max(1);
+    let delta = graph.max_degree().max(1);
+    if (a * a) < delta {
+        (a, ColoringGoal::PolylogTime { eta: 0.5 })
+    } else {
+        (a, ColoringGoal::FewestColors { mu: 0.5 })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arbcolor_graph::generators;
+
+    #[test]
+    fn every_goal_produces_a_legal_coloring() {
+        let g = generators::union_of_random_forests(250, 3, 5).unwrap().with_shuffled_ids(6);
+        let goals = [
+            ColoringGoal::FewestColors { mu: 0.5 },
+            ColoringGoal::OneShot,
+            ColoringGoal::AlmostLinearColors,
+            ColoringGoal::PolylogTime { eta: 0.5 },
+            ColoringGoal::SparseDeltaPlusOne { nu: 0.5 },
+            ColoringGoal::SubQuadratic { g: 2 },
+            ColoringGoal::ColorTimeTradeoff { t: 2, mu: 0.5 },
+        ];
+        for goal in goals {
+            let run = color(&g, 3, goal, 1.0).unwrap_or_else(|e| panic!("{goal:?}: {e}"));
+            assert!(run.coloring.is_legal(&g), "{goal:?} produced an illegal coloring");
+        }
+    }
+
+    #[test]
+    fn recommendation_prefers_polylog_time_on_sparse_high_degree_graphs() {
+        let stars = generators::star_forest_union(500, 2, 3, 7).unwrap();
+        let (a, goal) = recommend_goal(&stars);
+        assert!(a <= 4);
+        assert!(matches!(goal, ColoringGoal::PolylogTime { .. }));
+
+        let dense = generators::complete(30).unwrap();
+        let (_, goal) = recommend_goal(&dense);
+        assert!(matches!(goal, ColoringGoal::FewestColors { .. }));
+    }
+
+    #[test]
+    fn recommended_goal_runs_end_to_end() {
+        let g = generators::barabasi_albert(400, 2, 9).unwrap().with_shuffled_ids(10);
+        let (a, goal) = recommend_goal(&g);
+        let run = color(&g, a, goal, 1.0).unwrap();
+        assert!(run.coloring.is_legal(&g));
+        assert!(run.colors_used < g.max_degree());
+    }
+}

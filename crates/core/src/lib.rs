@@ -1,0 +1,66 @@
+//! # arbcolor
+//!
+//! A from-scratch Rust implementation of **"Deterministic Distributed Vertex Coloring in
+//! Polylogarithmic Time"** (Barenboim & Elkin, PODC 2010), on top of a faithful LOCAL-model
+//! simulator.
+//!
+//! The paper answers Linial's long-standing open question: a *deterministic* distributed
+//! algorithm can color every graph of arboricity `a` with `O(a^{1+η})` colors in
+//! `O(log a · log n)` communication rounds (and with `O(a)` colors in `O(a^µ log n)` rounds),
+//! exponentially faster than the previously known polylogarithmic-time algorithms which needed
+//! `O(Δ²)` colors.
+//!
+//! ## The machinery (module map)
+//!
+//! * [`orientation_procs`] — Procedure **Complete-Orientation** (Lemma 3.3) and Procedure
+//!   **Partial-Orientation** (Theorem 3.5): acyclic (partial) orientations with bounded
+//!   out-degree, bounded *length* and bounded *deficit*.
+//! * [`simple_arbdefective`] — Procedure **Simple-Arbdefective** (Theorem 3.2): a DAG sweep
+//!   that turns an acyclic partial orientation into an arbdefective coloring.
+//! * [`arbdefective_coloring`] — Procedure **Arbdefective-Coloring** (Corollary 3.6): the
+//!   composition of the two procedures above.
+//! * [`legal_coloring`] — Procedure **Legal-Coloring** (Algorithm 2; Lemma 4.1, Theorem 4.3,
+//!   Corollary 4.4, Theorem 4.5, Corollaries 4.6 and 4.7): the recursive refinement driver
+//!   and the parameter selections for every statement in Section 4.
+//! * [`arb_kuhn`] — Algorithm **Arb-Kuhn** (Section 5, Lemma 5.1): arbdefective recoloring via
+//!   low-agreement polynomial families, counting collisions only against parents.
+//! * [`tradeoffs`] — Theorems 5.2 and 5.3: trading colors for time.
+//! * [`mis`] — maximal independent set in `O(a + a^µ log n)` rounds via the coloring reduction
+//!   (Section 1.2).
+//! * [`report`] — uniform execution summaries (colors, rounds, messages, verification).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use arbcolor_graph::{generators, degeneracy};
+//! use arbcolor::legal_coloring::{a_power_coloring, APowerParams};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // A graph with arboricity ≤ 3 but unbounded-looking degree.
+//! let g = generators::union_of_random_forests(500, 3, 42)?.with_shuffled_ids(7);
+//! let a = degeneracy::degeneracy(&g); // a ≤ degeneracy ≤ 2a − 1
+//!
+//! // Corollary 4.6: O(a^{1+η}) colors in O(log a · log n) rounds.
+//! let run = a_power_coloring(&g, a, APowerParams { eta: 0.5, epsilon: 1.0 })?;
+//! assert!(run.coloring.is_legal(&g));
+//! println!("{} colors in {} simulated rounds", run.colors_used, run.report.rounds);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arb_kuhn;
+pub mod arbdefective_coloring;
+pub mod error;
+pub mod goal;
+pub mod legal_coloring;
+pub mod mis;
+pub mod orientation_procs;
+pub mod report;
+pub mod simple_arbdefective;
+pub mod tradeoffs;
+
+pub use error::CoreError;
+pub use report::ColoringRun;

@@ -1,0 +1,219 @@
+//! Maximal independent set via coloring (Section 1.2).
+//!
+//! Linial's classical reduction: given a legal `k`-coloring, sweep the color classes in order;
+//! a vertex joins the MIS when its class comes up and none of its neighbors has joined yet.
+//! Each class costs one round, so the total is `k` rounds on top of the coloring.  Combining
+//! the sweep with the `O(a)`-coloring of Theorem 4.3 reproduces the paper's MIS bound:
+//! `O(a + a^µ log n)` rounds on graphs of arboricity `a`.
+
+use crate::error::CoreError;
+use crate::legal_coloring::{o_a_coloring, OaParams};
+use arbcolor_graph::{Coloring, Graph};
+use arbcolor_runtime::{Algorithm, CostLedger, Executor, Inbox, NodeCtx, Outbox, Status};
+
+/// The class-sweep MIS algorithm (node-program factory).
+#[derive(Debug, Clone)]
+pub struct MisSweep<'a> {
+    /// The slot (normalized color) of every vertex.
+    slots: &'a [u64],
+}
+
+/// Node program of [`MisSweep`].
+#[derive(Debug, Clone)]
+pub struct MisSweepNode {
+    slot: u64,
+    round: u64,
+    blocked: bool,
+    in_mis: bool,
+}
+
+impl arbcolor_runtime::node::NodeProgram for MisSweepNode {
+    type Msg = ();
+    type Output = bool;
+
+    fn init(&mut self, _ctx: &NodeCtx, outbox: &mut Outbox<()>) -> Status {
+        self.round = 0;
+        if self.slot == 0 {
+            self.in_mis = true;
+            outbox.broadcast(());
+            Status::Halted
+        } else {
+            Status::Active
+        }
+    }
+
+    fn round(&mut self, _ctx: &NodeCtx, inbox: &Inbox<'_, ()>, outbox: &mut Outbox<()>) -> Status {
+        self.round += 1;
+        if !inbox.is_empty() {
+            self.blocked = true;
+        }
+        if self.round == self.slot {
+            if !self.blocked {
+                self.in_mis = true;
+                outbox.broadcast(());
+            }
+            Status::Halted
+        } else {
+            Status::Active
+        }
+    }
+
+    fn output(&self, _ctx: &NodeCtx) -> bool {
+        self.in_mis
+    }
+}
+
+impl Algorithm for MisSweep<'_> {
+    type Node = MisSweepNode;
+
+    fn node(&self, ctx: &NodeCtx) -> MisSweepNode {
+        MisSweepNode { slot: self.slots[ctx.vertex], round: 0, blocked: false, in_mis: false }
+    }
+
+    fn name(&self) -> &'static str {
+        "mis-class-sweep"
+    }
+}
+
+/// The result of an MIS computation.
+#[derive(Debug, Clone)]
+pub struct MisResult {
+    /// Membership flags, indexed by vertex.
+    pub in_mis: Vec<bool>,
+    /// Size of the independent set.
+    pub size: usize,
+    /// Per-phase LOCAL cost (coloring phases plus the class sweep).
+    pub ledger: CostLedger,
+}
+
+impl MisResult {
+    /// Checks independence and maximality against `graph`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvariantViolated`] describing the first violation found.
+    pub fn verify(&self, graph: &Graph) -> Result<(), CoreError> {
+        for &(u, v) in graph.edges() {
+            if self.in_mis[u] && self.in_mis[v] {
+                return Err(CoreError::InvariantViolated {
+                    reason: format!("vertices {u} and {v} are adjacent and both in the MIS"),
+                });
+            }
+        }
+        for v in graph.vertices() {
+            if !self.in_mis[v] && !graph.neighbors(v).iter().any(|&u| self.in_mis[u]) {
+                return Err(CoreError::InvariantViolated {
+                    reason: format!("vertex {v} is not in the MIS and has no MIS neighbor"),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Computes an MIS from an existing legal coloring by sweeping the color classes.
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidParameter`] if the coloring is not legal; propagates runtime
+/// errors.
+pub fn mis_from_coloring(graph: &Graph, coloring: &Coloring) -> Result<MisResult, CoreError> {
+    if !coloring.is_legal(graph) {
+        return Err(CoreError::InvalidParameter {
+            reason: "the MIS class sweep requires a legal coloring".to_string(),
+        });
+    }
+    let (normalized, _) = coloring.normalized();
+    let slots: Vec<u64> = normalized.colors().to_vec();
+    let algorithm = MisSweep { slots: &slots };
+    let result = Executor::new(graph).run(&algorithm)?;
+    let in_mis = result.outputs;
+    let size = in_mis.iter().filter(|&&b| b).count();
+    let mut ledger = CostLedger::new();
+    ledger.push("mis-class-sweep", result.report);
+    let mis = MisResult { in_mis, size, ledger };
+    mis.verify(graph)?;
+    Ok(mis)
+}
+
+/// The paper's MIS result (§1.2): an MIS in `O(a + a^µ log n)` rounds on graphs of arboricity
+/// at most `a`, obtained by combining the `O(a)`-coloring of Theorem 4.3 with the class sweep.
+///
+/// # Errors
+///
+/// Propagates coloring and runtime errors.
+pub fn mis_bounded_arboricity(
+    graph: &Graph,
+    arboricity: usize,
+    mu: f64,
+    epsilon: f64,
+) -> Result<MisResult, CoreError> {
+    let coloring_run = o_a_coloring(graph, arboricity, OaParams { mu, epsilon })?;
+    let mut mis = mis_from_coloring(graph, &coloring_run.coloring)?;
+    let mut ledger = CostLedger::new();
+    ledger.extend(&coloring_run.ledger);
+    ledger.extend(&mis.ledger);
+    mis.ledger = ledger;
+    Ok(mis)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arbcolor_graph::generators;
+
+    #[test]
+    fn mis_from_two_coloring_of_a_path() {
+        let g = generators::path(10).unwrap();
+        let coloring = Coloring::new(&g, (0..10).map(|v| (v % 2) as u64).collect()).unwrap();
+        let mis = mis_from_coloring(&g, &coloring).unwrap();
+        mis.verify(&g).unwrap();
+        assert_eq!(mis.size, 5, "even vertices form the MIS when swept first");
+    }
+
+    #[test]
+    fn mis_requires_a_legal_coloring() {
+        let g = generators::cycle(4).unwrap();
+        let bad = Coloring::constant(&g);
+        assert!(matches!(mis_from_coloring(&g, &bad), Err(CoreError::InvalidParameter { .. })));
+    }
+
+    #[test]
+    fn mis_on_bounded_arboricity_graphs() {
+        for (a, n) in [(2usize, 300usize), (4, 500)] {
+            let g = generators::union_of_random_forests(n, a, 7).unwrap().with_shuffled_ids(3);
+            let mis = mis_bounded_arboricity(&g, a, 0.5, 1.0).unwrap();
+            mis.verify(&g).unwrap();
+            assert!(mis.size > 0);
+            // Rounds are O(colors + a^µ log n); sanity-check against a generous bound.
+            let logn = (g.n() as f64).log2().ceil() as usize;
+            assert!(
+                mis.ledger.total().rounds <= 500 * logn,
+                "rounds {} look unbounded",
+                mis.ledger.total().rounds
+            );
+        }
+    }
+
+    #[test]
+    fn mis_on_star_has_hub_or_all_leaves() {
+        let g = generators::star(50).unwrap().with_shuffled_ids(5);
+        let coloring = Coloring::new(
+            &g,
+            (0..50).map(|v| if v == 0 { 0u64 } else { 1 }).collect(),
+        )
+        .unwrap();
+        let mis = mis_from_coloring(&g, &coloring).unwrap();
+        mis.verify(&g).unwrap();
+        assert!(mis.in_mis[0]);
+        assert_eq!(mis.size, 1);
+    }
+
+    #[test]
+    fn empty_graph_mis_is_everything() {
+        let g = arbcolor_graph::Graph::empty(6);
+        let coloring = Coloring::constant(&g);
+        let mis = mis_from_coloring(&g, &coloring).unwrap();
+        assert_eq!(mis.size, 6);
+    }
+}

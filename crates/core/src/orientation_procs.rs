@@ -1,0 +1,337 @@
+//! Procedure **Complete-Orientation** (Lemma 3.3) and Procedure **Partial-Orientation**
+//! (Algorithm 1, Theorem 3.5).
+//!
+//! Both procedures start from an H-partition of degree `A = ⌊(2+ε)a⌋` and orient every edge
+//! towards the endpoint with the lexicographically larger `(bucket, color)` pair, where the
+//! per-bucket coloring is
+//!
+//! * a **legal** `O(a)`-coloring for Complete-Orientation — every edge gets a direction, the
+//!   out-degree is at most `A` and the length is `O(a · log n)`;
+//! * a **`⌊a/t⌋`-defective `O(t²)`-coloring** for Partial-Orientation — edges joining
+//!   same-bucket, same-color vertices stay *unoriented* (that is what the deficit pays for),
+//!   the out-degree is at most `A`, the length drops to `O(t² · log n)` and the whole
+//!   procedure runs in `O(log n)` rounds.
+
+use crate::error::CoreError;
+use arbcolor_decompose::defective::defective_coloring;
+use arbcolor_decompose::hpartition::{h_partition, HPartition};
+use arbcolor_decompose::linial::linial_coloring;
+use arbcolor_decompose::reduction::greedy_reduce;
+use arbcolor_graph::{Graph, InducedSubgraph, Orientation, Vertex};
+use arbcolor_runtime::{parallel_max, CostLedger, RoundReport};
+
+/// An acyclic (partial) orientation produced by one of the orientation procedures, together
+/// with the parameters the paper's analysis guarantees for it.
+#[derive(Debug, Clone)]
+pub struct OrientedGraph {
+    /// The orientation.
+    pub orientation: Orientation,
+    /// Guaranteed upper bound on the out-degree (`⌊(2+ε)a⌋`).
+    pub out_degree_bound: usize,
+    /// Guaranteed upper bound on the deficit (0 for Complete-Orientation, `⌊a/t⌋` for
+    /// Partial-Orientation).
+    pub deficit_bound: usize,
+    /// Upper bound on the number of colors used inside any single bucket; directed paths can
+    /// stay inside a bucket for at most this many edges, so the orientation length is at most
+    /// `(bucket_palette_bound + 1) · ℓ` — the `O(a log n)` / `O(t² log n)` bounds of
+    /// Lemma 3.3 and Theorem 3.5.
+    pub bucket_palette_bound: usize,
+    /// The measured length (longest consistently oriented path) of the orientation.
+    pub measured_length: usize,
+    /// The H-partition both procedures are built on.
+    pub partition: HPartition,
+    /// Per-phase LOCAL cost.
+    pub ledger: CostLedger,
+}
+
+impl OrientedGraph {
+    /// Total LOCAL cost.
+    pub fn report(&self) -> RoundReport {
+        self.ledger.total()
+    }
+
+    /// Independently re-checks out-degree, deficit and acyclicity against the graph.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvariantViolated`] if a guarantee does not hold.
+    pub fn verify(&self, graph: &Graph) -> Result<(), CoreError> {
+        if !self.orientation.is_acyclic(graph) {
+            return Err(CoreError::InvariantViolated {
+                reason: "orientation contains a directed cycle".to_string(),
+            });
+        }
+        let out = self.orientation.max_out_degree(graph);
+        if out > self.out_degree_bound {
+            return Err(CoreError::InvariantViolated {
+                reason: format!("out-degree {out} exceeds bound {}", self.out_degree_bound),
+            });
+        }
+        let deficit = self.orientation.max_deficit(graph);
+        if deficit > self.deficit_bound {
+            return Err(CoreError::InvariantViolated {
+                reason: format!("deficit {deficit} exceeds bound {}", self.deficit_bound),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Per-vertex keys `(bucket, color)` used to orient edges.
+fn orient_by_keys(graph: &Graph, key: &[(usize, u64)]) -> Orientation {
+    let mut orientation = Orientation::unoriented(graph);
+    for &(u, v) in graph.edges() {
+        if key[u] == key[v] {
+            continue; // stays unoriented (only possible in Partial-Orientation)
+        }
+        let (from, to) = if key[u] < key[v] { (u, v) } else { (v, u) };
+        orientation.orient_towards(graph, from, to).expect("endpoints come from the edge list");
+    }
+    orientation
+}
+
+/// Colors every bucket subgraph with the provided closure (in parallel across buckets) and
+/// returns the per-vertex `(bucket, color)` keys plus the parallel cost of the bucket phase.
+fn color_buckets<F>(
+    graph: &Graph,
+    partition: &HPartition,
+    mut color_bucket: F,
+) -> Result<(Vec<(usize, u64)>, RoundReport, Vec<usize>), CoreError>
+where
+    F: FnMut(&Graph) -> Result<(Vec<u64>, RoundReport, usize), CoreError>,
+{
+    let mut key: Vec<(usize, u64)> = (0..graph.n()).map(|v| (partition.h_index[v], 0)).collect();
+    let mut branch_reports = Vec::new();
+    let mut palette_sizes = Vec::new();
+    for bucket_vertices in partition.buckets() {
+        if bucket_vertices.is_empty() {
+            continue;
+        }
+        let sub = InducedSubgraph::new(graph, &bucket_vertices);
+        let (colors, report, palette) = color_bucket(&sub.graph)?;
+        branch_reports.push(report);
+        palette_sizes.push(palette);
+        for (child, &c) in colors.iter().enumerate() {
+            let parent: Vertex = sub.map.to_parent(child);
+            key[parent].1 = c;
+        }
+    }
+    Ok((key, parallel_max(&branch_reports), palette_sizes))
+}
+
+/// Procedure **Complete-Orientation** (Lemma 3.3): a complete acyclic orientation with
+/// out-degree `⌊(2+ε)a⌋` and length `O(a · log n)`.
+///
+/// # Errors
+///
+/// Propagates substrate errors; in particular the H-partition rejects under-estimated
+/// arboricity bounds.
+pub fn complete_orientation(
+    graph: &Graph,
+    arboricity: usize,
+    epsilon: f64,
+) -> Result<OrientedGraph, CoreError> {
+    let mut ledger = CostLedger::new();
+    let partition = h_partition(graph, arboricity, epsilon)?;
+    ledger.push("h-partition", partition.report);
+    let bound = partition.degree_bound;
+
+    // Legally color every bucket with at most `A + 1` colors (buckets have maximum degree ≤ A).
+    let (key, bucket_cost, palettes) = color_buckets(graph, &partition, |bucket| {
+        let linial = linial_coloring(bucket)?;
+        let palette = bucket.max_degree() as u64 + 1;
+        let reduced = greedy_reduce(bucket, &linial.coloring, palette)?;
+        let report = linial.report.then(reduced.report);
+        Ok((reduced.coloring.colors().to_vec(), report, palette as usize))
+    })?;
+    ledger.push_parallel("bucket-legal-coloring", &[bucket_cost]);
+    // Learning the neighbors' (bucket, color) keys takes one round.
+    ledger.push("orientation", RoundReport::new(1, 2 * graph.m()));
+
+    let orientation = orient_by_keys(graph, &key);
+    let measured_length = orientation.length(graph)?;
+    let oriented = OrientedGraph {
+        orientation,
+        out_degree_bound: bound,
+        deficit_bound: 0,
+        bucket_palette_bound: palettes.into_iter().max().unwrap_or(1),
+        measured_length,
+        partition,
+        ledger,
+    };
+    oriented.verify(graph)?;
+    Ok(oriented)
+}
+
+/// Procedure **Partial-Orientation** (Algorithm 1, Theorem 3.5): an acyclic partial
+/// orientation with out-degree `⌊(2+ε)a⌋`, deficit at most `⌊a/t⌋` and length `O(t² · log n)`,
+/// computed in `O(log n)` rounds.
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidParameter`] if `t = 0`; propagates substrate errors.
+pub fn partial_orientation(
+    graph: &Graph,
+    arboricity: usize,
+    t: usize,
+    epsilon: f64,
+) -> Result<OrientedGraph, CoreError> {
+    if t == 0 {
+        return Err(CoreError::InvalidParameter { reason: "t must be positive".to_string() });
+    }
+    let arboricity = arboricity.max(1);
+    let mut ledger = CostLedger::new();
+    let partition = h_partition(graph, arboricity, epsilon)?;
+    ledger.push("h-partition", partition.report);
+    let bound = partition.degree_bound;
+    let deficit_bound = arboricity / t;
+
+    // Defectively color every bucket: the defect parameter p is chosen per bucket so the
+    // defect stays below ⌊a/t⌋ (buckets have maximum degree ≤ A = (2+ε)a, so p = O(t)).
+    let (key, bucket_cost, palettes) = color_buckets(graph, &partition, |bucket| {
+        let delta = bucket.max_degree();
+        if delta == 0 {
+            return Ok((vec![0; bucket.n()], RoundReport::zero(), 1));
+        }
+        let p = if deficit_bound == 0 {
+            // A legal coloring is required (defect 0): fall back to Linial on the bucket.
+            let linial = linial_coloring(bucket)?;
+            return Ok((
+                linial.coloring.colors().to_vec(),
+                linial.report,
+                linial.palette_bound as usize,
+            ));
+        } else {
+            (delta * t).div_ceil(arboricity).max(1)
+        };
+        let defective = defective_coloring(bucket, p)?;
+        if defective.measured_defect > deficit_bound {
+            return Err(CoreError::InvariantViolated {
+                reason: format!(
+                    "bucket defect {} exceeds ⌊a/t⌋ = {deficit_bound}",
+                    defective.measured_defect
+                ),
+            });
+        }
+        Ok((
+            defective.output.coloring.colors().to_vec(),
+            defective.output.report,
+            defective.output.palette_bound as usize,
+        ))
+    })?;
+    ledger.push_parallel("bucket-defective-coloring", &[bucket_cost]);
+    ledger.push("orientation", RoundReport::new(1, 2 * graph.m()));
+
+    let orientation = orient_by_keys(graph, &key);
+    let measured_length = orientation.length(graph)?;
+    let oriented = OrientedGraph {
+        orientation,
+        out_degree_bound: bound,
+        deficit_bound,
+        bucket_palette_bound: palettes.into_iter().max().unwrap_or(1),
+        measured_length,
+        partition,
+        ledger,
+    };
+    oriented.verify(graph)?;
+    Ok(oriented)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arbcolor_graph::generators;
+
+    #[test]
+    fn complete_orientation_matches_lemma_3_3() {
+        for (k, n) in [(2usize, 200usize), (3, 300)] {
+            let g = generators::union_of_random_forests(n, k, 3).unwrap().with_shuffled_ids(5);
+            let oriented = complete_orientation(&g, k, 1.0).unwrap();
+            oriented.verify(&g).unwrap();
+            assert_eq!(oriented.orientation.unoriented_count(), 0);
+            assert_eq!(oriented.deficit_bound, 0);
+            // Length bound O(a log n): buckets contribute at most (A + 1) each, crossings ℓ − 1.
+            let a_bound = oriented.out_degree_bound;
+            let length_bound = (a_bound + 2) * (oriented.partition.num_buckets + 1);
+            assert!(
+                oriented.measured_length <= length_bound,
+                "length {} exceeds O(a log n) bound {length_bound}",
+                oriented.measured_length
+            );
+        }
+    }
+
+    #[test]
+    fn partial_orientation_matches_theorem_3_5() {
+        let k = 4usize;
+        let g = generators::union_of_random_forests(400, k, 9).unwrap().with_shuffled_ids(6);
+        for t in [1usize, 2, 4] {
+            let oriented = partial_orientation(&g, k, t, 1.0).unwrap();
+            oriented.verify(&g).unwrap();
+            assert_eq!(oriented.deficit_bound, k / t);
+            assert!(oriented.orientation.max_deficit(&g) <= k / t);
+            assert!(oriented.orientation.max_out_degree(&g) <= oriented.out_degree_bound);
+        }
+    }
+
+    #[test]
+    fn partial_orientation_runs_in_few_rounds() {
+        let g = generators::union_of_random_forests(600, 3, 2).unwrap().with_shuffled_ids(8);
+        let oriented = partial_orientation(&g, 3, 2, 1.0).unwrap();
+        // O(log n) rounds: the H-partition dominates; allow a generous constant.
+        let bound = 12 * ((g.n() as f64).log2().ceil() as usize + 2);
+        assert!(
+            oriented.report().rounds <= bound,
+            "rounds {} exceed O(log n) bound {bound}",
+            oriented.report().rounds
+        );
+    }
+
+    #[test]
+    fn orientation_length_respects_the_bucket_palette_times_log_n_bound() {
+        // The Theorem 3.5 / Lemma 3.3 length argument: a directed path alternates between at
+        // most `palette` consecutive same-bucket edges and at most ℓ − 1 bucket crossings.
+        let g = generators::gnp(400, 0.05, 7).unwrap().with_shuffled_ids(9);
+        let a = arbcolor_graph::degeneracy::degeneracy(&g);
+        for oriented in [
+            complete_orientation(&g, a, 1.0).unwrap(),
+            partial_orientation(&g, a, 2, 1.0).unwrap(),
+        ] {
+            let bound = (oriented.bucket_palette_bound + 1) * (oriented.partition.num_buckets + 1);
+            assert!(
+                oriented.measured_length <= bound,
+                "length {} exceeds structural bound {bound}",
+                oriented.measured_length
+            );
+            assert!(oriented.orientation.max_deficit(&g) <= oriented.deficit_bound);
+        }
+    }
+
+    #[test]
+    fn invalid_parameters_are_rejected() {
+        let g = generators::path(5).unwrap();
+        assert!(matches!(
+            partial_orientation(&g, 1, 0, 1.0),
+            Err(CoreError::InvalidParameter { .. })
+        ));
+        assert!(complete_orientation(&generators::complete(20).unwrap(), 1, 1.0).is_err());
+    }
+
+    #[test]
+    fn figure_1_structure_few_bucket_crossings_on_directed_paths() {
+        // Reproduces the structural claim of Figure 1: along any directed path the number of
+        // edges crossing between different H-buckets is at most ℓ − 1.
+        let g = generators::union_of_random_forests(500, 3, 13).unwrap().with_shuffled_ids(10);
+        let oriented = partial_orientation(&g, 3, 3, 1.0).unwrap();
+        let path = oriented.orientation.longest_path(&g).unwrap();
+        let crossings = path
+            .windows(2)
+            .filter(|w| oriented.partition.h_index[w[0]] != oriented.partition.h_index[w[1]])
+            .count();
+        assert!(
+            crossings + 1 <= oriented.partition.num_buckets,
+            "{crossings} crossings but only {} buckets",
+            oriented.partition.num_buckets
+        );
+    }
+}

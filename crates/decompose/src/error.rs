@@ -1,0 +1,89 @@
+//! Error type shared by the substrate algorithms.
+
+use arbcolor_graph::GraphError;
+use arbcolor_runtime::RuntimeError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised by the decomposition and coloring substrates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DecomposeError {
+    /// A parameter was outside its valid range.
+    InvalidParameter {
+        /// Human-readable description.
+        reason: String,
+    },
+    /// The H-partition did not drain all vertices within its iteration budget, which indicates
+    /// that the supplied arboricity bound was too small for the input graph.
+    ArboricityBoundTooSmall {
+        /// The degree threshold that was used.
+        threshold: usize,
+        /// Number of vertices still active when the budget ran out.
+        remaining: usize,
+    },
+    /// An invariant that the algorithm guarantees was found violated (a bug, surfaced loudly).
+    InvariantViolated {
+        /// Description of the violated invariant.
+        reason: String,
+    },
+    /// Error from the graph substrate.
+    Graph(GraphError),
+    /// Error from the LOCAL-model runtime.
+    Runtime(RuntimeError),
+}
+
+impl fmt::Display for DecomposeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecomposeError::InvalidParameter { reason } => write!(f, "invalid parameter: {reason}"),
+            DecomposeError::ArboricityBoundTooSmall { threshold, remaining } => write!(
+                f,
+                "H-partition with degree threshold {threshold} left {remaining} vertices unassigned; \
+                 the arboricity bound is too small for this graph"
+            ),
+            DecomposeError::InvariantViolated { reason } => {
+                write!(f, "algorithm invariant violated: {reason}")
+            }
+            DecomposeError::Graph(e) => write!(f, "graph error: {e}"),
+            DecomposeError::Runtime(e) => write!(f, "runtime error: {e}"),
+        }
+    }
+}
+
+impl Error for DecomposeError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            DecomposeError::Graph(e) => Some(e),
+            DecomposeError::Runtime(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<GraphError> for DecomposeError {
+    fn from(e: GraphError) -> Self {
+        DecomposeError::Graph(e)
+    }
+}
+
+impl From<RuntimeError> for DecomposeError {
+    fn from(e: RuntimeError) -> Self {
+        DecomposeError::Runtime(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = DecomposeError::InvalidParameter { reason: "p = 0".to_string() };
+        assert!(e.to_string().contains("p = 0"));
+        let g = DecomposeError::from(GraphError::NotAcyclic);
+        assert!(g.source().is_some());
+        let r = DecomposeError::from(RuntimeError::RoundLimitExceeded { limit: 1, still_active: 2 });
+        assert!(r.to_string().contains("runtime"));
+    }
+}

@@ -1,0 +1,258 @@
+//! Acyclic bounded-out-degree orientations and forests decompositions
+//! (Barenboim–Elkin PODC'08; Lemmas 2.2(2), 2.4 and 2.5 of the paper).
+//!
+//! Given an H-partition of degree `A`, orienting every edge towards the endpoint with the
+//! lexicographically larger `(bucket, identifier)` pair yields a **complete acyclic
+//! orientation with out-degree ≤ A** (Lemma 2.4): all out-edges of a vertex go to vertices in
+//! the same or a later bucket, of which there are at most `A`.  Splitting the out-edges of
+//! every vertex into singletons then yields an **`A`-forests decomposition** (Lemma 2.2(2)):
+//! in forest `j` every vertex has at most one outgoing edge, so every connected component has
+//! at most as many edges as vertices minus one (acyclicity is inherited from the orientation).
+//!
+//! Both constructions are local once the H-partition is known (bucket indices of neighbors
+//! were learned during the peeling), so they add no communication rounds beyond the
+//! H-partition itself.
+
+use crate::error::DecomposeError;
+use crate::hpartition::{h_partition, HPartition};
+use arbcolor_graph::{EdgeIdx, Graph, Orientation, Vertex};
+use arbcolor_runtime::RoundReport;
+use serde::{Deserialize, Serialize};
+
+/// A complete acyclic orientation with bounded out-degree, plus its provenance.
+#[derive(Debug, Clone)]
+pub struct BoundedOrientation {
+    /// The orientation itself.
+    pub orientation: Orientation,
+    /// Upper bound on the out-degree guaranteed by construction.
+    pub out_degree_bound: usize,
+    /// The H-partition the orientation was derived from.
+    pub partition: HPartition,
+    /// Total LOCAL cost (dominated by the H-partition).
+    pub report: RoundReport,
+}
+
+/// Orients every edge of `graph` towards the endpoint with the larger `(bucket, id)` pair.
+pub fn orient_by_partition(graph: &Graph, partition: &HPartition) -> Orientation {
+    let rank_pair = |v: Vertex| (partition.h_index[v], graph.id(v));
+    let mut orientation = Orientation::unoriented(graph);
+    for &(u, v) in graph.edges() {
+        let towards = if rank_pair(u) < rank_pair(v) { v } else { u };
+        let from = if towards == v { u } else { v };
+        orientation
+            .orient_towards(graph, from, towards)
+            .expect("edge endpoints come from the edge list");
+    }
+    orientation
+}
+
+/// Computes an acyclic complete orientation with out-degree `⌊(2+ε)a⌋` in `O(log n)` rounds
+/// (Lemma 2.4).
+///
+/// # Errors
+///
+/// Propagates H-partition errors (in particular when `arboricity` under-estimates the graph).
+pub fn bounded_outdegree_orientation(
+    graph: &Graph,
+    arboricity: usize,
+    epsilon: f64,
+) -> Result<BoundedOrientation, DecomposeError> {
+    let partition = h_partition(graph, arboricity, epsilon)?;
+    let orientation = orient_by_partition(graph, &partition);
+    debug_assert!(orientation.is_acyclic(graph));
+    let report = partition.report;
+    Ok(BoundedOrientation {
+        orientation,
+        out_degree_bound: partition.degree_bound,
+        partition,
+        report,
+    })
+}
+
+/// A decomposition of the edge set into edge-disjoint forests.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ForestsDecomposition {
+    /// Forest index of every edge (by canonical edge index), in `0..num_forests`.
+    pub forest_of_edge: Vec<usize>,
+    /// Number of forests.
+    pub num_forests: usize,
+    /// The parent of each vertex within each forest: `parent[forest][v]`.
+    pub parent: Vec<Vec<Option<Vertex>>>,
+    /// Total LOCAL cost.
+    pub report: RoundReport,
+}
+
+impl ForestsDecomposition {
+    /// The edges belonging to forest `j`.
+    pub fn forest_edges(&self, j: usize) -> Vec<EdgeIdx> {
+        self.forest_of_edge
+            .iter()
+            .enumerate()
+            .filter_map(|(e, &f)| (f == j).then_some(e))
+            .collect()
+    }
+
+    /// Checks that every part is indeed a forest (no cycles) and that parts are edge-disjoint
+    /// by construction of `forest_of_edge`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecomposeError::InvariantViolated`] when a part contains a cycle.
+    pub fn verify(&self, graph: &Graph) -> Result<(), DecomposeError> {
+        for j in 0..self.num_forests {
+            let edges = self.forest_edges(j);
+            // Union–find cycle check.
+            let mut parent: Vec<usize> = (0..graph.n()).collect();
+            fn find(parent: &mut Vec<usize>, mut x: usize) -> usize {
+                while parent[x] != x {
+                    parent[x] = parent[parent[x]];
+                    x = parent[x];
+                }
+                x
+            }
+            for e in edges {
+                let (u, v) = graph.endpoints(e);
+                let (ru, rv) = (find(&mut parent, u), find(&mut parent, v));
+                if ru == rv {
+                    return Err(DecomposeError::InvariantViolated {
+                        reason: format!("forest {j} contains a cycle through edge ({u}, {v})"),
+                    });
+                }
+                parent[ru] = rv;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Computes an `O(a)`-forests decomposition in `O(log n)` rounds (Lemma 2.2(2)).
+///
+/// # Errors
+///
+/// Propagates H-partition errors.
+///
+/// # Examples
+///
+/// ```
+/// use arbcolor_graph::generators;
+/// use arbcolor_decompose::forests::forests_decomposition;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let g = generators::union_of_random_forests(200, 2, 3)?;
+/// let fd = forests_decomposition(&g, 2, 1.0)?;
+/// assert!(fd.num_forests <= 3 * 2); // (2+ε)a with ε = 1
+/// fd.verify(&g)?;
+/// # Ok(())
+/// # }
+/// ```
+pub fn forests_decomposition(
+    graph: &Graph,
+    arboricity: usize,
+    epsilon: f64,
+) -> Result<ForestsDecomposition, DecomposeError> {
+    let bounded = bounded_outdegree_orientation(graph, arboricity, epsilon)?;
+    Ok(split_orientation_into_forests(graph, &bounded.orientation, bounded.report))
+}
+
+/// Splits an acyclic orientation into forests: the `j`-th outgoing edge of every vertex goes
+/// to forest `j`.
+pub fn split_orientation_into_forests(
+    graph: &Graph,
+    orientation: &Orientation,
+    report: RoundReport,
+) -> ForestsDecomposition {
+    let mut forest_of_edge = vec![0usize; graph.m()];
+    let mut num_forests = 0usize;
+    for v in graph.vertices() {
+        let mut slot = 0usize;
+        for (&u, &e) in graph.neighbors(v).iter().zip(graph.incident_edges(v)) {
+            if orientation.head(graph, e) == Some(u) {
+                forest_of_edge[e] = slot;
+                slot += 1;
+            }
+        }
+        num_forests = num_forests.max(slot);
+    }
+    let mut parent = vec![vec![None; graph.n()]; num_forests];
+    for e in 0..graph.m() {
+        if let (Some(head), Some(tail)) = (orientation.head(graph, e), orientation.tail(graph, e)) {
+            parent[forest_of_edge[e]][tail] = Some(head);
+        }
+    }
+    ForestsDecomposition { forest_of_edge, num_forests, parent, report }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arbcolor_graph::{degeneracy, generators};
+
+    #[test]
+    fn orientation_has_bounded_outdegree_and_is_acyclic() {
+        for k in [1usize, 2, 3] {
+            let g = generators::union_of_random_forests(300, k, 7).unwrap().with_shuffled_ids(1);
+            let bounded = bounded_outdegree_orientation(&g, k, 1.0).unwrap();
+            assert!(bounded.orientation.is_acyclic(&g));
+            assert_eq!(bounded.orientation.unoriented_count(), 0);
+            let out = bounded.orientation.max_out_degree(&g);
+            assert!(
+                out <= bounded.out_degree_bound,
+                "out-degree {out} exceeds bound {}",
+                bounded.out_degree_bound
+            );
+            assert!(bounded.out_degree_bound <= 3 * k);
+        }
+    }
+
+    #[test]
+    fn lemma_2_5_orientation_bounds_arboricity() {
+        // If we can orient with out-degree k, the degeneracy is at most 2k.
+        let g = generators::barabasi_albert(300, 3, 2).unwrap();
+        let d = degeneracy::degeneracy(&g);
+        let bounded = bounded_outdegree_orientation(&g, d, 1.0).unwrap();
+        assert!(bounded.orientation.max_out_degree(&g) <= 3 * d);
+    }
+
+    #[test]
+    fn forests_decomposition_verifies_and_covers_all_edges() {
+        let g = generators::gnp(150, 0.05, 4).unwrap().with_shuffled_ids(6);
+        let a = degeneracy::degeneracy(&g);
+        let fd = forests_decomposition(&g, a, 1.0).unwrap();
+        fd.verify(&g).unwrap();
+        assert_eq!(fd.forest_of_edge.len(), g.m());
+        assert!(fd.num_forests <= 3 * a.max(1));
+        // Every edge is assigned to exactly one forest; together they cover the edge set.
+        let covered: usize = (0..fd.num_forests).map(|j| fd.forest_edges(j).len()).sum();
+        assert_eq!(covered, g.m());
+    }
+
+    #[test]
+    fn forests_have_at_most_one_parent_per_vertex() {
+        let g = generators::union_of_random_forests(200, 3, 9).unwrap();
+        let fd = forests_decomposition(&g, 3, 1.0).unwrap();
+        for j in 0..fd.num_forests {
+            for v in g.vertices() {
+                let outgoing_in_forest = g
+                    .incident_edges(v)
+                    .iter()
+                    .zip(g.neighbors(v))
+                    .filter(|(&e, &u)| {
+                        fd.forest_of_edge[e] == j
+                            && fd.parent[j][v] == Some(u)
+                    })
+                    .count();
+                assert!(outgoing_in_forest <= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn orientation_on_empty_graph() {
+        let g = arbcolor_graph::Graph::empty(5);
+        let bounded = bounded_outdegree_orientation(&g, 1, 1.0).unwrap();
+        assert_eq!(bounded.orientation.max_out_degree(&g), 0);
+        let fd = forests_decomposition(&g, 1, 1.0).unwrap();
+        assert_eq!(fd.num_forests, 0);
+        fd.verify(&g).unwrap();
+    }
+}

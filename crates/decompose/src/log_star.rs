@@ -1,0 +1,87 @@
+//! Iterated-logarithm utilities.
+//!
+//! `log* n` is the number of times `log₂` must be applied to `n` before the value drops to at
+//! most 2.  Linial-style recoloring runs for `O(log* n)` iterations; the experiment harness
+//! uses these helpers to report predicted round counts.
+
+/// Base-2 logarithm rounded up, of an integer (`ceil_log2(1) = 0`).
+pub fn ceil_log2(x: u64) -> u32 {
+    if x <= 1 {
+        0
+    } else {
+        64 - (x - 1).leading_zeros()
+    }
+}
+
+/// The iterated logarithm `log* x`: the smallest `t` such that applying `log₂` `t` times to
+/// `x` yields a value ≤ 2.
+pub fn log_star(x: u64) -> u32 {
+    let mut value = x as f64;
+    let mut count = 0;
+    while value > 2.0 {
+        value = value.log2();
+        count += 1;
+    }
+    count
+}
+
+/// `⌈log_b(x)⌉` for integer `x ≥ 1` and base `b ≥ 2`, computed with integer arithmetic.
+pub fn ceil_log_base(x: u64, b: u64) -> u32 {
+    assert!(b >= 2, "base must be at least 2");
+    if x <= 1 {
+        return 0;
+    }
+    let mut power = 1u128;
+    let mut count = 0u32;
+    let target = x as u128;
+    while power < target {
+        power = power.saturating_mul(b as u128);
+        count += 1;
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ceil_log2_values() {
+        assert_eq!(ceil_log2(0), 0);
+        assert_eq!(ceil_log2(1), 0);
+        assert_eq!(ceil_log2(2), 1);
+        assert_eq!(ceil_log2(3), 2);
+        assert_eq!(ceil_log2(1024), 10);
+        assert_eq!(ceil_log2(1025), 11);
+    }
+
+    #[test]
+    fn log_star_values() {
+        assert_eq!(log_star(1), 0);
+        assert_eq!(log_star(2), 0);
+        assert_eq!(log_star(3), 1);
+        assert_eq!(log_star(4), 1);
+        assert_eq!(log_star(5), 2);
+        assert_eq!(log_star(16), 2);
+        assert_eq!(log_star(17), 3);
+        assert_eq!(log_star(65536), 3);
+        assert_eq!(log_star(65537), 4);
+        assert_eq!(log_star(u64::MAX), 4);
+    }
+
+    #[test]
+    fn ceil_log_base_values() {
+        assert_eq!(ceil_log_base(1, 10), 0);
+        assert_eq!(ceil_log_base(10, 10), 1);
+        assert_eq!(ceil_log_base(11, 10), 2);
+        assert_eq!(ceil_log_base(1000, 10), 3);
+        assert_eq!(ceil_log_base(81, 3), 4);
+        assert_eq!(ceil_log_base(82, 3), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "base must be at least 2")]
+    fn ceil_log_base_rejects_base_one() {
+        ceil_log_base(10, 1);
+    }
+}

@@ -1,0 +1,204 @@
+//! Degeneracy orderings and arboricity estimates.
+//!
+//! The *degeneracy* `d` of a graph is the smallest value such that every subgraph has a vertex
+//! of degree at most `d`.  It sandwiches the arboricity `a`: `a ≤ d ≤ 2a − 1`.  The
+//! Nash-Williams theorem states `a = max_H ⌈m_H / (n_H − 1)⌉` over subgraphs `H` with at least
+//! two vertices, so `⌈m/(n−1)⌉` of any subgraph is a lower bound.  These cheap estimates are
+//! what the experiment harness reports alongside the generator's design arboricity.
+
+use crate::graph::{Graph, Vertex};
+
+/// The result of a degeneracy (core) decomposition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DegeneracyOrdering {
+    /// The degeneracy of the graph.
+    pub degeneracy: usize,
+    /// Vertices in removal order (each vertex had degree ≤ `degeneracy` among later vertices
+    /// when removed).
+    pub order: Vec<Vertex>,
+    /// `core_number[v]` is the largest `k` such that `v` belongs to the `k`-core.
+    pub core_numbers: Vec<usize>,
+    /// `rank[v]` is the position of `v` in `order`.
+    pub rank: Vec<usize>,
+}
+
+/// Computes a degeneracy ordering with the standard bucket-queue algorithm in `O(n + m)`.
+pub fn degeneracy_ordering(graph: &Graph) -> DegeneracyOrdering {
+    let n = graph.n();
+    let mut degree: Vec<usize> = (0..n).map(|v| graph.degree(v)).collect();
+    let max_deg = degree.iter().copied().max().unwrap_or(0);
+
+    // Buckets of vertices by current degree.
+    let mut buckets: Vec<Vec<Vertex>> = vec![Vec::new(); max_deg + 1];
+    for v in 0..n {
+        buckets[degree[v]].push(v);
+    }
+
+    let mut removed = vec![false; n];
+    let mut order = Vec::with_capacity(n);
+    let mut core_numbers = vec![0usize; n];
+    let mut degeneracy = 0usize;
+    let mut current = 0usize;
+
+    for _ in 0..n {
+        // Find the smallest non-empty bucket at or below/above `current`.
+        if current > 0 {
+            current -= 1;
+        }
+        loop {
+            while current <= max_deg && buckets[current].is_empty() {
+                current += 1;
+            }
+            if current > max_deg {
+                break;
+            }
+            // The bucket may contain stale entries (vertices whose degree has decreased or
+            // that were already removed); validate lazily.
+            let v = buckets[current].pop().expect("bucket checked non-empty");
+            if removed[v] || degree[v] != current {
+                continue;
+            }
+            removed[v] = true;
+            degeneracy = degeneracy.max(current);
+            core_numbers[v] = degeneracy;
+            order.push(v);
+            for &u in graph.neighbors(v) {
+                if !removed[u] {
+                    degree[u] -= 1;
+                    buckets[degree[u]].push(u);
+                    if degree[u] < current {
+                        current = degree[u];
+                    }
+                }
+            }
+            break;
+        }
+    }
+
+    let mut rank = vec![0usize; n];
+    for (i, &v) in order.iter().enumerate() {
+        rank[v] = i;
+    }
+    DegeneracyOrdering { degeneracy, order, core_numbers, rank }
+}
+
+/// The degeneracy of `graph` (0 for edgeless graphs).
+pub fn degeneracy(graph: &Graph) -> usize {
+    degeneracy_ordering(graph).degeneracy
+}
+
+/// A lower bound on the arboricity: the Nash-Williams density `⌈m / (n − 1)⌉` of the whole
+/// graph (taken over each connected component would be tighter; this is the cheap global
+/// bound, clamped to 0 for graphs with fewer than 2 vertices or no edges).
+pub fn arboricity_lower_bound(graph: &Graph) -> usize {
+    if graph.n() < 2 || graph.m() == 0 {
+        return 0;
+    }
+    let m = graph.m();
+    let n = graph.n();
+    m.div_ceil(n - 1)
+}
+
+/// An upper bound on the arboricity: the degeneracy (every `d`-degenerate graph decomposes
+/// into `d` forests by orienting edges along a degeneracy ordering and splitting out-edges).
+pub fn arboricity_upper_bound(graph: &Graph) -> usize {
+    degeneracy(graph)
+}
+
+/// A convenience summary of the arboricity estimates of a graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArboricityEstimate {
+    /// Nash-Williams density lower bound.
+    pub lower: usize,
+    /// Degeneracy upper bound.
+    pub upper: usize,
+}
+
+/// Computes both arboricity bounds at once.
+pub fn arboricity_estimate(graph: &Graph) -> ArboricityEstimate {
+    ArboricityEstimate {
+        lower: arboricity_lower_bound(graph),
+        upper: arboricity_upper_bound(graph),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use crate::graph::Graph;
+
+    #[test]
+    fn degeneracy_of_tree_is_one() {
+        let g = Graph::from_edges(5, [(0, 1), (1, 2), (1, 3), (3, 4)]).unwrap();
+        assert_eq!(degeneracy(&g), 1);
+        assert_eq!(arboricity_lower_bound(&g), 1);
+        assert_eq!(arboricity_upper_bound(&g), 1);
+    }
+
+    #[test]
+    fn degeneracy_of_complete_graph() {
+        let g = generators::complete(6).unwrap();
+        assert_eq!(degeneracy(&g), 5);
+        // Nash-Williams: ceil(15 / 5) = 3 — exactly the arboricity of K6.
+        assert_eq!(arboricity_lower_bound(&g), 3);
+    }
+
+    #[test]
+    fn degeneracy_of_cycle_is_two() {
+        let g = generators::cycle(8).unwrap();
+        assert_eq!(degeneracy(&g), 2);
+        let est = arboricity_estimate(&g);
+        assert_eq!(est.lower, 2); // ceil(8/7) = 2
+        assert_eq!(est.upper, 2);
+    }
+
+    #[test]
+    fn ordering_is_a_permutation_and_rank_consistent() {
+        let g = generators::grid(4, 5).unwrap();
+        let ord = degeneracy_ordering(&g);
+        let mut sorted = ord.order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..g.n()).collect::<Vec<_>>());
+        for (i, &v) in ord.order.iter().enumerate() {
+            assert_eq!(ord.rank[v], i);
+        }
+        assert_eq!(ord.degeneracy, 2);
+    }
+
+    #[test]
+    fn ordering_property_every_vertex_has_few_later_neighbors() {
+        let g = generators::gnp(120, 0.08, 99).unwrap();
+        let ord = degeneracy_ordering(&g);
+        for (i, &v) in ord.order.iter().enumerate() {
+            let later_neighbors = g
+                .neighbors(v)
+                .iter()
+                .filter(|&&u| ord.rank[u] > i)
+                .count();
+            assert!(
+                later_neighbors <= ord.degeneracy,
+                "vertex {v} has {later_neighbors} later neighbors but degeneracy is {}",
+                ord.degeneracy
+            );
+        }
+    }
+
+    #[test]
+    fn empty_and_edgeless_graphs() {
+        assert_eq!(degeneracy(&Graph::empty(0)), 0);
+        assert_eq!(degeneracy(&Graph::empty(10)), 0);
+        assert_eq!(arboricity_lower_bound(&Graph::empty(10)), 0);
+        assert_eq!(arboricity_lower_bound(&Graph::empty(1)), 0);
+    }
+
+    #[test]
+    fn union_of_forests_has_degeneracy_at_most_2k() {
+        for k in 1..=4 {
+            let g = generators::union_of_random_forests(150, k, 11).unwrap();
+            let d = degeneracy(&g);
+            assert!(d <= 2 * k, "k = {k}, degeneracy = {d}");
+            assert!(arboricity_lower_bound(&g) <= k);
+        }
+    }
+}

@@ -1,0 +1,89 @@
+//! Error types for the graph substrate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by graph construction, generators and validators.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GraphError {
+    /// A vertex index was outside `0..n`.
+    VertexOutOfRange {
+        /// The offending vertex index.
+        vertex: usize,
+        /// The number of vertices in the graph.
+        n: usize,
+    },
+    /// A self-loop `(v, v)` was supplied; simple graphs have none.
+    SelfLoop {
+        /// The vertex with the self-loop.
+        vertex: usize,
+    },
+    /// The requested edge does not exist in the graph.
+    MissingEdge {
+        /// First endpoint.
+        u: usize,
+        /// Second endpoint.
+        v: usize,
+    },
+    /// An orientation that was required to be acyclic contains a directed cycle.
+    NotAcyclic,
+    /// A generator was invoked with parameters that cannot produce a graph.
+    InvalidParameter {
+        /// Human-readable description of the parameter problem.
+        reason: String,
+    },
+    /// A coloring vector does not have one entry per vertex.
+    ColoringSizeMismatch {
+        /// Entries in the coloring.
+        got: usize,
+        /// Vertices in the graph.
+        expected: usize,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::VertexOutOfRange { vertex, n } => {
+                write!(f, "vertex {vertex} out of range for graph with {n} vertices")
+            }
+            GraphError::SelfLoop { vertex } => write!(f, "self-loop at vertex {vertex}"),
+            GraphError::MissingEdge { u, v } => write!(f, "edge ({u}, {v}) not present"),
+            GraphError::NotAcyclic => write!(f, "orientation contains a directed cycle"),
+            GraphError::InvalidParameter { reason } => write!(f, "invalid parameter: {reason}"),
+            GraphError::ColoringSizeMismatch { got, expected } => {
+                write!(f, "coloring has {got} entries but graph has {expected} vertices")
+            }
+        }
+    }
+}
+
+impl Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty() {
+        let errors = [
+            GraphError::VertexOutOfRange { vertex: 5, n: 3 },
+            GraphError::SelfLoop { vertex: 1 },
+            GraphError::MissingEdge { u: 0, v: 1 },
+            GraphError::NotAcyclic,
+            GraphError::InvalidParameter { reason: "p out of range".to_string() },
+            GraphError::ColoringSizeMismatch { got: 2, expected: 3 },
+        ];
+        for e in errors {
+            assert!(!e.to_string().is_empty());
+            assert!(!format!("{e:?}").is_empty());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<GraphError>();
+    }
+}

@@ -1,0 +1,119 @@
+//! Preferential-attachment and planar-like sparse generators.
+
+use crate::error::GraphError;
+use crate::graph::{Graph, GraphBuilder, Vertex};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Barabási–Albert preferential attachment: each arriving vertex attaches to
+/// `edges_per_vertex` existing vertices chosen proportionally to their degree.
+///
+/// Every vertex contributes at most `edges_per_vertex` edges "backwards", so the graph is
+/// `edges_per_vertex`-degenerate and its arboricity is at most `edges_per_vertex`; the degree
+/// distribution is heavy-tailed, so `Δ ≫ a` — a natural workload for Corollary 4.7.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] if `edges_per_vertex == 0` or
+/// `n <= edges_per_vertex`.
+pub fn barabasi_albert(n: usize, edges_per_vertex: usize, seed: u64) -> Result<Graph, GraphError> {
+    if edges_per_vertex == 0 {
+        return Err(GraphError::InvalidParameter {
+            reason: "edges_per_vertex must be positive".to_string(),
+        });
+    }
+    if n <= edges_per_vertex {
+        return Err(GraphError::InvalidParameter {
+            reason: format!("n = {n} must exceed edges_per_vertex = {edges_per_vertex}"),
+        });
+    }
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut builder = GraphBuilder::new(n);
+    // `targets` holds one entry per edge endpoint, so sampling uniformly from it is
+    // degree-proportional sampling.
+    let mut targets: Vec<Vertex> = Vec::with_capacity(2 * n * edges_per_vertex);
+    // Seed clique-ish core: connect the first edges_per_vertex + 1 vertices in a path so every
+    // early vertex has nonzero degree.
+    for v in 1..=edges_per_vertex {
+        builder.add_edge(v - 1, v)?;
+        targets.push(v - 1);
+        targets.push(v);
+    }
+    for v in (edges_per_vertex + 1)..n {
+        // A Vec with a linear containment check keeps attachment order deterministic (a
+        // HashSet's iteration order would vary between runs and break seed reproducibility).
+        let mut chosen: Vec<Vertex> = Vec::with_capacity(edges_per_vertex);
+        let mut guard = 0;
+        while chosen.len() < edges_per_vertex && guard < 50 * edges_per_vertex {
+            let t = targets[rng.gen_range(0..targets.len())];
+            if !chosen.contains(&t) {
+                chosen.push(t);
+            }
+            guard += 1;
+        }
+        for &t in &chosen {
+            builder.add_edge(t, v)?;
+            targets.push(t);
+            targets.push(v);
+        }
+    }
+    Ok(builder.build())
+}
+
+/// A "planar-like" sparse graph: a random maximal-ish triangulated strip.  Vertices are placed
+/// on a path; every vertex additionally connects to the two preceding vertices, producing a
+/// 2-tree-like structure with arboricity at most 2 (it is 2-degenerate by construction).
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] if `n == 0`.
+pub fn random_planar_like(n: usize, extra_chord_probability: f64, seed: u64) -> Result<Graph, GraphError> {
+    if n == 0 {
+        return Err(GraphError::InvalidParameter { reason: "need n >= 1".to_string() });
+    }
+    if !(0.0..=1.0).contains(&extra_chord_probability) || extra_chord_probability.is_nan() {
+        return Err(GraphError::InvalidParameter {
+            reason: format!("chord probability {extra_chord_probability} must be in [0, 1]"),
+        });
+    }
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(n);
+    for v in 1..n {
+        b.add_edge(v - 1, v)?;
+        if v >= 2 && rng.gen::<f64>() < extra_chord_probability {
+            b.add_edge(v - 2, v)?;
+        }
+    }
+    Ok(b.build())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::degeneracy;
+
+    #[test]
+    fn barabasi_albert_is_m_degenerate() {
+        let g = barabasi_albert(300, 3, 17).unwrap();
+        assert!(degeneracy::degeneracy(&g) <= 3);
+        assert!(g.max_degree() > 6, "heavy tail expected, got Δ = {}", g.max_degree());
+        assert!(barabasi_albert(3, 3, 0).is_err());
+        assert!(barabasi_albert(10, 0, 0).is_err());
+    }
+
+    #[test]
+    fn planar_like_is_two_degenerate() {
+        let g = random_planar_like(200, 0.8, 3).unwrap();
+        assert!(degeneracy::degeneracy(&g) <= 2);
+        assert!(g.m() >= 199);
+        assert!(random_planar_like(0, 0.5, 1).is_err());
+        assert!(random_planar_like(10, 1.5, 1).is_err());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = barabasi_albert(100, 2, 5).unwrap();
+        let b = barabasi_albert(100, 2, 5).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,172 @@
+//! Seeded random graph generators.
+
+use crate::error::GraphError;
+use crate::graph::{Graph, GraphBuilder, Vertex};
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+fn rng(seed: u64) -> ChaCha8Rng {
+    ChaCha8Rng::seed_from_u64(seed)
+}
+
+/// Erdős–Rényi `G(n, p)`: each of the `binom(n, 2)` edges is present independently with
+/// probability `p`.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] if `p` is not in `[0, 1]`.
+pub fn gnp(n: usize, p: f64, seed: u64) -> Result<Graph, GraphError> {
+    if !(0.0..=1.0).contains(&p) || p.is_nan() {
+        return Err(GraphError::InvalidParameter { reason: format!("p = {p} must be in [0, 1]") });
+    }
+    let mut rng = rng(seed);
+    let mut builder = GraphBuilder::new(n);
+    if p > 0.0 {
+        for u in 0..n {
+            for v in (u + 1)..n {
+                if rng.gen::<f64>() < p {
+                    builder.add_edge(u, v)?;
+                }
+            }
+        }
+    }
+    Ok(builder.build())
+}
+
+/// Uniform random graph with exactly `m` edges (or the maximum possible if `m` exceeds it).
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] if `n < 2` and `m > 0`.
+pub fn gnm(n: usize, m: usize, seed: u64) -> Result<Graph, GraphError> {
+    let max_edges = if n < 2 { 0 } else { n * (n - 1) / 2 };
+    if m > 0 && max_edges == 0 {
+        return Err(GraphError::InvalidParameter {
+            reason: format!("cannot place {m} edges in a graph with {n} vertices"),
+        });
+    }
+    let target = m.min(max_edges);
+    let mut rng = rng(seed);
+    let mut builder = GraphBuilder::new(n);
+    let mut chosen = std::collections::HashSet::with_capacity(target);
+    while chosen.len() < target {
+        let u = rng.gen_range(0..n);
+        let v = rng.gen_range(0..n);
+        if u == v {
+            continue;
+        }
+        let key = if u < v { (u, v) } else { (v, u) };
+        if chosen.insert(key) {
+            builder.add_edge(key.0, key.1)?;
+        }
+    }
+    Ok(builder.build())
+}
+
+/// Random bipartite graph on `left + right` vertices where each cross pair is an edge with
+/// probability `p`.  Vertices `0..left` form one side.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] if `p` is not in `[0, 1]`.
+pub fn random_bipartite(left: usize, right: usize, p: f64, seed: u64) -> Result<Graph, GraphError> {
+    if !(0.0..=1.0).contains(&p) || p.is_nan() {
+        return Err(GraphError::InvalidParameter { reason: format!("p = {p} must be in [0, 1]") });
+    }
+    let mut rng = rng(seed);
+    let mut builder = GraphBuilder::new(left + right);
+    for u in 0..left {
+        for v in 0..right {
+            if rng.gen::<f64>() < p {
+                builder.add_edge(u, left + v)?;
+            }
+        }
+    }
+    Ok(builder.build())
+}
+
+/// Approximately `d`-regular graph built by the configuration model with rejection of
+/// self-loops and parallel edges (so some vertices may end up with degree slightly below `d`).
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] if `d >= n`.
+pub fn random_regular_like(n: usize, d: usize, seed: u64) -> Result<Graph, GraphError> {
+    if n > 0 && d >= n {
+        return Err(GraphError::InvalidParameter {
+            reason: format!("degree {d} must be smaller than n = {n}"),
+        });
+    }
+    let mut rng = rng(seed);
+    let mut stubs: Vec<Vertex> = Vec::with_capacity(n * d);
+    for v in 0..n {
+        for _ in 0..d {
+            stubs.push(v);
+        }
+    }
+    stubs.shuffle(&mut rng);
+    let mut builder = GraphBuilder::new(n);
+    let mut i = 0;
+    while i + 1 < stubs.len() {
+        let (u, v) = (stubs[i], stubs[i + 1]);
+        i += 2;
+        if u != v {
+            builder.add_edge(u, v)?;
+        }
+    }
+    Ok(builder.build())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gnp_extremes() {
+        let empty = gnp(20, 0.0, 1).unwrap();
+        assert_eq!(empty.m(), 0);
+        let full = gnp(20, 1.0, 1).unwrap();
+        assert_eq!(full.m(), 20 * 19 / 2);
+        assert!(gnp(10, 1.5, 1).is_err());
+        assert!(gnp(10, f64::NAN, 1).is_err());
+    }
+
+    #[test]
+    fn gnp_is_deterministic_per_seed() {
+        let a = gnp(60, 0.1, 42).unwrap();
+        let b = gnp(60, 0.1, 42).unwrap();
+        assert_eq!(a, b);
+        let c = gnp(60, 0.1, 43).unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn gnm_has_exactly_m_edges() {
+        let g = gnm(30, 50, 3).unwrap();
+        assert_eq!(g.m(), 50);
+        // Requesting more edges than possible clamps.
+        let g = gnm(5, 1000, 3).unwrap();
+        assert_eq!(g.m(), 10);
+        assert!(gnm(1, 5, 0).is_err());
+        assert_eq!(gnm(1, 0, 0).unwrap().m(), 0);
+    }
+
+    #[test]
+    fn bipartite_has_no_side_internal_edges() {
+        let g = random_bipartite(10, 15, 0.4, 5).unwrap();
+        for &(u, v) in g.edges() {
+            let u_left = u < 10;
+            let v_left = v < 10;
+            assert_ne!(u_left, v_left);
+        }
+    }
+
+    #[test]
+    fn regular_like_respects_degree_bound() {
+        let g = random_regular_like(40, 5, 9).unwrap();
+        assert!(g.max_degree() <= 5);
+        assert!(g.m() > 0);
+        assert!(random_regular_like(5, 5, 0).is_err());
+    }
+}

@@ -1,0 +1,214 @@
+//! Deterministic structured graph families.
+
+use crate::error::GraphError;
+use crate::graph::{Graph, GraphBuilder};
+
+/// A simple path on `n` vertices (`n − 1` edges).
+///
+/// # Errors
+///
+/// Never fails for valid `n`; returns the empty graph for `n = 0`.
+pub fn path(n: usize) -> Result<Graph, GraphError> {
+    let mut b = GraphBuilder::new(n);
+    for v in 1..n {
+        b.add_edge(v - 1, v)?;
+    }
+    Ok(b.build())
+}
+
+/// A cycle on `n` vertices.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] if `n < 3`.
+pub fn cycle(n: usize) -> Result<Graph, GraphError> {
+    if n < 3 {
+        return Err(GraphError::InvalidParameter { reason: format!("cycle needs n >= 3, got {n}") });
+    }
+    let mut b = GraphBuilder::new(n);
+    for v in 0..n {
+        b.add_edge(v, (v + 1) % n)?;
+    }
+    Ok(b.build())
+}
+
+/// A star with one hub (vertex 0) and `n − 1` leaves.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] if `n == 0`.
+pub fn star(n: usize) -> Result<Graph, GraphError> {
+    if n == 0 {
+        return Err(GraphError::InvalidParameter { reason: "star needs n >= 1".to_string() });
+    }
+    let mut b = GraphBuilder::new(n);
+    for v in 1..n {
+        b.add_edge(0, v)?;
+    }
+    Ok(b.build())
+}
+
+/// The complete graph `K_n`.
+///
+/// # Errors
+///
+/// Never fails; returns the empty graph for `n ∈ {0, 1}`.
+pub fn complete(n: usize) -> Result<Graph, GraphError> {
+    let mut b = GraphBuilder::new(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            b.add_edge(u, v)?;
+        }
+    }
+    Ok(b.build())
+}
+
+/// The complete bipartite graph `K_{left,right}`; vertices `0..left` form the left side.
+///
+/// # Errors
+///
+/// Never fails for valid sizes.
+pub fn complete_bipartite(left: usize, right: usize) -> Result<Graph, GraphError> {
+    let mut b = GraphBuilder::new(left + right);
+    for u in 0..left {
+        for v in 0..right {
+            b.add_edge(u, left + v)?;
+        }
+    }
+    Ok(b.build())
+}
+
+/// A `rows × cols` grid graph.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] if either dimension is 0.
+pub fn grid(rows: usize, cols: usize) -> Result<Graph, GraphError> {
+    if rows == 0 || cols == 0 {
+        return Err(GraphError::InvalidParameter {
+            reason: format!("grid dimensions must be positive, got {rows}x{cols}"),
+        });
+    }
+    let index = |r: usize, c: usize| r * cols + c;
+    let mut b = GraphBuilder::new(rows * cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                b.add_edge(index(r, c), index(r, c + 1))?;
+            }
+            if r + 1 < rows {
+                b.add_edge(index(r, c), index(r + 1, c))?;
+            }
+        }
+    }
+    Ok(b.build())
+}
+
+/// A `rows × cols` torus (grid with wrap-around edges); every vertex has degree 4 when both
+/// dimensions are at least 3.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] if either dimension is < 3.
+pub fn torus(rows: usize, cols: usize) -> Result<Graph, GraphError> {
+    if rows < 3 || cols < 3 {
+        return Err(GraphError::InvalidParameter {
+            reason: format!("torus dimensions must be >= 3, got {rows}x{cols}"),
+        });
+    }
+    let index = |r: usize, c: usize| r * cols + c;
+    let mut b = GraphBuilder::new(rows * cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            b.add_edge(index(r, c), index(r, (c + 1) % cols))?;
+            b.add_edge(index(r, c), index((r + 1) % rows, c))?;
+        }
+    }
+    Ok(b.build())
+}
+
+/// The `d`-dimensional hypercube on `2^d` vertices.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] if `d > 20` (guarding against absurd sizes).
+pub fn hypercube(d: u32) -> Result<Graph, GraphError> {
+    if d > 20 {
+        return Err(GraphError::InvalidParameter {
+            reason: format!("hypercube dimension {d} too large"),
+        });
+    }
+    let n = 1usize << d;
+    let mut b = GraphBuilder::new(n);
+    for v in 0..n {
+        for bit in 0..d {
+            let u = v ^ (1usize << bit);
+            if v < u {
+                b.add_edge(v, u)?;
+            }
+        }
+    }
+    Ok(b.build())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::properties;
+
+    #[test]
+    fn path_and_cycle_shapes() {
+        let p = path(6).unwrap();
+        assert_eq!(p.m(), 5);
+        assert!(properties::is_forest(&p));
+        let c = cycle(6).unwrap();
+        assert_eq!(c.m(), 6);
+        assert!(!properties::is_forest(&c));
+        assert!(cycle(2).is_err());
+        assert_eq!(path(0).unwrap().n(), 0);
+    }
+
+    #[test]
+    fn star_is_a_tree_with_high_degree_hub() {
+        let s = star(10).unwrap();
+        assert_eq!(s.max_degree(), 9);
+        assert!(properties::is_forest(&s));
+        assert!(star(0).is_err());
+    }
+
+    #[test]
+    fn complete_graphs() {
+        let k5 = complete(5).unwrap();
+        assert_eq!(k5.m(), 10);
+        assert_eq!(k5.max_degree(), 4);
+        let kb = complete_bipartite(3, 4).unwrap();
+        assert_eq!(kb.m(), 12);
+        assert!(properties::bipartition(&kb).is_some());
+    }
+
+    #[test]
+    fn grid_and_torus_degrees() {
+        let g = grid(3, 4).unwrap();
+        assert_eq!(g.n(), 12);
+        assert_eq!(g.max_degree(), 4);
+        assert_eq!(g.m(), 3 * 3 + 2 * 4);
+        assert!(grid(0, 4).is_err());
+
+        let t = torus(4, 5).unwrap();
+        assert_eq!(t.n(), 20);
+        for v in t.vertices() {
+            assert_eq!(t.degree(v), 4);
+        }
+        assert!(torus(2, 5).is_err());
+    }
+
+    #[test]
+    fn hypercube_degrees_equal_dimension() {
+        let h = hypercube(4).unwrap();
+        assert_eq!(h.n(), 16);
+        for v in h.vertices() {
+            assert_eq!(h.degree(v), 4);
+        }
+        assert!(hypercube(25).is_err());
+    }
+}

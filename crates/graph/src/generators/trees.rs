@@ -1,0 +1,273 @@
+//! Trees, forests and bounded-arboricity unions of forests.
+//!
+//! `union_of_random_forests(n, k, seed)` is the main workload family for the paper's
+//! experiments: its arboricity is at most `k` by construction (the edge set is covered by `k`
+//! forests), and the construction certificate is returned implicitly (each forest is a random
+//! attachment tree over a random vertex permutation).
+//!
+//! `star_forest_union` and `hub_and_spokes` produce the Corollary 4.7 regime: arboricity `≤ k`
+//! but maximum degree close to `n`, i.e. `a ≪ Δ`.
+
+use crate::error::GraphError;
+use crate::graph::{Graph, GraphBuilder, Vertex};
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+fn rng(seed: u64) -> ChaCha8Rng {
+    ChaCha8Rng::seed_from_u64(seed)
+}
+
+/// A uniformly random recursive tree: vertex `i` attaches to a uniformly random earlier vertex.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] if `n == 0`.
+pub fn random_tree(n: usize, seed: u64) -> Result<Graph, GraphError> {
+    if n == 0 {
+        return Err(GraphError::InvalidParameter { reason: "tree needs n >= 1".to_string() });
+    }
+    let mut rng = rng(seed);
+    let mut b = GraphBuilder::new(n);
+    for v in 1..n {
+        let parent = rng.gen_range(0..v);
+        b.add_edge(parent, v)?;
+    }
+    Ok(b.build())
+}
+
+/// A random forest: a random recursive tree in which each non-root vertex is attached with
+/// probability `attach_probability` (so roughly `(1 − attach_probability) · n` components).
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] if `n == 0` or the probability is outside `[0, 1]`.
+pub fn random_forest(n: usize, attach_probability: f64, seed: u64) -> Result<Graph, GraphError> {
+    if n == 0 {
+        return Err(GraphError::InvalidParameter { reason: "forest needs n >= 1".to_string() });
+    }
+    if !(0.0..=1.0).contains(&attach_probability) || attach_probability.is_nan() {
+        return Err(GraphError::InvalidParameter {
+            reason: format!("attach probability {attach_probability} must be in [0, 1]"),
+        });
+    }
+    let mut rng = rng(seed);
+    let mut b = GraphBuilder::new(n);
+    for v in 1..n {
+        if rng.gen::<f64>() < attach_probability {
+            let parent = rng.gen_range(0..v);
+            b.add_edge(parent, v)?;
+        }
+    }
+    Ok(b.build())
+}
+
+/// The union of `k` independent random recursive trees over random vertex permutations.
+///
+/// Because the edge set is covered by `k` forests, the arboricity is at most `k` (it is
+/// usually exactly `k` for moderate `n`).  This is the canonical bounded-arboricity workload
+/// of the experiments.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] if `n == 0` or `k == 0`.
+pub fn union_of_random_forests(n: usize, k: usize, seed: u64) -> Result<Graph, GraphError> {
+    if n == 0 || k == 0 {
+        return Err(GraphError::InvalidParameter {
+            reason: format!("union of forests needs n >= 1 and k >= 1, got n = {n}, k = {k}"),
+        });
+    }
+    let mut rng = rng(seed);
+    let mut b = GraphBuilder::new(n);
+    for _ in 0..k {
+        let mut perm: Vec<Vertex> = (0..n).collect();
+        perm.shuffle(&mut rng);
+        for i in 1..n {
+            let parent = perm[rng.gen_range(0..i)];
+            // Parallel edges across forests are merged by the builder, which can only lower
+            // the arboricity further.
+            b.add_edge(parent, perm[i])?;
+        }
+    }
+    Ok(b.build())
+}
+
+/// A balanced `arity`-ary tree with `n` vertices (vertex `v`'s parent is `(v − 1) / arity`).
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] if `n == 0` or `arity == 0`.
+pub fn balanced_tree(n: usize, arity: usize) -> Result<Graph, GraphError> {
+    if n == 0 || arity == 0 {
+        return Err(GraphError::InvalidParameter {
+            reason: format!("balanced tree needs n >= 1 and arity >= 1, got n = {n}, arity = {arity}"),
+        });
+    }
+    let mut b = GraphBuilder::new(n);
+    for v in 1..n {
+        b.add_edge((v - 1) / arity, v)?;
+    }
+    Ok(b.build())
+}
+
+/// A caterpillar: a spine path of `spine` vertices, each with `legs` pendant leaves.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] if `spine == 0`.
+pub fn caterpillar(spine: usize, legs: usize) -> Result<Graph, GraphError> {
+    if spine == 0 {
+        return Err(GraphError::InvalidParameter { reason: "caterpillar needs spine >= 1".to_string() });
+    }
+    let n = spine + spine * legs;
+    let mut b = GraphBuilder::new(n);
+    for s in 1..spine {
+        b.add_edge(s - 1, s)?;
+    }
+    for s in 0..spine {
+        for l in 0..legs {
+            b.add_edge(s, spine + s * legs + l)?;
+        }
+    }
+    Ok(b.build())
+}
+
+/// The union of `k` star forests, each with `hubs` hubs chosen at random and every other
+/// vertex attached to a random hub.  Arboricity ≤ `k`, maximum degree ≈ `k · n / hubs`.
+///
+/// This is the Corollary 4.7 regime: `a ≤ Δ^{1−ν}` for suitable parameters, where the paper's
+/// algorithm produces an `o(Δ)`-coloring (in fact `O(a^{1+η})` colors) in `O(log a · log n)`
+/// time while degree-based algorithms pay in `Δ`.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] if `n`, `k` or `hubs` is 0, or `hubs >= n`.
+pub fn star_forest_union(n: usize, k: usize, hubs: usize, seed: u64) -> Result<Graph, GraphError> {
+    if n == 0 || k == 0 || hubs == 0 {
+        return Err(GraphError::InvalidParameter {
+            reason: format!("star forest union needs positive parameters, got n = {n}, k = {k}, hubs = {hubs}"),
+        });
+    }
+    if hubs >= n {
+        return Err(GraphError::InvalidParameter {
+            reason: format!("hubs = {hubs} must be smaller than n = {n}"),
+        });
+    }
+    let mut rng = rng(seed);
+    let mut b = GraphBuilder::new(n);
+    for _ in 0..k {
+        let mut perm: Vec<Vertex> = (0..n).collect();
+        perm.shuffle(&mut rng);
+        let (hub_vertices, rest) = perm.split_at(hubs);
+        for &v in rest {
+            let hub = hub_vertices[rng.gen_range(0..hubs)];
+            b.add_edge(hub, v)?;
+        }
+    }
+    Ok(b.build())
+}
+
+/// A single "hub-and-spokes" graph: `hubs` hub vertices forming a clique, every other vertex
+/// connected to `spokes_per_vertex` distinct hubs.  Arboricity is `O(hubs)`, maximum degree is
+/// `Θ(n / 1)` at the hubs.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] if parameters are degenerate
+/// (`hubs == 0`, `hubs >= n`, or `spokes_per_vertex > hubs`).
+pub fn hub_and_spokes(
+    n: usize,
+    hubs: usize,
+    spokes_per_vertex: usize,
+    seed: u64,
+) -> Result<Graph, GraphError> {
+    if hubs == 0 || hubs >= n {
+        return Err(GraphError::InvalidParameter {
+            reason: format!("need 0 < hubs < n, got hubs = {hubs}, n = {n}"),
+        });
+    }
+    if spokes_per_vertex > hubs {
+        return Err(GraphError::InvalidParameter {
+            reason: format!("spokes_per_vertex = {spokes_per_vertex} exceeds hubs = {hubs}"),
+        });
+    }
+    let mut rng = rng(seed);
+    let mut b = GraphBuilder::new(n);
+    for u in 0..hubs {
+        for v in (u + 1)..hubs {
+            b.add_edge(u, v)?;
+        }
+    }
+    let mut hub_ids: Vec<Vertex> = (0..hubs).collect();
+    for v in hubs..n {
+        hub_ids.shuffle(&mut rng);
+        for &h in hub_ids.iter().take(spokes_per_vertex) {
+            b.add_edge(h, v)?;
+        }
+    }
+    Ok(b.build())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::degeneracy;
+    use crate::properties;
+
+    #[test]
+    fn random_tree_is_a_tree() {
+        let g = random_tree(80, 4).unwrap();
+        assert_eq!(g.m(), 79);
+        assert!(properties::is_forest(&g));
+        assert!(properties::is_connected(&g));
+        assert!(random_tree(0, 1).is_err());
+    }
+
+    #[test]
+    fn random_forest_is_a_forest() {
+        let g = random_forest(100, 0.7, 5).unwrap();
+        assert!(properties::is_forest(&g));
+        assert!(random_forest(10, 2.0, 5).is_err());
+    }
+
+    #[test]
+    fn union_of_forests_has_bounded_degeneracy() {
+        for k in [1usize, 2, 4, 6] {
+            let g = union_of_random_forests(200, k, 13).unwrap();
+            assert!(g.m() <= k * 199);
+            assert!(degeneracy::degeneracy(&g) <= 2 * k);
+        }
+        assert!(union_of_random_forests(0, 2, 1).is_err());
+        assert!(union_of_random_forests(10, 0, 1).is_err());
+    }
+
+    #[test]
+    fn balanced_tree_and_caterpillar_are_forests() {
+        let t = balanced_tree(40, 3).unwrap();
+        assert!(properties::is_forest(&t));
+        assert!(properties::is_connected(&t));
+        let c = caterpillar(5, 4).unwrap();
+        assert_eq!(c.n(), 25);
+        assert!(properties::is_forest(&c));
+        assert!(balanced_tree(0, 2).is_err());
+        assert!(caterpillar(0, 2).is_err());
+    }
+
+    #[test]
+    fn star_forest_union_has_low_arboricity_and_high_degree() {
+        let g = star_forest_union(500, 2, 4, 21).unwrap();
+        let d = degeneracy::degeneracy(&g);
+        assert!(d <= 4, "degeneracy {d} should stay near the number of star forests");
+        assert!(g.max_degree() >= 50, "hubs should have large degree, got {}", g.max_degree());
+        assert!(star_forest_union(10, 1, 10, 0).is_err());
+    }
+
+    #[test]
+    fn hub_and_spokes_shape() {
+        let g = hub_and_spokes(200, 5, 3, 8).unwrap();
+        assert!(g.max_degree() >= 100);
+        assert!(degeneracy::degeneracy(&g) <= 5 + 3);
+        assert!(hub_and_spokes(10, 0, 1, 0).is_err());
+        assert!(hub_and_spokes(10, 4, 6, 0).is_err());
+    }
+}

@@ -1,0 +1,444 @@
+//! Complete and partial edge orientations.
+//!
+//! Orientations are the central combinatorial objects of Section 3 of the paper.  For an
+//! orientation `σ` of (a subset of) the edges of a graph:
+//!
+//! * the **out-degree** of a vertex is the number of incident edges oriented away from it
+//!   (its *parents* in the paper's terminology are the heads of those edges);
+//! * the **deficit** of a vertex is the number of incident edges left unoriented by `σ`;
+//! * the **length** `len(σ)` is the number of edges on the longest path all of whose edges are
+//!   oriented consistently.
+//!
+//! Lemma 2.5 of the paper: if a graph admits an acyclic complete orientation with out-degree
+//! `k` then its arboricity is at most `k`.  [`Orientation::complete_acyclically`] implements
+//! Lemma 3.1 (any acyclic partial orientation extends to an acyclic complete one).
+
+use crate::error::GraphError;
+use crate::graph::{EdgeIdx, Graph, Vertex};
+use serde::{Deserialize, Serialize};
+
+/// Direction of a single edge under an orientation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EdgeDirection {
+    /// The edge is not oriented (contributes to the deficit of both endpoints).
+    Unoriented,
+    /// Oriented from the smaller endpoint towards the larger endpoint of the canonical pair.
+    TowardSecond,
+    /// Oriented from the larger endpoint towards the smaller endpoint of the canonical pair.
+    TowardFirst,
+}
+
+/// A (partial) orientation of the edges of a specific [`Graph`].
+///
+/// The orientation stores one [`EdgeDirection`] per canonical edge index of the graph it was
+/// created for; it does not hold a reference to the graph, so the same graph value must be
+/// passed to the query methods.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Orientation {
+    directions: Vec<EdgeDirection>,
+}
+
+impl Orientation {
+    /// An orientation of `graph` with every edge unoriented.
+    pub fn unoriented(graph: &Graph) -> Self {
+        Orientation { directions: vec![EdgeDirection::Unoriented; graph.m()] }
+    }
+
+    /// Number of edges covered by this orientation (equals `graph.m()`).
+    pub fn len_edges(&self) -> usize {
+        self.directions.len()
+    }
+
+    /// Orients the edge `{u, v}` of `graph` towards `v` (so `v` becomes a *parent* of `u`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::MissingEdge`] if `{u, v}` is not an edge of `graph`.
+    pub fn orient_towards(&mut self, graph: &Graph, u: Vertex, v: Vertex) -> Result<(), GraphError> {
+        let e = graph.edge_between(u, v).ok_or(GraphError::MissingEdge { u, v })?;
+        let (a, _b) = graph.endpoints(e);
+        self.directions[e] =
+            if v == a { EdgeDirection::TowardFirst } else { EdgeDirection::TowardSecond };
+        Ok(())
+    }
+
+    /// Removes the orientation of the edge `{u, v}`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::MissingEdge`] if `{u, v}` is not an edge of `graph`.
+    pub fn unorient(&mut self, graph: &Graph, u: Vertex, v: Vertex) -> Result<(), GraphError> {
+        let e = graph.edge_between(u, v).ok_or(GraphError::MissingEdge { u, v })?;
+        self.directions[e] = EdgeDirection::Unoriented;
+        Ok(())
+    }
+
+    /// The direction stored for canonical edge `e`.
+    pub fn direction(&self, e: EdgeIdx) -> EdgeDirection {
+        self.directions[e]
+    }
+
+    /// Whether edge `e` is oriented.
+    pub fn is_oriented(&self, e: EdgeIdx) -> bool {
+        self.directions[e] != EdgeDirection::Unoriented
+    }
+
+    /// The head of edge `e` (the endpoint the edge points to), if oriented.
+    pub fn head(&self, graph: &Graph, e: EdgeIdx) -> Option<Vertex> {
+        let (a, b) = graph.endpoints(e);
+        match self.directions[e] {
+            EdgeDirection::Unoriented => None,
+            EdgeDirection::TowardFirst => Some(a),
+            EdgeDirection::TowardSecond => Some(b),
+        }
+    }
+
+    /// The tail of edge `e` (the endpoint the edge points away from), if oriented.
+    pub fn tail(&self, graph: &Graph, e: EdgeIdx) -> Option<Vertex> {
+        let (a, b) = graph.endpoints(e);
+        match self.directions[e] {
+            EdgeDirection::Unoriented => None,
+            EdgeDirection::TowardFirst => Some(b),
+            EdgeDirection::TowardSecond => Some(a),
+        }
+    }
+
+    /// The *parents* of `v`: neighbors reached by edges oriented away from `v`.
+    pub fn parents(&self, graph: &Graph, v: Vertex) -> Vec<Vertex> {
+        graph
+            .neighbors(v)
+            .iter()
+            .zip(graph.incident_edges(v))
+            .filter_map(|(&u, &e)| (self.head(graph, e) == Some(u)).then_some(u))
+            .collect()
+    }
+
+    /// The *children* of `v`: neighbors whose edges are oriented towards `v`.
+    pub fn children(&self, graph: &Graph, v: Vertex) -> Vec<Vertex> {
+        graph
+            .neighbors(v)
+            .iter()
+            .zip(graph.incident_edges(v))
+            .filter_map(|(&u, &e)| (self.head(graph, e) == Some(v)).then_some(u))
+            .collect()
+    }
+
+    /// Out-degree of vertex `v` (number of parents).
+    pub fn out_degree(&self, graph: &Graph, v: Vertex) -> usize {
+        graph
+            .neighbors(v)
+            .iter()
+            .zip(graph.incident_edges(v))
+            .filter(|&(&u, &e)| self.head(graph, e) == Some(u))
+            .count()
+    }
+
+    /// Maximum out-degree over all vertices.
+    pub fn max_out_degree(&self, graph: &Graph) -> usize {
+        graph.vertices().map(|v| self.out_degree(graph, v)).max().unwrap_or(0)
+    }
+
+    /// Deficit of vertex `v`: the number of unoriented edges incident to `v`.
+    pub fn deficit(&self, graph: &Graph, v: Vertex) -> usize {
+        graph.incident_edges(v).iter().filter(|&&e| !self.is_oriented(e)).count()
+    }
+
+    /// Maximum deficit over all vertices.
+    pub fn max_deficit(&self, graph: &Graph) -> usize {
+        graph.vertices().map(|v| self.deficit(graph, v)).max().unwrap_or(0)
+    }
+
+    /// Number of unoriented edges.
+    pub fn unoriented_count(&self) -> usize {
+        self.directions.iter().filter(|&&d| d == EdgeDirection::Unoriented).count()
+    }
+
+    /// Whether the oriented part of the orientation is acyclic.
+    pub fn is_acyclic(&self, graph: &Graph) -> bool {
+        self.topological_order(graph).is_some()
+    }
+
+    /// A topological order of the vertices with respect to the oriented edges, if the oriented
+    /// part is acyclic.  Edges point from earlier to later vertices in the returned order
+    /// (i.e., parents appear *after* their children... more precisely, every oriented edge
+    /// `u → v` has `u` before `v`).
+    pub fn topological_order(&self, graph: &Graph) -> Option<Vec<Vertex>> {
+        let n = graph.n();
+        // in_count[v] = number of oriented edges pointing *to* v.
+        let mut in_count = vec![0usize; n];
+        for e in 0..graph.m() {
+            if let Some(h) = self.head(graph, e) {
+                in_count[h] += 1;
+            }
+        }
+        let mut queue: Vec<Vertex> = (0..n).filter(|&v| in_count[v] == 0).collect();
+        let mut order = Vec::with_capacity(n);
+        let mut qi = 0;
+        while qi < queue.len() {
+            let v = queue[qi];
+            qi += 1;
+            order.push(v);
+            for (&u, &e) in graph.neighbors(v).iter().zip(graph.incident_edges(v)) {
+                // Edge v -> u (u is a parent of v): consuming v lowers u's in-count? No:
+                // we must follow edges *out of* v, i.e. edges whose tail is v and head is u.
+                if self.tail(graph, e) == Some(v) && self.head(graph, e) == Some(u) {
+                    in_count[u] -= 1;
+                    if in_count[u] == 0 {
+                        queue.push(u);
+                    }
+                }
+            }
+        }
+        (order.len() == n).then_some(order)
+    }
+
+    /// The *length* of each vertex: `len(v)` is the number of edges on the longest directed
+    /// path starting at `v` and following oriented edges.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::NotAcyclic`] if the oriented part contains a directed cycle.
+    pub fn vertex_lengths(&self, graph: &Graph) -> Result<Vec<usize>, GraphError> {
+        let order = self.topological_order(graph).ok_or(GraphError::NotAcyclic)?;
+        let mut len = vec![0usize; graph.n()];
+        // Process vertices in reverse topological order so all out-neighbors are finalized.
+        for &v in order.iter().rev() {
+            let mut best = 0usize;
+            for (&u, &e) in graph.neighbors(v).iter().zip(graph.incident_edges(v)) {
+                if self.tail(graph, e) == Some(v) {
+                    best = best.max(len[u] + 1);
+                }
+            }
+            len[v] = best;
+        }
+        Ok(len)
+    }
+
+    /// The length `len(σ)` of the orientation: the maximum vertex length.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::NotAcyclic`] if the oriented part contains a directed cycle.
+    pub fn length(&self, graph: &Graph) -> Result<usize, GraphError> {
+        Ok(self.vertex_lengths(graph)?.into_iter().max().unwrap_or(0))
+    }
+
+    /// One longest directed path (as a vertex sequence), useful for the Figure 1 experiment.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::NotAcyclic`] if the oriented part contains a directed cycle.
+    pub fn longest_path(&self, graph: &Graph) -> Result<Vec<Vertex>, GraphError> {
+        let len = self.vertex_lengths(graph)?;
+        let Some(start) = graph.vertices().max_by_key(|&v| len[v]) else {
+            return Ok(Vec::new());
+        };
+        let mut path = vec![start];
+        let mut current = start;
+        while len[current] > 0 {
+            let next = graph
+                .neighbors(current)
+                .iter()
+                .zip(graph.incident_edges(current))
+                .filter(|&(_, &e)| self.tail(graph, e) == Some(current))
+                .map(|(&u, _)| u)
+                .max_by_key(|&u| len[u] + 1)
+                .expect("len > 0 implies an outgoing edge");
+            path.push(next);
+            current = next;
+        }
+        Ok(path)
+    }
+
+    /// Implements Lemma 3.1: extends an acyclic partial orientation to a complete acyclic
+    /// orientation by orienting every unoriented edge towards the endpoint that appears later
+    /// in a topological sort of the oriented part.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::NotAcyclic`] if the oriented part already contains a cycle.
+    pub fn complete_acyclically(&self, graph: &Graph) -> Result<Orientation, GraphError> {
+        let order = self.topological_order(graph).ok_or(GraphError::NotAcyclic)?;
+        let mut position = vec![0usize; graph.n()];
+        for (i, &v) in order.iter().enumerate() {
+            position[v] = i;
+        }
+        let mut completed = self.clone();
+        for e in 0..graph.m() {
+            if !completed.is_oriented(e) {
+                let (a, b) = graph.endpoints(e);
+                completed.directions[e] = if position[a] < position[b] {
+                    EdgeDirection::TowardSecond
+                } else {
+                    EdgeDirection::TowardFirst
+                };
+            }
+        }
+        debug_assert!(completed.is_acyclic(graph));
+        Ok(completed)
+    }
+
+    /// Builds a complete acyclic orientation from a total order of the vertices: every edge is
+    /// oriented from the earlier vertex towards the later vertex of `rank`.
+    ///
+    /// `rank[v]` must be distinct per vertex for the result to be acyclic.
+    pub fn from_ranking(graph: &Graph, rank: &[usize]) -> Orientation {
+        assert_eq!(rank.len(), graph.n(), "one rank per vertex");
+        let mut o = Orientation::unoriented(graph);
+        for e in 0..graph.m() {
+            let (a, b) = graph.endpoints(e);
+            o.directions[e] =
+                if rank[a] < rank[b] { EdgeDirection::TowardSecond } else { EdgeDirection::TowardFirst };
+        }
+        o
+    }
+
+    /// Restricts this orientation to an induced subgraph: edge directions are copied for every
+    /// edge whose endpoints are both in the subgraph.
+    ///
+    /// `map_to_parent[child_v]` gives the parent vertex of child vertex `child_v`.
+    pub fn restrict_to(
+        &self,
+        parent: &Graph,
+        child: &Graph,
+        map_to_parent: &[Vertex],
+    ) -> Orientation {
+        let mut o = Orientation::unoriented(child);
+        for e in 0..child.m() {
+            let (ca, cb) = child.endpoints(e);
+            let (pa, pb) = (map_to_parent[ca], map_to_parent[cb]);
+            if let Some(pe) = parent.edge_between(pa, pb) {
+                if let Some(head) = self.head(parent, pe) {
+                    let child_head = if head == pa { ca } else { cb };
+                    let (first, _second) = child.endpoints(e);
+                    o.directions[e] = if child_head == first {
+                        EdgeDirection::TowardFirst
+                    } else {
+                        EdgeDirection::TowardSecond
+                    };
+                }
+            }
+        }
+        o
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Graph;
+
+    fn path4() -> Graph {
+        Graph::from_edges(4, [(0, 1), (1, 2), (2, 3)]).unwrap()
+    }
+
+    #[test]
+    fn orient_and_query() {
+        let g = path4();
+        let mut o = Orientation::unoriented(&g);
+        o.orient_towards(&g, 0, 1).unwrap();
+        o.orient_towards(&g, 2, 1).unwrap();
+        assert_eq!(o.parents(&g, 0), vec![1]);
+        assert_eq!(o.parents(&g, 2), vec![1]);
+        assert_eq!(o.children(&g, 1).len(), 2);
+        assert_eq!(o.out_degree(&g, 1), 0);
+        assert_eq!(o.max_out_degree(&g), 1);
+        assert_eq!(o.deficit(&g, 2), 1); // edge (2,3) unoriented
+        assert_eq!(o.max_deficit(&g), 1);
+        assert_eq!(o.unoriented_count(), 1);
+    }
+
+    #[test]
+    fn missing_edge_is_an_error() {
+        let g = path4();
+        let mut o = Orientation::unoriented(&g);
+        assert_eq!(
+            o.orient_towards(&g, 0, 3).unwrap_err(),
+            GraphError::MissingEdge { u: 0, v: 3 }
+        );
+    }
+
+    #[test]
+    fn length_of_directed_path() {
+        let g = path4();
+        let mut o = Orientation::unoriented(&g);
+        // 0 -> 1 -> 2 -> 3
+        o.orient_towards(&g, 0, 1).unwrap();
+        o.orient_towards(&g, 1, 2).unwrap();
+        o.orient_towards(&g, 2, 3).unwrap();
+        assert!(o.is_acyclic(&g));
+        assert_eq!(o.length(&g).unwrap(), 3);
+        let lens = o.vertex_lengths(&g).unwrap();
+        assert_eq!(lens, vec![3, 2, 1, 0]);
+        assert_eq!(o.longest_path(&g).unwrap(), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn cycle_is_detected() {
+        let g = Graph::from_edges(3, [(0, 1), (1, 2), (0, 2)]).unwrap();
+        let mut o = Orientation::unoriented(&g);
+        o.orient_towards(&g, 0, 1).unwrap();
+        o.orient_towards(&g, 1, 2).unwrap();
+        o.orient_towards(&g, 2, 0).unwrap();
+        assert!(!o.is_acyclic(&g));
+        assert_eq!(o.length(&g).unwrap_err(), GraphError::NotAcyclic);
+        assert_eq!(o.complete_acyclically(&g).unwrap_err(), GraphError::NotAcyclic);
+    }
+
+    #[test]
+    fn completion_preserves_existing_directions_and_is_acyclic() {
+        let g = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3), (0, 3), (1, 3)]).unwrap();
+        let mut o = Orientation::unoriented(&g);
+        o.orient_towards(&g, 0, 1).unwrap();
+        o.orient_towards(&g, 3, 1).unwrap();
+        let complete = o.complete_acyclically(&g).unwrap();
+        assert_eq!(complete.unoriented_count(), 0);
+        assert!(complete.is_acyclic(&g));
+        // Pre-existing directions are untouched.
+        let e01 = g.edge_between(0, 1).unwrap();
+        assert_eq!(complete.head(&g, e01), Some(1));
+        let e13 = g.edge_between(1, 3).unwrap();
+        assert_eq!(complete.head(&g, e13), Some(1));
+    }
+
+    #[test]
+    fn from_ranking_orients_every_edge_acyclically() {
+        let g = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3), (0, 3)]).unwrap();
+        let o = Orientation::from_ranking(&g, &[3, 2, 1, 0]);
+        assert_eq!(o.unoriented_count(), 0);
+        assert!(o.is_acyclic(&g));
+        // Vertex 3 has the smallest rank, so every incident edge points away from... towards
+        // higher rank means towards 0-side; check out-degree of vertex 3 is 0 or 2 consistent:
+        // rank[3]=0 < others, so edges orient from 3 towards the other endpoint? No: edges go
+        // from earlier (smaller rank) towards later (larger rank); 3 has rank 0 so its edges
+        // leave 3.
+        assert_eq!(o.out_degree(&g, 3), 2);
+    }
+
+    #[test]
+    fn unorient_restores_deficit() {
+        let g = path4();
+        let mut o = Orientation::unoriented(&g);
+        o.orient_towards(&g, 0, 1).unwrap();
+        assert_eq!(o.deficit(&g, 0), 0);
+        o.unorient(&g, 0, 1).unwrap();
+        assert_eq!(o.deficit(&g, 0), 1);
+    }
+
+    #[test]
+    fn restrict_to_subgraph_copies_directions() {
+        use crate::subgraph::InducedSubgraph;
+        let g = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3), (0, 3)]).unwrap();
+        let o = Orientation::from_ranking(&g, &[0, 1, 2, 3]);
+        let sub = InducedSubgraph::new(&g, &[1, 2, 3]);
+        let restricted = o.restrict_to(&g, &sub.graph, sub.map.parent_vertices());
+        assert!(restricted.is_acyclic(&sub.graph));
+        // Parent edges (1,2) and (2,3) survive; both oriented towards the later vertex.
+        assert_eq!(restricted.unoriented_count(), 0);
+        assert_eq!(sub.graph.m(), 2);
+        let c1 = sub.map.to_child(1).unwrap();
+        let c2 = sub.map.to_child(2).unwrap();
+        let e = sub.graph.edge_between(c1, c2).unwrap();
+        assert_eq!(restricted.head(&sub.graph, e), Some(c2));
+    }
+}

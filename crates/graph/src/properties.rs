@@ -1,0 +1,192 @@
+//! Structural graph properties used by tests and the experiment harness.
+
+use crate::graph::{Graph, Vertex};
+use std::collections::VecDeque;
+
+/// Labels each vertex with the index of its connected component and returns the labels together
+/// with the number of components.
+pub fn connected_components(graph: &Graph) -> (Vec<usize>, usize) {
+    let n = graph.n();
+    let mut label = vec![usize::MAX; n];
+    let mut components = 0usize;
+    for start in 0..n {
+        if label[start] != usize::MAX {
+            continue;
+        }
+        let mut queue = VecDeque::from([start]);
+        label[start] = components;
+        while let Some(v) = queue.pop_front() {
+            for &u in graph.neighbors(v) {
+                if label[u] == usize::MAX {
+                    label[u] = components;
+                    queue.push_back(u);
+                }
+            }
+        }
+        components += 1;
+    }
+    (label, components)
+}
+
+/// Whether the graph is connected (the empty graph is considered connected).
+pub fn is_connected(graph: &Graph) -> bool {
+    if graph.n() == 0 {
+        return true;
+    }
+    connected_components(graph).1 == 1
+}
+
+/// Whether the graph is a forest (acyclic).
+pub fn is_forest(graph: &Graph) -> bool {
+    let (_, components) = connected_components(graph);
+    // A graph is a forest iff m = n - (number of components).
+    graph.m() == graph.n() - components
+}
+
+/// Whether the graph is bipartite, and if so one proper 2-coloring (side labels).
+pub fn bipartition(graph: &Graph) -> Option<Vec<u8>> {
+    let n = graph.n();
+    let mut side = vec![u8::MAX; n];
+    for start in 0..n {
+        if side[start] != u8::MAX {
+            continue;
+        }
+        side[start] = 0;
+        let mut queue = VecDeque::from([start]);
+        while let Some(v) = queue.pop_front() {
+            for &u in graph.neighbors(v) {
+                if side[u] == u8::MAX {
+                    side[u] = 1 - side[v];
+                    queue.push_back(u);
+                } else if side[u] == side[v] {
+                    return None;
+                }
+            }
+        }
+    }
+    Some(side)
+}
+
+/// Eccentricity of a vertex (length of the longest shortest path from it) within its component.
+pub fn eccentricity(graph: &Graph, v: Vertex) -> usize {
+    let mut dist = vec![usize::MAX; graph.n()];
+    dist[v] = 0;
+    let mut queue = VecDeque::from([v]);
+    let mut max_dist = 0;
+    while let Some(x) = queue.pop_front() {
+        for &u in graph.neighbors(x) {
+            if dist[u] == usize::MAX {
+                dist[u] = dist[x] + 1;
+                max_dist = max_dist.max(dist[u]);
+                queue.push_back(u);
+            }
+        }
+    }
+    max_dist
+}
+
+/// Diameter of the graph, computed exactly with one BFS per vertex.  Suitable only for the
+/// small graphs used in tests; returns 0 for the empty graph and ignores disconnections
+/// (it is the maximum eccentricity within components).
+pub fn diameter(graph: &Graph) -> usize {
+    graph.vertices().map(|v| eccentricity(graph, v)).max().unwrap_or(0)
+}
+
+/// Edge density `m / binom(n, 2)`; 0.0 for graphs with fewer than two vertices.
+pub fn density(graph: &Graph) -> f64 {
+    let n = graph.n();
+    if n < 2 {
+        return 0.0;
+    }
+    graph.m() as f64 / (n as f64 * (n as f64 - 1.0) / 2.0)
+}
+
+/// A summary of a graph's headline statistics, used by the experiment harness.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphSummary {
+    /// Number of vertices.
+    pub n: usize,
+    /// Number of edges.
+    pub m: usize,
+    /// Maximum degree.
+    pub max_degree: usize,
+    /// Average degree.
+    pub average_degree: f64,
+    /// Degeneracy (arboricity upper bound).
+    pub degeneracy: usize,
+    /// Nash-Williams density lower bound on arboricity.
+    pub arboricity_lower: usize,
+    /// Number of connected components.
+    pub components: usize,
+}
+
+/// Computes a [`GraphSummary`].
+pub fn summarize(graph: &Graph) -> GraphSummary {
+    let (_, components) = connected_components(graph);
+    GraphSummary {
+        n: graph.n(),
+        m: graph.m(),
+        max_degree: graph.max_degree(),
+        average_degree: graph.average_degree(),
+        degeneracy: crate::degeneracy::degeneracy(graph),
+        arboricity_lower: crate::degeneracy::arboricity_lower_bound(graph),
+        components,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use crate::graph::Graph;
+
+    #[test]
+    fn components_of_disjoint_paths() {
+        let g = Graph::from_edges(6, [(0, 1), (1, 2), (3, 4)]).unwrap();
+        let (labels, count) = connected_components(&g);
+        assert_eq!(count, 3);
+        assert_eq!(labels[0], labels[2]);
+        assert_ne!(labels[0], labels[3]);
+        assert!(!is_connected(&g));
+    }
+
+    #[test]
+    fn forest_detection() {
+        let tree = Graph::from_edges(4, [(0, 1), (1, 2), (1, 3)]).unwrap();
+        assert!(is_forest(&tree));
+        let cycle = generators::cycle(4).unwrap();
+        assert!(!is_forest(&cycle));
+        assert!(is_forest(&Graph::empty(3)));
+    }
+
+    #[test]
+    fn bipartiteness() {
+        let even_cycle = generators::cycle(6).unwrap();
+        let side = bipartition(&even_cycle).unwrap();
+        for &(u, v) in even_cycle.edges() {
+            assert_ne!(side[u], side[v]);
+        }
+        let odd_cycle = generators::cycle(5).unwrap();
+        assert!(bipartition(&odd_cycle).is_none());
+    }
+
+    #[test]
+    fn diameter_of_path() {
+        let g = generators::path(7).unwrap();
+        assert_eq!(diameter(&g), 6);
+        assert_eq!(eccentricity(&g, 3), 3);
+    }
+
+    #[test]
+    fn density_and_summary() {
+        let g = generators::complete(5).unwrap();
+        assert!((density(&g) - 1.0).abs() < 1e-12);
+        let s = summarize(&g);
+        assert_eq!(s.n, 5);
+        assert_eq!(s.m, 10);
+        assert_eq!(s.max_degree, 4);
+        assert_eq!(s.degeneracy, 4);
+        assert_eq!(s.components, 1);
+        assert_eq!(density(&Graph::empty(1)), 0.0);
+    }
+}

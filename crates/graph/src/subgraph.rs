@@ -1,0 +1,219 @@
+//! Induced subgraphs with mappings back to the parent graph.
+//!
+//! The recursive procedures of the paper (Procedure Legal-Coloring, Algorithm 2) repeatedly
+//! recurse on the subgraphs induced by color classes.  [`InducedSubgraph`] materializes such a
+//! subgraph as a standalone [`Graph`] (so all algorithms can run on it unchanged) together with
+//! a [`VertexMap`] translating between parent and child vertex indices.  Identifiers are
+//! inherited from the parent so the ID space stays `{1, …, n}` of the *original* graph, exactly
+//! as in the paper (recursion does not re-assign identifiers).
+
+use crate::graph::{Graph, GraphBuilder, Vertex};
+
+/// Bidirectional mapping between parent-graph vertices and subgraph vertices.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VertexMap {
+    /// `to_parent[child_vertex] = parent_vertex`.
+    to_parent: Vec<Vertex>,
+    /// `to_child[parent_vertex] = Some(child_vertex)` if the parent vertex is in the subgraph.
+    to_child: Vec<Option<Vertex>>,
+}
+
+impl VertexMap {
+    /// The parent vertex corresponding to subgraph vertex `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is not a vertex of the subgraph.
+    pub fn to_parent(&self, v: Vertex) -> Vertex {
+        self.to_parent[v]
+    }
+
+    /// The subgraph vertex corresponding to parent vertex `v`, if it is included.
+    pub fn to_child(&self, v: Vertex) -> Option<Vertex> {
+        self.to_child.get(v).copied().flatten()
+    }
+
+    /// Number of vertices in the subgraph.
+    pub fn len(&self) -> usize {
+        self.to_parent.len()
+    }
+
+    /// Whether the subgraph is empty.
+    pub fn is_empty(&self) -> bool {
+        self.to_parent.is_empty()
+    }
+
+    /// The parent vertices of the subgraph, in child-index order.
+    pub fn parent_vertices(&self) -> &[Vertex] {
+        &self.to_parent
+    }
+
+    /// Lifts a per-child-vertex vector into a per-parent-vertex assignment, writing
+    /// `target[parent_of(v)] = values[v]` for every subgraph vertex `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len()` differs from the subgraph size or `target.len()` from the
+    /// parent size implied by the map.
+    pub fn scatter<T: Clone>(&self, values: &[T], target: &mut [T]) {
+        assert_eq!(values.len(), self.to_parent.len(), "values must be per-child-vertex");
+        for (child, value) in values.iter().enumerate() {
+            target[self.to_parent[child]] = value.clone();
+        }
+    }
+}
+
+/// An induced subgraph: a standalone [`Graph`] plus the [`VertexMap`] back to its parent.
+#[derive(Debug, Clone)]
+pub struct InducedSubgraph {
+    /// The materialized subgraph.
+    pub graph: Graph,
+    /// Mapping between subgraph vertices and parent vertices.
+    pub map: VertexMap,
+}
+
+impl InducedSubgraph {
+    /// Builds the subgraph of `parent` induced by `vertices`.
+    ///
+    /// Duplicate vertices in the input are ignored; the child vertices are numbered in the
+    /// order of first appearance.  Identifiers are copied from the parent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any vertex is out of range for `parent`.
+    pub fn new(parent: &Graph, vertices: &[Vertex]) -> Self {
+        let mut to_child: Vec<Option<Vertex>> = vec![None; parent.n()];
+        let mut to_parent: Vec<Vertex> = Vec::with_capacity(vertices.len());
+        for &v in vertices {
+            assert!(v < parent.n(), "vertex {v} out of range for parent graph");
+            if to_child[v].is_none() {
+                to_child[v] = Some(to_parent.len());
+                to_parent.push(v);
+            }
+        }
+
+        let mut builder = GraphBuilder::new(to_parent.len());
+        for (child_u, &parent_u) in to_parent.iter().enumerate() {
+            for &parent_v in parent.neighbors(parent_u) {
+                if let Some(child_v) = to_child[parent_v] {
+                    if child_u < child_v {
+                        builder
+                            .add_edge(child_u, child_v)
+                            .expect("endpoints are valid by construction");
+                    }
+                }
+            }
+        }
+        let mut graph = builder.build();
+        // Inherit identifiers from the parent graph.
+        let ids: Vec<u64> = to_parent.iter().map(|&p| parent.id(p)).collect();
+        graph = graph_with_ids(graph, ids);
+
+        InducedSubgraph { graph, map: VertexMap { to_parent, to_child } }
+    }
+
+    /// Partitions `parent` into the subgraphs induced by each part of `partition`.
+    ///
+    /// `partition[v]` is the part index of parent vertex `v`; part indices must be `< parts`.
+    /// Returns one [`InducedSubgraph`] per part (possibly empty).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `partition.len() != parent.n()` or a part index is out of range.
+    pub fn partition(parent: &Graph, partition: &[usize], parts: usize) -> Vec<InducedSubgraph> {
+        assert_eq!(partition.len(), parent.n(), "partition must have one entry per vertex");
+        let mut groups: Vec<Vec<Vertex>> = vec![Vec::new(); parts];
+        for (v, &part) in partition.iter().enumerate() {
+            assert!(part < parts, "part index {part} out of range (parts = {parts})");
+            groups[part].push(v);
+        }
+        groups.iter().map(|group| InducedSubgraph::new(parent, group)).collect()
+    }
+}
+
+/// Replaces the identifiers of `graph` (used to inherit parent IDs).
+fn graph_with_ids(graph: Graph, ids: Vec<u64>) -> Graph {
+    // Serialize-free identifier override: rebuild through serde-compatible clone.
+    // `Graph` keeps its fields private, so we go through a small helper on the parent type.
+    graph.with_ids_internal(ids)
+}
+
+impl Graph {
+    /// Crate-internal helper replacing the identifier vector (used by induced subgraphs to
+    /// inherit parent identifiers).
+    pub(crate) fn with_ids_internal(mut self, ids: Vec<u64>) -> Graph {
+        assert_eq!(ids.len(), self.n(), "one identifier per vertex");
+        self.set_ids(ids);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path5() -> Graph {
+        Graph::from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4)]).unwrap()
+    }
+
+    #[test]
+    fn induced_subgraph_keeps_internal_edges_only() {
+        let g = path5();
+        let sub = InducedSubgraph::new(&g, &[0, 1, 3]);
+        assert_eq!(sub.graph.n(), 3);
+        // Only edge (0,1) survives; (1,2),(2,3),(3,4) all touch excluded vertices.
+        assert_eq!(sub.graph.m(), 1);
+        let u = sub.map.to_child(0).unwrap();
+        let v = sub.map.to_child(1).unwrap();
+        assert!(sub.graph.has_edge(u, v));
+        assert_eq!(sub.map.to_child(2), None);
+    }
+
+    #[test]
+    fn identifiers_are_inherited() {
+        let g = path5().with_shuffled_ids(3);
+        let sub = InducedSubgraph::new(&g, &[4, 2]);
+        assert_eq!(sub.graph.id(0), g.id(4));
+        assert_eq!(sub.graph.id(1), g.id(2));
+    }
+
+    #[test]
+    fn duplicates_are_ignored() {
+        let g = path5();
+        let sub = InducedSubgraph::new(&g, &[1, 1, 2, 2]);
+        assert_eq!(sub.graph.n(), 2);
+        assert_eq!(sub.graph.m(), 1);
+    }
+
+    #[test]
+    fn partition_covers_all_vertices() {
+        let g = path5();
+        let parts = InducedSubgraph::partition(&g, &[0, 1, 0, 1, 0], 2);
+        assert_eq!(parts.len(), 2);
+        assert_eq!(parts[0].graph.n(), 3);
+        assert_eq!(parts[1].graph.n(), 2);
+        let total_edges: usize = parts.iter().map(|p| p.graph.m()).sum();
+        // Path 0-1-2-3-4 split alternately has 0 internal edges in each part.
+        assert_eq!(total_edges, 0);
+    }
+
+    #[test]
+    fn scatter_round_trips() {
+        let g = path5();
+        let sub = InducedSubgraph::new(&g, &[3, 0]);
+        let values = vec![10u64, 20u64];
+        let mut target = vec![0u64; g.n()];
+        sub.map.scatter(&values, &mut target);
+        assert_eq!(target, vec![20, 0, 0, 10, 0]);
+    }
+
+    #[test]
+    fn vertex_map_accessors() {
+        let g = path5();
+        let sub = InducedSubgraph::new(&g, &[2, 4]);
+        assert_eq!(sub.map.len(), 2);
+        assert!(!sub.map.is_empty());
+        assert_eq!(sub.map.parent_vertices(), &[2, 4]);
+        assert_eq!(sub.map.to_parent(1), 4);
+    }
+}

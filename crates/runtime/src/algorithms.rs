@@ -1,0 +1,140 @@
+//! Tiny reference algorithms used by tests, documentation examples and the runtime's own
+//! test-suite.  They double as templates for how node programs are written.
+
+use crate::node::{Algorithm, Inbox, NodeCtx, NodeProgram, Outbox, Status};
+
+/// One-round algorithm: every vertex learns the maximum identifier in its closed neighborhood.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ProposeMaxId;
+
+/// Node program of [`ProposeMaxId`].
+#[derive(Debug, Clone)]
+pub struct ProposeMaxIdNode {
+    best: u64,
+}
+
+impl NodeProgram for ProposeMaxIdNode {
+    type Msg = u64;
+    type Output = u64;
+
+    fn init(&mut self, ctx: &NodeCtx, outbox: &mut Outbox<u64>) -> Status {
+        outbox.broadcast(ctx.id);
+        if ctx.degree == 0 {
+            Status::Halted
+        } else {
+            Status::Active
+        }
+    }
+
+    fn round(&mut self, _ctx: &NodeCtx, inbox: &Inbox<'_, u64>, _outbox: &mut Outbox<u64>) -> Status {
+        for (_, &id) in inbox.iter() {
+            self.best = self.best.max(id);
+        }
+        Status::Halted
+    }
+
+    fn output(&self, _ctx: &NodeCtx) -> u64 {
+        self.best
+    }
+}
+
+impl Algorithm for ProposeMaxId {
+    type Node = ProposeMaxIdNode;
+
+    fn node(&self, ctx: &NodeCtx) -> ProposeMaxIdNode {
+        ProposeMaxIdNode { best: ctx.id }
+    }
+
+    fn name(&self) -> &'static str {
+        "propose-max-id"
+    }
+}
+
+/// Floods the maximum identifier for a fixed number of rounds; after `rounds ≥ diameter`
+/// every vertex knows the global maximum.  Used to sanity-check multi-round execution and the
+/// round accounting of the executor.
+#[derive(Debug, Clone, Copy)]
+pub struct FloodMaxId {
+    /// How many rounds to flood for.
+    pub rounds: usize,
+}
+
+/// Node program of [`FloodMaxId`].
+#[derive(Debug, Clone)]
+pub struct FloodMaxIdNode {
+    best: u64,
+    remaining: usize,
+}
+
+impl NodeProgram for FloodMaxIdNode {
+    type Msg = u64;
+    type Output = u64;
+
+    fn init(&mut self, _ctx: &NodeCtx, outbox: &mut Outbox<u64>) -> Status {
+        if self.remaining == 0 {
+            return Status::Halted;
+        }
+        outbox.broadcast(self.best);
+        Status::Active
+    }
+
+    fn round(&mut self, _ctx: &NodeCtx, inbox: &Inbox<'_, u64>, outbox: &mut Outbox<u64>) -> Status {
+        for (_, &id) in inbox.iter() {
+            self.best = self.best.max(id);
+        }
+        self.remaining -= 1;
+        if self.remaining == 0 {
+            Status::Halted
+        } else {
+            outbox.broadcast(self.best);
+            Status::Active
+        }
+    }
+
+    fn output(&self, _ctx: &NodeCtx) -> u64 {
+        self.best
+    }
+}
+
+impl Algorithm for FloodMaxId {
+    type Node = FloodMaxIdNode;
+
+    fn node(&self, ctx: &NodeCtx) -> FloodMaxIdNode {
+        FloodMaxIdNode { best: ctx.id, remaining: self.rounds }
+    }
+
+    fn name(&self) -> &'static str {
+        "flood-max-id"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::Executor;
+    use arbcolor_graph::generators;
+
+    #[test]
+    fn flood_zero_rounds_is_free() {
+        let g = generators::cycle(6).unwrap();
+        let result = Executor::new(&g).run(&FloodMaxId { rounds: 0 }).unwrap();
+        assert_eq!(result.report.rounds, 0);
+        for v in g.vertices() {
+            assert_eq!(result.outputs[v], g.id(v));
+        }
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(ProposeMaxId.name(), "propose-max-id");
+        assert_eq!(FloodMaxId { rounds: 1 }.name(), "flood-max-id");
+    }
+
+    #[test]
+    fn flood_on_star_converges_in_two_rounds() {
+        let g = generators::star(9).unwrap().with_shuffled_ids(2);
+        let result = Executor::new(&g).run(&FloodMaxId { rounds: 2 }).unwrap();
+        let global_max = g.ids().iter().copied().max().unwrap();
+        assert!(result.outputs.iter().all(|&x| x == global_max));
+    }
+}

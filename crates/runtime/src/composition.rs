@@ -1,0 +1,103 @@
+//! Cost accounting for multi-phase and parallel algorithm compositions.
+//!
+//! The paper composes procedures in two ways:
+//!
+//! * **sequentially** — e.g. Procedure Arbdefective-Coloring first runs Procedure
+//!   Partial-Orientation and then Procedure Simple-Arbdefective; rounds add up;
+//! * **in parallel on disjoint subgraphs** — e.g. Procedure Legal-Coloring recurses on all the
+//!   subgraphs of the current decomposition *simultaneously*; the paper stresses that this
+//!   parallelism is the key to its running time.  Disjoint subgraphs do not exchange messages,
+//!   so the simulated round count of the combined phase is the *maximum* over the subgraphs.
+//!
+//! [`CostLedger`] records named phases with these two combinators and produces both the total
+//! [`RoundReport`] and a per-phase breakdown for the experiment harness.
+
+use crate::metrics::RoundReport;
+use serde::{Deserialize, Serialize};
+
+/// The cost of one named phase.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PhaseCost {
+    /// Phase name (e.g. `"h-partition"`, `"defective-coloring"`, `"dag-sweep"`).
+    pub name: String,
+    /// Cost of the phase.
+    pub report: RoundReport,
+}
+
+/// Accumulates phase costs of a multi-phase execution.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CostLedger {
+    phases: Vec<PhaseCost>,
+}
+
+impl CostLedger {
+    /// An empty ledger.
+    pub fn new() -> Self {
+        CostLedger::default()
+    }
+
+    /// Records a sequential phase.
+    pub fn push(&mut self, name: impl Into<String>, report: RoundReport) {
+        self.phases.push(PhaseCost { name: name.into(), report });
+    }
+
+    /// Records a phase that consisted of parallel executions on disjoint subgraphs: the phase
+    /// costs the maximum round count and the total message count of the branches.
+    pub fn push_parallel(&mut self, name: impl Into<String>, branches: &[RoundReport]) {
+        self.push(name, parallel_max(branches));
+    }
+
+    /// Merges another ledger's phases after this one (sequential composition).
+    pub fn extend(&mut self, other: &CostLedger) {
+        self.phases.extend(other.phases.iter().cloned());
+    }
+
+    /// The recorded phases in order.
+    pub fn phases(&self) -> &[PhaseCost] {
+        &self.phases
+    }
+
+    /// Total cost: phases compose sequentially.
+    pub fn total(&self) -> RoundReport {
+        self.phases.iter().fold(RoundReport::zero(), |acc, p| acc.then(p.report))
+    }
+}
+
+/// Combines the reports of executions that ran concurrently on disjoint subgraphs:
+/// rounds take the maximum, messages add.
+pub fn parallel_max(branches: &[RoundReport]) -> RoundReport {
+    branches.iter().fold(RoundReport::zero(), |acc, &r| acc.alongside(r))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ledger_totals_phases_sequentially() {
+        let mut ledger = CostLedger::new();
+        ledger.push("h-partition", RoundReport::new(10, 200));
+        ledger.push("sweep", RoundReport::new(4, 40));
+        assert_eq!(ledger.total(), RoundReport::new(14, 240));
+        assert_eq!(ledger.phases().len(), 2);
+        assert_eq!(ledger.phases()[0].name, "h-partition");
+    }
+
+    #[test]
+    fn parallel_branches_take_max_rounds() {
+        let branches =
+            [RoundReport::new(3, 30), RoundReport::new(7, 10), RoundReport::new(5, 5)];
+        assert_eq!(parallel_max(&branches), RoundReport::new(7, 45));
+        assert_eq!(parallel_max(&[]), RoundReport::zero());
+    }
+
+    #[test]
+    fn push_parallel_and_extend() {
+        let mut a = CostLedger::new();
+        a.push_parallel("recurse", &[RoundReport::new(2, 10), RoundReport::new(9, 1)]);
+        let mut b = CostLedger::new();
+        b.push("final", RoundReport::new(1, 2));
+        a.extend(&b);
+        assert_eq!(a.total(), RoundReport::new(10, 13));
+    }
+}

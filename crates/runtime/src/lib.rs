@@ -1,0 +1,51 @@
+//! A synchronous LOCAL-model simulator.
+//!
+//! The paper's cost model is the classical **LOCAL** model: every vertex of the input graph
+//! hosts a processor with a unique identifier; computation proceeds in synchronous rounds; in
+//! each round every vertex may send one message to each neighbor, receive the messages its
+//! neighbors sent in the same round, and perform arbitrary local computation.  The *running
+//! time* of an algorithm is the number of rounds.
+//!
+//! This crate provides:
+//!
+//! * [`NodeProgram`] / [`Algorithm`] — the interface a distributed algorithm implements.  A
+//!   node program only ever sees its own [`NodeCtx`] (identifier, degree, neighbor
+//!   identifiers, `n`) and the messages delivered to it, which keeps implementations honest
+//!   about locality.
+//! * [`Executor`] — runs an algorithm on a graph until every node halts, returning the
+//!   per-vertex outputs and a [`RoundReport`] with round and message counts.
+//! * [`composition`] — cost accounting for multi-phase algorithms (sequential phases add,
+//!   parallel executions on disjoint subgraphs take the maximum), mirroring how the paper
+//!   accounts for the recursion of Procedure Legal-Coloring, where disjoint subgraphs proceed
+//!   concurrently.
+//!
+//! # Example
+//!
+//! ```
+//! use arbcolor_graph::generators;
+//! use arbcolor_runtime::{Executor, algorithms::ProposeMaxId};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let g = generators::cycle(8)?;
+//! let result = Executor::new(&g).run(&ProposeMaxId)?;
+//! // After one round every vertex knows the largest identifier in its closed neighborhood.
+//! assert_eq!(result.report.rounds, 1);
+//! assert!(result.outputs.iter().all(|&max_id| max_id >= 1));
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod algorithms;
+pub mod composition;
+pub mod metrics;
+pub mod network;
+pub mod node;
+pub mod trace;
+
+pub use composition::{parallel_max, CostLedger, PhaseCost};
+pub use metrics::RoundReport;
+pub use network::{ExecutionResult, Executor, RuntimeError};
+pub use node::{Algorithm, Inbox, NodeCtx, Outbox, Status};

@@ -1,0 +1,64 @@
+//! Round and message accounting.
+
+use serde::{Deserialize, Serialize};
+use std::ops::Add;
+
+/// The cost of one execution (or one phase) of a distributed algorithm.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RoundReport {
+    /// Number of synchronous communication rounds until every node halted.
+    pub rounds: usize,
+    /// Total number of point-to-point messages delivered.
+    pub messages: usize,
+}
+
+impl RoundReport {
+    /// A zero-cost report.
+    pub fn zero() -> Self {
+        RoundReport::default()
+    }
+
+    /// Creates a report from explicit counts.
+    pub fn new(rounds: usize, messages: usize) -> Self {
+        RoundReport { rounds, messages }
+    }
+
+    /// Sequential composition: rounds and messages both add.
+    #[must_use]
+    pub fn then(self, later: RoundReport) -> RoundReport {
+        RoundReport { rounds: self.rounds + later.rounds, messages: self.messages + later.messages }
+    }
+
+    /// Parallel composition on disjoint subnetworks: rounds take the maximum (the subnetworks
+    /// run concurrently), messages add.
+    #[must_use]
+    pub fn alongside(self, other: RoundReport) -> RoundReport {
+        RoundReport {
+            rounds: self.rounds.max(other.rounds),
+            messages: self.messages + other.messages,
+        }
+    }
+}
+
+impl Add for RoundReport {
+    type Output = RoundReport;
+
+    fn add(self, rhs: RoundReport) -> RoundReport {
+        self.then(rhs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_and_parallel_composition() {
+        let a = RoundReport::new(5, 100);
+        let b = RoundReport::new(3, 50);
+        assert_eq!(a.then(b), RoundReport::new(8, 150));
+        assert_eq!(a + b, RoundReport::new(8, 150));
+        assert_eq!(a.alongside(b), RoundReport::new(5, 150));
+        assert_eq!(RoundReport::zero().then(a), a);
+    }
+}

@@ -1,0 +1,236 @@
+//! The synchronous executor.
+
+use crate::metrics::RoundReport;
+use crate::node::{Algorithm, Inbox, NodeCtx, NodeProgram, Outbox, Status};
+use arbcolor_graph::Graph;
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised by the executor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum RuntimeError {
+    /// The algorithm did not terminate within the configured round limit.
+    RoundLimitExceeded {
+        /// The configured limit.
+        limit: usize,
+        /// How many nodes were still active when the limit was hit.
+        still_active: usize,
+    },
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::RoundLimitExceeded { limit, still_active } => write!(
+                f,
+                "algorithm exceeded the round limit of {limit} with {still_active} nodes still active"
+            ),
+        }
+    }
+}
+
+impl Error for RuntimeError {}
+
+/// The result of running an algorithm to completion.
+#[derive(Debug, Clone)]
+pub struct ExecutionResult<O> {
+    /// Per-vertex outputs, indexed by vertex.
+    pub outputs: Vec<O>,
+    /// Round and message accounting for this execution.
+    pub report: RoundReport,
+}
+
+/// Runs [`Algorithm`]s on a [`Graph`] until every node halts.
+#[derive(Debug, Clone)]
+pub struct Executor<'g> {
+    graph: &'g Graph,
+    max_rounds: usize,
+}
+
+impl<'g> Executor<'g> {
+    /// Default safety limit on the number of rounds.
+    pub const DEFAULT_MAX_ROUNDS: usize = 1_000_000;
+
+    /// Creates an executor for `graph` with the default round limit.
+    pub fn new(graph: &'g Graph) -> Self {
+        Executor { graph, max_rounds: Self::DEFAULT_MAX_ROUNDS }
+    }
+
+    /// Overrides the round limit (useful for tests that expect termination within a bound).
+    #[must_use]
+    pub fn with_max_rounds(mut self, max_rounds: usize) -> Self {
+        self.max_rounds = max_rounds;
+        self
+    }
+
+    /// The graph this executor runs on.
+    pub fn graph(&self) -> &Graph {
+        self.graph
+    }
+
+    /// Builds the [`NodeCtx`] of every vertex.
+    fn contexts(&self) -> Vec<NodeCtx> {
+        let g = self.graph;
+        let id_space = g.ids().iter().copied().max().unwrap_or(0).max(g.n() as u64);
+        g.vertices()
+            .map(|v| NodeCtx {
+                vertex: v,
+                id: g.id(v),
+                n: g.n(),
+                id_space,
+                degree: g.degree(v),
+                neighbor_ids: g.neighbors(v).iter().map(|&u| g.id(u)).collect(),
+            })
+            .collect()
+    }
+
+    /// Runs `algorithm` until every node halts.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::RoundLimitExceeded`] if the algorithm does not terminate within
+    /// the configured round limit.
+    pub fn run<A: Algorithm>(
+        &self,
+        algorithm: &A,
+    ) -> Result<ExecutionResult<<A::Node as NodeProgram>::Output>, RuntimeError> {
+        let n = self.graph.n();
+        let contexts = self.contexts();
+        let mut nodes: Vec<A::Node> = contexts.iter().map(|ctx| algorithm.node(ctx)).collect();
+        let mut active = vec![true; n];
+        let mut report = RoundReport::zero();
+
+        // Pending messages for the *next* delivery, stored per receiving vertex as
+        // (receiver_port, message).
+        let mut pending: Vec<Vec<(usize, <A::Node as NodeProgram>::Msg)>> =
+            (0..n).map(|_| Vec::new()).collect();
+
+        // Initialization: local computation plus the sends of the first round.
+        let mut any_outgoing = false;
+        for v in 0..n {
+            let mut outbox = Outbox::new(contexts[v].degree);
+            let status = nodes[v].init(&contexts[v], &mut outbox);
+            if status == Status::Halted {
+                active[v] = false;
+            }
+            any_outgoing |= !outbox.is_empty();
+            deliver(self.graph, v, outbox, &mut pending, &mut report);
+        }
+
+        // Main loop: one iteration = one synchronous round.
+        while active.iter().any(|&a| a) || any_outgoing {
+            if report.rounds >= self.max_rounds {
+                return Err(RuntimeError::RoundLimitExceeded {
+                    limit: self.max_rounds,
+                    still_active: active.iter().filter(|&&a| a).count(),
+                });
+            }
+            report.rounds += 1;
+            let inboxes: Vec<Vec<(usize, <A::Node as NodeProgram>::Msg)>> =
+                std::mem::replace(&mut pending, (0..n).map(|_| Vec::new()).collect());
+
+            any_outgoing = false;
+            for v in 0..n {
+                if !active[v] {
+                    continue;
+                }
+                let inbox = Inbox::new(&inboxes[v]);
+                let mut outbox = Outbox::new(contexts[v].degree);
+                let status = nodes[v].round(&contexts[v], &inbox, &mut outbox);
+                if status == Status::Halted {
+                    active[v] = false;
+                }
+                any_outgoing |= !outbox.is_empty();
+                deliver(self.graph, v, outbox, &mut pending, &mut report);
+            }
+            // Messages addressed to halted nodes are dropped at delivery time by the receiving
+            // node simply never reading them; they still count as sent messages.
+            if !active.iter().any(|&a| a) {
+                break;
+            }
+        }
+
+        let outputs = nodes
+            .iter()
+            .zip(contexts.iter())
+            .map(|(node, ctx)| node.output(ctx))
+            .collect();
+        Ok(ExecutionResult { outputs, report })
+    }
+}
+
+/// Routes the outbox of `sender` into the pending inboxes of its neighbors.
+fn deliver<M: Clone>(
+    graph: &Graph,
+    sender: usize,
+    outbox: Outbox<M>,
+    pending: &mut [Vec<(usize, M)>],
+    report: &mut RoundReport,
+) {
+    let neighbors = graph.neighbors(sender);
+    for (port, message) in outbox.into_messages() {
+        let receiver = neighbors[port];
+        let receiver_port = graph
+            .port_of(receiver, sender)
+            .expect("graph adjacency is symmetric");
+        pending[receiver].push((receiver_port, message));
+        report.messages += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::{FloodMaxId, ProposeMaxId};
+    use arbcolor_graph::generators;
+
+    #[test]
+    fn propose_max_id_takes_one_round() {
+        let g = generators::cycle(10).unwrap().with_shuffled_ids(3);
+        let result = Executor::new(&g).run(&ProposeMaxId).unwrap();
+        assert_eq!(result.report.rounds, 1);
+        assert_eq!(result.report.messages, 2 * g.m());
+        for v in g.vertices() {
+            let expected = g
+                .neighbors(v)
+                .iter()
+                .map(|&u| g.id(u))
+                .chain(std::iter::once(g.id(v)))
+                .max()
+                .unwrap();
+            assert_eq!(result.outputs[v], expected);
+        }
+    }
+
+    #[test]
+    fn flood_max_id_converges_to_global_max_within_diameter_rounds() {
+        let g = generators::path(12).unwrap().with_shuffled_ids(8);
+        let result = Executor::new(&g).run(&FloodMaxId { rounds: 11 }).unwrap();
+        let global_max = g.ids().iter().copied().max().unwrap();
+        assert!(result.outputs.iter().all(|&x| x == global_max));
+        assert_eq!(result.report.rounds, 11);
+    }
+
+    #[test]
+    fn round_limit_is_enforced() {
+        let g = generators::path(4).unwrap();
+        let err = Executor::new(&g)
+            .with_max_rounds(3)
+            .run(&FloodMaxId { rounds: 100 })
+            .unwrap_err();
+        assert!(matches!(err, RuntimeError::RoundLimitExceeded { limit: 3, .. }));
+        assert!(!err.to_string().is_empty());
+    }
+
+    #[test]
+    fn isolated_vertices_halt_immediately() {
+        let g = arbcolor_graph::Graph::empty(5);
+        let result = Executor::new(&g).run(&ProposeMaxId).unwrap();
+        assert_eq!(result.report.rounds, 0);
+        assert_eq!(result.report.messages, 0);
+        for v in g.vertices() {
+            assert_eq!(result.outputs[v], g.id(v));
+        }
+    }
+}

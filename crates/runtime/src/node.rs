@@ -1,0 +1,223 @@
+//! The node-program interface of the LOCAL-model simulator.
+
+use arbcolor_graph::Vertex;
+
+/// Everything a vertex is allowed to know at the start of an algorithm.
+///
+/// In the LOCAL model a vertex initially knows its own unique identifier, its degree, and the
+/// global parameters of the problem (`n`, and for Linial-style algorithms the size of the
+/// identifier space).  We additionally expose the identifiers of the neighbors (the `KT1`
+/// assumption); algorithms that want to work under `KT0` can simply ignore
+/// [`NodeCtx::neighbor_ids`] and learn them with one round of communication.
+#[derive(Debug, Clone)]
+pub struct NodeCtx {
+    /// Simulator-internal vertex index (stable across phases of a multi-phase algorithm, but
+    /// *not* to be used as an identifier by node programs — use [`NodeCtx::id`]).
+    pub vertex: Vertex,
+    /// The unique LOCAL-model identifier of this vertex (in `1..=id_space`).
+    pub id: u64,
+    /// Number of vertices of the network.
+    pub n: usize,
+    /// Upper bound on the identifier space (identifiers are in `1..=id_space`).
+    pub id_space: u64,
+    /// Degree of this vertex.
+    pub degree: usize,
+    /// Identifiers of the neighbors, indexed by port (position in the adjacency list).
+    pub neighbor_ids: Vec<u64>,
+}
+
+impl NodeCtx {
+    /// The port of the neighbor with identifier `id`, if any.
+    pub fn port_of_neighbor_id(&self, id: u64) -> Option<usize> {
+        self.neighbor_ids.iter().position(|&x| x == id)
+    }
+}
+
+/// Whether a node keeps participating after the current round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Status {
+    /// The node wants to receive the next round's messages.
+    Active,
+    /// The node's output is final; it sends the messages produced in this round and then
+    /// stops participating.
+    Halted,
+}
+
+/// Messages delivered to a node at the start of a round.
+///
+/// Each entry is `(port, message)`, where `port` is the receiving vertex's port towards the
+/// sender.
+#[derive(Debug)]
+pub struct Inbox<'a, M> {
+    messages: &'a [(usize, M)],
+}
+
+impl<'a, M> Inbox<'a, M> {
+    /// Wraps a slice of `(port, message)` pairs.
+    pub fn new(messages: &'a [(usize, M)]) -> Self {
+        Inbox { messages }
+    }
+
+    /// Iterates over `(port, &message)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &'a M)> + '_ {
+        self.messages.iter().map(|(p, m)| (*p, m))
+    }
+
+    /// The message received from the neighbor at `port`, if any.
+    pub fn from_port(&self, port: usize) -> Option<&'a M> {
+        self.messages.iter().find(|(p, _)| *p == port).map(|(_, m)| m)
+    }
+
+    /// Number of messages received this round.
+    pub fn len(&self) -> usize {
+        self.messages.len()
+    }
+
+    /// Whether no messages were received this round.
+    pub fn is_empty(&self) -> bool {
+        self.messages.is_empty()
+    }
+}
+
+/// Messages a node wants delivered to its neighbors at the start of the next round.
+#[derive(Debug)]
+pub struct Outbox<M> {
+    messages: Vec<(usize, M)>,
+    degree: usize,
+}
+
+impl<M: Clone> Outbox<M> {
+    /// Creates an empty outbox for a vertex of the given degree.
+    pub fn new(degree: usize) -> Self {
+        Outbox { messages: Vec::new(), degree }
+    }
+
+    /// Sends `message` to the neighbor at `port`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `port` is not a valid port of this vertex.
+    pub fn send(&mut self, port: usize, message: M) {
+        assert!(port < self.degree, "port {port} out of range (degree {})", self.degree);
+        self.messages.push((port, message));
+    }
+
+    /// Sends a copy of `message` to every neighbor.
+    pub fn broadcast(&mut self, message: M) {
+        for port in 0..self.degree {
+            self.messages.push((port, message.clone()));
+        }
+    }
+
+    /// Number of messages queued.
+    pub fn len(&self) -> usize {
+        self.messages.len()
+    }
+
+    /// Whether the outbox is empty.
+    pub fn is_empty(&self) -> bool {
+        self.messages.is_empty()
+    }
+
+    /// Consumes the outbox, returning the queued `(port, message)` pairs.
+    pub fn into_messages(self) -> Vec<(usize, M)> {
+        self.messages
+    }
+}
+
+/// The per-vertex state machine of a distributed algorithm.
+///
+/// The executor drives it as follows: `init` runs before the first communication round and
+/// may queue messages; then, for every round, the messages queued in the previous step are
+/// delivered and `round` is invoked.  When a node returns [`Status::Halted`], the messages it
+/// queued in that invocation are still delivered, but it takes no further part in the
+/// execution.  `output` is read once the whole network has halted.
+pub trait NodeProgram {
+    /// Message type exchanged by this algorithm.
+    type Msg: Clone;
+    /// Per-vertex output of the algorithm.
+    type Output;
+
+    /// Local initialization; may queue the messages of the first round.
+    fn init(&mut self, ctx: &NodeCtx, outbox: &mut Outbox<Self::Msg>) -> Status;
+
+    /// One synchronous round: consume the delivered messages, queue the next round's messages.
+    fn round(
+        &mut self,
+        ctx: &NodeCtx,
+        inbox: &Inbox<'_, Self::Msg>,
+        outbox: &mut Outbox<Self::Msg>,
+    ) -> Status;
+
+    /// The final output of this vertex.
+    fn output(&self, ctx: &NodeCtx) -> Self::Output;
+}
+
+/// A distributed algorithm: a factory of node programs plus a display name.
+///
+/// The factory receives the [`NodeCtx`] of the vertex, so per-vertex inputs computed by a
+/// previous phase (an orientation, a defective coloring, …) can be embedded into the node
+/// program at construction time — exactly as in the paper, where the output of one procedure
+/// is locally known to each vertex when the next procedure starts.
+pub trait Algorithm {
+    /// The node program type.
+    type Node: NodeProgram;
+
+    /// Creates the node program for the vertex described by `ctx`.
+    fn node(&self, ctx: &NodeCtx) -> Self::Node;
+
+    /// Human-readable name used in reports.
+    fn name(&self) -> &'static str {
+        "algorithm"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outbox_send_and_broadcast() {
+        let mut out: Outbox<u32> = Outbox::new(3);
+        assert!(out.is_empty());
+        out.send(1, 7);
+        out.broadcast(9);
+        assert_eq!(out.len(), 4);
+        let msgs = out.into_messages();
+        assert_eq!(msgs[0], (1, 7));
+        assert_eq!(msgs.len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn outbox_rejects_bad_port() {
+        let mut out: Outbox<u32> = Outbox::new(2);
+        out.send(2, 1);
+    }
+
+    #[test]
+    fn inbox_lookup() {
+        let raw = vec![(0usize, 5u32), (2, 7)];
+        let inbox = Inbox::new(&raw);
+        assert_eq!(inbox.len(), 2);
+        assert!(!inbox.is_empty());
+        assert_eq!(inbox.from_port(2), Some(&7));
+        assert_eq!(inbox.from_port(1), None);
+        let collected: Vec<_> = inbox.iter().collect();
+        assert_eq!(collected, vec![(0, &5), (2, &7)]);
+    }
+
+    #[test]
+    fn ctx_port_lookup() {
+        let ctx = NodeCtx {
+            vertex: 0,
+            id: 3,
+            n: 4,
+            id_space: 4,
+            degree: 2,
+            neighbor_ids: vec![9, 4],
+        };
+        assert_eq!(ctx.port_of_neighbor_id(4), Some(1));
+        assert_eq!(ctx.port_of_neighbor_id(8), None);
+    }
+}

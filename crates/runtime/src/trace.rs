@@ -1,0 +1,126 @@
+//! Round-by-round execution traces.
+//!
+//! The executor reports aggregate costs; for debugging node programs and for the per-round
+//! plots in the experiment write-ups it is useful to see how activity evolves over the rounds.
+//! [`TraceRecorder`] collects one [`RoundTrace`] per round (how many nodes were still active,
+//! how many messages were exchanged, which vertices halted), and renders a compact activity
+//! profile.
+
+use serde::{Deserialize, Serialize};
+
+/// What happened in one synchronous round.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RoundTrace {
+    /// The round number (1-based).
+    pub round: usize,
+    /// Number of nodes that were still active at the start of the round.
+    pub active_nodes: usize,
+    /// Number of messages delivered in this round.
+    pub messages: usize,
+    /// Vertices that halted during this round.
+    pub halted: Vec<usize>,
+}
+
+/// Collects per-round traces.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceRecorder {
+    rounds: Vec<RoundTrace>,
+}
+
+impl TraceRecorder {
+    /// An empty recorder.
+    pub fn new() -> Self {
+        TraceRecorder::default()
+    }
+
+    /// Records one round.
+    pub fn record(&mut self, trace: RoundTrace) {
+        self.rounds.push(trace);
+    }
+
+    /// The recorded rounds, in order.
+    pub fn rounds(&self) -> &[RoundTrace] {
+        &self.rounds
+    }
+
+    /// Number of recorded rounds.
+    pub fn len(&self) -> usize {
+        self.rounds.len()
+    }
+
+    /// Whether nothing has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.rounds.is_empty()
+    }
+
+    /// Total number of messages across all recorded rounds.
+    pub fn total_messages(&self) -> usize {
+        self.rounds.iter().map(|r| r.messages).sum()
+    }
+
+    /// The round in which the last node halted, if any node halted at all.
+    pub fn completion_round(&self) -> Option<usize> {
+        self.rounds.iter().rev().find(|r| !r.halted.is_empty()).map(|r| r.round)
+    }
+
+    /// A compact textual activity profile: one character per round, scaled by the fraction of
+    /// nodes still active (`#` ≥ 75 %, `+` ≥ 50 %, `-` ≥ 25 %, `.` > 0 %, space = idle).
+    pub fn activity_profile(&self, total_nodes: usize) -> String {
+        self.rounds
+            .iter()
+            .map(|r| {
+                if total_nodes == 0 || r.active_nodes == 0 {
+                    ' '
+                } else {
+                    let frac = r.active_nodes as f64 / total_nodes as f64;
+                    if frac >= 0.75 {
+                        '#'
+                    } else if frac >= 0.5 {
+                        '+'
+                    } else if frac >= 0.25 {
+                        '-'
+                    } else {
+                        '.'
+                    }
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> TraceRecorder {
+        let mut t = TraceRecorder::new();
+        t.record(RoundTrace { round: 1, active_nodes: 10, messages: 40, halted: vec![] });
+        t.record(RoundTrace { round: 2, active_nodes: 6, messages: 24, halted: vec![3, 4] });
+        t.record(RoundTrace { round: 3, active_nodes: 2, messages: 4, halted: vec![0, 1] });
+        t
+    }
+
+    #[test]
+    fn aggregates_are_consistent() {
+        let t = sample();
+        assert_eq!(t.len(), 3);
+        assert!(!t.is_empty());
+        assert_eq!(t.total_messages(), 68);
+        assert_eq!(t.completion_round(), Some(3));
+        assert_eq!(t.rounds()[1].halted, vec![3, 4]);
+    }
+
+    #[test]
+    fn activity_profile_scales_with_active_fraction() {
+        let t = sample();
+        assert_eq!(t.activity_profile(10), "#+.");
+        assert_eq!(t.activity_profile(0), "   ");
+        assert_eq!(TraceRecorder::new().activity_profile(5), "");
+    }
+
+    #[test]
+    fn empty_recorder_has_no_completion_round() {
+        assert_eq!(TraceRecorder::new().completion_round(), None);
+        assert_eq!(TraceRecorder::new().total_messages(), 0);
+    }
+}

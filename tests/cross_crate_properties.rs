@@ -1,0 +1,108 @@
+//! Property-based tests spanning the graph, decompose and core crates: randomized graph
+//! shapes and parameters, with the paper's invariants checked on every sample.
+
+use arbcolor::arbdefective_coloring::arbdefective_coloring;
+use arbcolor::legal_coloring::{legal_coloring, LegalColoringParams};
+use arbcolor::orientation_procs::partial_orientation;
+use arbcolor_decompose::hpartition::h_partition;
+use arbcolor_graph::{degeneracy, generators, Coloring, Graph, Orientation};
+use proptest::prelude::*;
+
+/// Strategy: a union of `k` random forests on `n` vertices (arboricity ≤ k by construction).
+fn forest_union() -> impl Strategy<Value = (Graph, usize)> {
+    (20usize..120, 1usize..5, 0u64..1000).prop_map(|(n, k, seed)| {
+        let g = generators::union_of_random_forests(n, k, seed)
+            .expect("valid parameters")
+            .with_shuffled_ids(seed + 1);
+        (g, k)
+    })
+}
+
+/// Strategy: an arbitrary sparse G(n, p) graph.
+fn sparse_gnp() -> impl Strategy<Value = Graph> {
+    (20usize..150, 0u64..1000).prop_map(|(n, seed)| {
+        generators::gnp(n, 4.0 / n as f64, seed).expect("valid p").with_shuffled_ids(seed + 3)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn h_partition_property_holds_on_random_forest_unions((g, k) in forest_union()) {
+        let hp = h_partition(&g, k, 1.0).unwrap();
+        hp.verify(&g).unwrap();
+        // Every vertex is assigned to exactly one bucket in 1..=num_buckets.
+        prop_assert!(hp.h_index.iter().all(|&h| h >= 1 && h <= hp.num_buckets));
+    }
+
+    #[test]
+    fn degeneracy_sandwiches_the_design_arboricity((g, k) in forest_union()) {
+        let d = degeneracy::degeneracy(&g);
+        prop_assert!(d <= 2 * k, "degeneracy {} exceeds 2a = {}", d, 2 * k);
+        prop_assert!(degeneracy::arboricity_lower_bound(&g) <= k);
+    }
+
+    #[test]
+    fn partial_orientation_invariants((g, k) in forest_union(), t in 1usize..5) {
+        let oriented = partial_orientation(&g, k, t, 1.0).unwrap();
+        prop_assert!(oriented.orientation.is_acyclic(&g));
+        prop_assert!(oriented.orientation.max_out_degree(&g) <= oriented.out_degree_bound);
+        prop_assert!(oriented.orientation.max_deficit(&g) <= oriented.deficit_bound);
+    }
+
+    #[test]
+    fn arbdefective_coloring_witnesses_always_verify((g, k) in forest_union(), p in 2usize..5) {
+        let out = arbdefective_coloring(&g, k, p as u64, p, 1.0).unwrap();
+        let worst = out.coloring.verify(&g).unwrap();
+        prop_assert!(worst <= out.arbdefect_bound());
+        prop_assert!(out.coloring.coloring.max_color() < p as u64);
+    }
+
+    #[test]
+    fn legal_coloring_is_always_legal_with_bounded_palette((g, k) in forest_union()) {
+        let run = legal_coloring(&g, k, LegalColoringParams { p: 6, epsilon: 1.0 }).unwrap();
+        prop_assert!(run.coloring.is_legal(&g));
+        prop_assert!(run.colors_used as u64 <= run.palette_bound);
+    }
+
+    #[test]
+    fn legal_coloring_works_on_gnp_with_degeneracy_bound(g in sparse_gnp()) {
+        let a = degeneracy::degeneracy(&g).max(1);
+        let run = legal_coloring(&g, a, LegalColoringParams { p: 6, epsilon: 1.0 }).unwrap();
+        prop_assert!(run.coloring.is_legal(&g));
+    }
+
+    #[test]
+    fn orientation_completion_preserves_acyclicity_and_directions(g in sparse_gnp()) {
+        // Lemma 3.1 on arbitrary partial orientations derived from a degeneracy ranking with
+        // some edges erased.
+        let ordering = degeneracy::degeneracy_ordering(&g);
+        let full = Orientation::from_ranking(&g, &ordering.rank);
+        let mut partial = full.clone();
+        for e in (0..g.m()).step_by(3) {
+            let (u, v) = g.endpoints(e);
+            partial.unorient(&g, u, v).unwrap();
+        }
+        let completed = partial.complete_acyclically(&g).unwrap();
+        prop_assert!(completed.is_acyclic(&g));
+        prop_assert_eq!(completed.unoriented_count(), 0);
+        for e in 0..g.m() {
+            if partial.is_oriented(e) {
+                prop_assert_eq!(completed.head(&g, e), partial.head(&g, e));
+            }
+        }
+    }
+
+    #[test]
+    fn coloring_validators_agree_with_each_other(g in sparse_gnp()) {
+        // A coloring is legal iff its defect is 0 iff it has no conflicts.
+        let c = Coloring::from_ids(&g);
+        prop_assert!(c.is_legal(&g));
+        prop_assert_eq!(c.defect(&g), 0);
+        prop_assert!(c.conflicts(&g).is_empty());
+        let mono = Coloring::constant(&g);
+        prop_assert_eq!(mono.is_legal(&g), g.m() == 0);
+        prop_assert_eq!(mono.conflicts(&g).len(), g.m());
+    }
+}

@@ -1,0 +1,128 @@
+//! Cross-crate integration tests: the paper's algorithms, the substrates and the baselines
+//! working together on shared workloads, with every output independently validated by the
+//! graph layer.
+
+use arbcolor::legal_coloring::{
+    a_power_coloring, o_a_coloring, sparse_delta_plus_one, APowerParams, OaParams,
+};
+use arbcolor::mis::mis_bounded_arboricity;
+use arbcolor::tradeoffs::{color_time_tradeoff, sub_quadratic_coloring};
+use arbcolor_baselines::registry::standard_baselines;
+use arbcolor_graph::{degeneracy, generators, Graph};
+
+/// The workload families every end-to-end test iterates over.
+fn workloads() -> Vec<(String, Graph, usize)> {
+    let mut out = Vec::new();
+    let forest = generators::union_of_random_forests(400, 3, 1).unwrap().with_shuffled_ids(2);
+    out.push(("forest-union a=3".to_string(), forest, 3));
+    let stars = generators::star_forest_union(500, 2, 4, 3).unwrap().with_shuffled_ids(4);
+    let a = degeneracy::degeneracy(&stars).max(1);
+    out.push(("star-forests".to_string(), stars, a));
+    let pa = generators::barabasi_albert(400, 3, 5).unwrap().with_shuffled_ids(6);
+    out.push(("preferential-attachment".to_string(), pa, 3));
+    let grid = generators::grid(18, 18).unwrap().with_shuffled_ids(7);
+    out.push(("grid".to_string(), grid, 2));
+    let gnp = generators::gnp(300, 0.03, 8).unwrap().with_shuffled_ids(9);
+    let a = degeneracy::degeneracy(&gnp).max(1);
+    out.push(("gnp".to_string(), gnp, a));
+    out
+}
+
+#[test]
+fn headline_algorithm_is_legal_on_every_workload() {
+    for (name, g, a) in workloads() {
+        let run = a_power_coloring(&g, a, APowerParams { eta: 0.5, epsilon: 1.0 })
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert!(run.coloring.is_legal(&g), "{name}: illegal coloring");
+        assert!(run.colors_used as u64 <= run.palette_bound, "{name}: palette accounting broken");
+        assert_eq!(run.coloring.defect(&g), 0, "{name}: defect must be zero for a legal coloring");
+    }
+}
+
+#[test]
+fn o_a_coloring_uses_colors_proportional_to_degeneracy_not_degree() {
+    for (name, g, a) in workloads() {
+        let run = o_a_coloring(&g, a, OaParams { mu: 0.5, epsilon: 1.0 })
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert!(run.coloring.is_legal(&g), "{name}");
+        // Colors are a function of the arboricity bound, never of n.
+        assert!(
+            run.colors_used <= 80 * a.max(1),
+            "{name}: {} colors for degeneracy {a}",
+            run.colors_used
+        );
+    }
+}
+
+#[test]
+fn sparse_regime_beats_degree_based_palettes() {
+    // Corollary 4.7 workload: arboricity ≪ Δ.
+    let g = generators::star_forest_union(700, 2, 3, 11).unwrap().with_shuffled_ids(12);
+    let a = degeneracy::degeneracy(&g).max(1);
+    let ours = sparse_delta_plus_one(&g, a, 0.5, 1.0).unwrap();
+    assert!(ours.coloring.is_legal(&g));
+    assert!(ours.colors_used <= g.max_degree() + 1);
+
+    // Linial's palette on the same graph is quadratic in Δ — the gap the paper closes.
+    let linial = arbcolor_decompose::linial::linial_coloring(&g).unwrap();
+    assert!(linial.coloring.is_legal(&g));
+    assert!(
+        ours.colors_used < linial.colors_used,
+        "paper {} vs Linial {}",
+        ours.colors_used,
+        linial.colors_used
+    );
+}
+
+#[test]
+fn tradeoffs_cover_the_color_time_spectrum() {
+    let g = generators::union_of_random_forests(400, 6, 13).unwrap().with_shuffled_ids(14);
+    let sub_quadratic = sub_quadratic_coloring(&g, 6, 2, 1.0, 1.0).unwrap();
+    assert!(sub_quadratic.coloring.is_legal(&g));
+    for t in [1usize, 3, 6] {
+        let run = color_time_tradeoff(&g, 6, t, 0.5, 1.0).unwrap();
+        assert!(run.coloring.is_legal(&g), "t = {t}");
+    }
+}
+
+#[test]
+fn mis_is_valid_on_every_workload() {
+    for (name, g, a) in workloads() {
+        let mis = mis_bounded_arboricity(&g, a, 0.5, 1.0)
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        mis.verify(&g).unwrap_or_else(|e| panic!("{name}: {e}"));
+    }
+}
+
+#[test]
+fn baselines_and_paper_agree_on_legality() {
+    let g = generators::union_of_random_forests(250, 3, 15).unwrap().with_shuffled_ids(16);
+    let a = 3;
+    let ours = a_power_coloring(&g, a, APowerParams { eta: 1.0, epsilon: 1.0 }).unwrap();
+    assert!(ours.coloring.is_legal(&g));
+    for baseline in standard_baselines(17) {
+        let outcome = baseline.run(&g).unwrap_or_else(|e| panic!("{} failed: {e}", baseline.name()));
+        assert!(outcome.coloring.is_legal(&g), "{}", outcome.name);
+    }
+}
+
+#[test]
+fn rounds_grow_polylogarithmically_with_n_for_fixed_arboricity() {
+    // The headline claim, measured: quadrupling n must not blow up the round count by more
+    // than a constant factor plus the log n growth.
+    let small = generators::union_of_random_forests(300, 3, 18).unwrap().with_shuffled_ids(19);
+    let large = generators::union_of_random_forests(2400, 3, 18).unwrap().with_shuffled_ids(19);
+    let r_small = a_power_coloring(&small, 3, APowerParams { eta: 0.5, epsilon: 1.0 })
+        .unwrap()
+        .report
+        .rounds;
+    let r_large = a_power_coloring(&large, 3, APowerParams { eta: 0.5, epsilon: 1.0 })
+        .unwrap()
+        .report
+        .rounds;
+    let log_ratio = (2400f64).log2() / (300f64).log2();
+    assert!(
+        (r_large as f64) <= (r_small as f64) * 3.0 * log_ratio,
+        "rounds grew from {r_small} to {r_large}, more than polylogarithmic growth allows"
+    );
+}
