@@ -11,11 +11,7 @@ pub fn sequential_greedy(graph: &Graph, order: Option<&[usize]>) -> Coloring {
     let order = order.unwrap_or(&default_order);
     let mut colors: Vec<Option<u64>> = vec![None; graph.n()];
     for &v in order {
-        let mut used: Vec<u64> = graph
-            .neighbors(v)
-            .iter()
-            .filter_map(|&u| colors[u])
-            .collect();
+        let mut used: Vec<u64> = graph.neighbors(v).iter().filter_map(|&u| colors[u]).collect();
         used.sort_unstable();
         used.dedup();
         let mut choice = 0u64;

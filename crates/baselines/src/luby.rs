@@ -26,11 +26,10 @@ pub struct LubyResult {
 impl LubyResult {
     /// Checks independence and maximality.
     pub fn is_valid(&self, graph: &Graph) -> bool {
-        let independent =
-            graph.edges().iter().all(|&(u, v)| !(self.in_mis[u] && self.in_mis[v]));
-        let maximal = graph.vertices().all(|v| {
-            self.in_mis[v] || graph.neighbors(v).iter().any(|&u| self.in_mis[u])
-        });
+        let independent = graph.edges().iter().all(|&(u, v)| !(self.in_mis[u] && self.in_mis[v]));
+        let maximal = graph
+            .vertices()
+            .all(|v| self.in_mis[v] || graph.neighbors(v).iter().any(|&u| self.in_mis[u]));
         independent && maximal
     }
 }
@@ -47,19 +46,16 @@ pub fn luby_mis(graph: &Graph, seed: u64) -> LubyResult {
         report.rounds += 1;
         let priorities: Vec<u64> = (0..n).map(|_| rng.gen()).collect();
         // Count the two message exchanges (priorities, then join notifications).
-        report.messages += 2 * graph
-            .edges()
-            .iter()
-            .filter(|&&(u, v)| live[u] && live[v])
-            .count()
-            * 2;
+        report.messages +=
+            2 * graph.edges().iter().filter(|&&(u, v)| live[u] && live[v]).count() * 2;
         let joining: Vec<usize> = (0..n)
             .filter(|&v| {
                 live[v]
-                    && graph
-                        .neighbors(v)
-                        .iter()
-                        .all(|&u| !live[u] || priorities[v] > priorities[u] || (priorities[v] == priorities[u] && graph.id(v) > graph.id(u)))
+                    && graph.neighbors(v).iter().all(|&u| {
+                        !live[u]
+                            || priorities[v] > priorities[u]
+                            || (priorities[v] == priorities[u] && graph.id(v) > graph.id(u))
+                    })
             })
             .collect();
         for &v in &joining {
@@ -71,7 +67,8 @@ pub fn luby_mis(graph: &Graph, seed: u64) -> LubyResult {
         }
         if joining.is_empty() && live.iter().any(|&l| l) {
             // Extremely unlikely; resolve by letting the highest-identifier live vertex join.
-            let v = (0..n).filter(|&v| live[v]).max_by_key(|&v| graph.id(v)).expect("some live vertex");
+            let v =
+                (0..n).filter(|&v| live[v]).max_by_key(|&v| graph.id(v)).expect("some live vertex");
             in_mis[v] = true;
             live[v] = false;
             for &u in graph.neighbors(v) {

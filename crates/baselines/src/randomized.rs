@@ -37,25 +37,27 @@ pub fn randomized_coloring(graph: &Graph, seed: u64) -> RandomizedColoring {
                 }
                 let forbidden: Vec<u64> =
                     graph.neighbors(v).iter().filter_map(|&u| colors[u]).collect();
-                let available: Vec<u64> =
-                    (0..palette).filter(|c| !forbidden.contains(c)).collect();
+                let available: Vec<u64> = (0..palette).filter(|c| !forbidden.contains(c)).collect();
                 Some(available[rng.gen_range(0..available.len())])
             })
             .collect();
         report.messages += 2 * graph.m();
         for v in 0..n {
             let Some(p) = proposals[v] else { continue };
-            let conflict = graph.neighbors(v).iter().any(|&u| {
-                proposals.get(u).copied().flatten() == Some(p) || colors[u] == Some(p)
-            });
+            let conflict = graph
+                .neighbors(v)
+                .iter()
+                .any(|&u| proposals.get(u).copied().flatten() == Some(p) || colors[u] == Some(p));
             if !conflict {
                 colors[v] = Some(p);
             }
         }
     }
-    let coloring =
-        Coloring::new(graph, colors.into_iter().map(|c| c.expect("loop exits when all colored")).collect())
-            .expect("one color per vertex");
+    let coloring = Coloring::new(
+        graph,
+        colors.into_iter().map(|c| c.expect("loop exits when all colored")).collect(),
+    )
+    .expect("one color per vertex");
     debug_assert!(coloring.is_legal(graph));
     RandomizedColoring { coloring, report }
 }

@@ -187,7 +187,8 @@ mod tests {
     fn all_standard_baselines_produce_legal_colorings() {
         let g = generators::union_of_random_forests(150, 3, 5).unwrap().with_shuffled_ids(2);
         for baseline in standard_baselines(7) {
-            let outcome = baseline.run(&g).unwrap_or_else(|e| panic!("{} failed: {e}", baseline.name()));
+            let outcome =
+                baseline.run(&g).unwrap_or_else(|e| panic!("{} failed: {e}", baseline.name()));
             assert!(outcome.coloring.is_legal(&g), "{} produced an illegal coloring", outcome.name);
             assert!(outcome.colors >= 2);
         }

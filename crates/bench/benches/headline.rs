@@ -13,9 +13,7 @@ fn bench_headline(c: &mut Criterion) {
     for n in [250usize, 500, 1000] {
         let g = generators::union_of_random_forests(n, 4, 37).unwrap().with_shuffled_ids(1);
         group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
-            b.iter(|| {
-                a_power_coloring(g, 4, APowerParams { eta: 0.5, epsilon: 1.0 }).unwrap()
-            })
+            b.iter(|| a_power_coloring(g, 4, APowerParams { eta: 0.5, epsilon: 1.0 }).unwrap())
         });
     }
     group.finish();

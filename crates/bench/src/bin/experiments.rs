@@ -1,10 +1,10 @@
 //! Regenerates every experiment table of EXPERIMENTS.md.
 //!
 //! Usage:
-//!   cargo run --release -p arbcolor-bench --bin experiments            # all experiments, scale 1
-//!   cargo run --release -p arbcolor-bench --bin experiments -- E8      # one experiment
-//!   cargo run --release -p arbcolor-bench --bin experiments -- all 2   # all, scale 2
-//!   cargo run --release -p arbcolor-bench --bin experiments -- E8 1 --json
+//!   cargo run --release -p arbcolor_bench --bin experiments            # all experiments, scale 1
+//!   cargo run --release -p arbcolor_bench --bin experiments -- E8      # one experiment
+//!   cargo run --release -p arbcolor_bench --bin experiments -- all 2   # all, scale 2
+//!   cargo run --release -p arbcolor_bench --bin experiments -- E8 1 --json
 
 use arbcolor_bench::experiments;
 use arbcolor_bench::Row;

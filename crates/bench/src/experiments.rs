@@ -62,8 +62,11 @@ pub fn e2_complete_orientation(scale: usize) -> Vec<Row> {
                 .with("out_degree_bound", oriented.out_degree_bound as f64)
                 .with("measured_out_degree", oriented.orientation.max_out_degree(&g) as f64)
                 .with("measured_length", oriented.measured_length as f64)
-                .with("a_logn_bound", (oriented.bucket_palette_bound + 1) as f64
-                    * (oriented.partition.num_buckets + 1) as f64)
+                .with(
+                    "a_logn_bound",
+                    (oriented.bucket_palette_bound + 1) as f64
+                        * (oriented.partition.num_buckets + 1) as f64,
+                )
                 .with("rounds", oriented.report().rounds as f64),
         );
     }
@@ -277,9 +280,7 @@ pub fn e13_baseline_table(scale: usize) -> Vec<Row> {
                     .with("rounds", outcome.report.rounds as f64)
                     .with("deterministic", if outcome.deterministic { 1.0 } else { 0.0 }),
             ),
-            Err(err) => {
-                rows.push(Row::new("E13", format!("{} failed: {err}", baseline.name())))
-            }
+            Err(err) => rows.push(Row::new("E13", format!("{} failed: {err}", baseline.name()))),
         }
     }
     rows

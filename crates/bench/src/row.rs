@@ -17,7 +17,11 @@ pub struct Row {
 impl Row {
     /// Creates a row with no values yet.
     pub fn new(experiment: &str, workload: impl Into<String>) -> Self {
-        Row { experiment: experiment.to_string(), workload: workload.into(), values: BTreeMap::new() }
+        Row {
+            experiment: experiment.to_string(),
+            workload: workload.into(),
+            values: BTreeMap::new(),
+        }
     }
 
     /// Adds a named value (builder style).
@@ -55,7 +59,9 @@ impl Row {
             out.push_str(&format!("| {} | {} |", row.experiment, row.workload));
             for key in &keys {
                 match row.values.get(key) {
-                    Some(v) if (v.fract()).abs() < 1e-9 => out.push_str(&format!(" {} |", *v as i64)),
+                    Some(v) if (v.fract()).abs() < 1e-9 => {
+                        out.push_str(&format!(" {} |", *v as i64))
+                    }
                     Some(v) => out.push_str(&format!(" {v:.2} |")),
                     None => out.push_str(" - |"),
                 }

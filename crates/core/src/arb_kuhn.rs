@@ -47,14 +47,16 @@ impl arbcolor_runtime::node::NodeProgram for ArbRecolorNode {
         Status::Active
     }
 
-    fn round(&mut self, _ctx: &NodeCtx, inbox: &Inbox<'_, u64>, outbox: &mut Outbox<u64>) -> Status {
+    fn round(
+        &mut self,
+        _ctx: &NodeCtx,
+        inbox: &Inbox<'_, u64>,
+        outbox: &mut Outbox<u64>,
+    ) -> Status {
         let family = &self.steps[self.iteration].family;
         // Only the parents' colors matter for Arb-Recolor.
-        let parent_colors: Vec<u64> = self
-            .parent_ports
-            .iter()
-            .filter_map(|&p| inbox.from_port(p).copied())
-            .collect();
+        let parent_colors: Vec<u64> =
+            self.parent_ports.iter().filter_map(|&p| inbox.from_port(p).copied()).collect();
         let mut best_alpha = 0u64;
         let mut best = usize::MAX;
         for alpha in 0..family.q {
@@ -166,11 +168,8 @@ pub fn arb_kuhn_coloring(
     let id_space = graph.ids().iter().copied().max().unwrap_or(1);
     let schedule =
         RecolorSchedule::build(id_space, bounded.out_degree_bound, target_arbdefect as u64);
-    let algorithm = ArbRecolorAlgorithm {
-        graph,
-        orientation: &bounded.orientation,
-        schedule: &schedule,
-    };
+    let algorithm =
+        ArbRecolorAlgorithm { graph, orientation: &bounded.orientation, schedule: &schedule };
     let result = Executor::new(graph).run(&algorithm)?;
     ledger.push("arb-recolor", result.report);
     let coloring = Coloring::new(graph, result.outputs)?;

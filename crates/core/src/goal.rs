@@ -80,7 +80,9 @@ pub fn color(
     epsilon: f64,
 ) -> Result<ColoringRun, CoreError> {
     match goal {
-        ColoringGoal::FewestColors { mu } => o_a_coloring(graph, arboricity, OaParams { mu, epsilon }),
+        ColoringGoal::FewestColors { mu } => {
+            o_a_coloring(graph, arboricity, OaParams { mu, epsilon })
+        }
         ColoringGoal::OneShot => one_shot_coloring(graph, arboricity, epsilon),
         ColoringGoal::AlmostLinearColors => a_one_plus_o1_coloring(graph, arboricity, epsilon),
         ColoringGoal::PolylogTime { eta } => {

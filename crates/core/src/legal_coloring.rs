@@ -120,7 +120,8 @@ pub fn legal_coloring(
         let inner = arboricity_linear_coloring(&sub.graph, alpha, epsilon)?;
         branch_reports.push(inner.report);
         for child in 0..sub.graph.n() {
-            colors[sub.map.to_parent(child)] = g_index as u64 * palette + inner.coloring.color(child);
+            colors[sub.map.to_parent(child)] =
+                g_index as u64 * palette + inner.coloring.color(child);
         }
     }
     ledger.push_parallel("final-legal-coloring", &branch_reports);
@@ -184,7 +185,11 @@ pub fn one_shot_coloring(
 /// # Errors
 ///
 /// Returns [`CoreError::InvalidParameter`] if `µ` is not in `(0, 1)`.
-pub fn o_a_coloring(graph: &Graph, arboricity: usize, params: OaParams) -> Result<ColoringRun, CoreError> {
+pub fn o_a_coloring(
+    graph: &Graph,
+    arboricity: usize,
+    params: OaParams,
+) -> Result<ColoringRun, CoreError> {
     if !(params.mu > 0.0 && params.mu < 1.0) {
         return Err(CoreError::InvalidParameter {
             reason: format!("µ must lie in (0, 1), got {}", params.mu),

@@ -198,11 +198,8 @@ mod tests {
     #[test]
     fn mis_on_star_has_hub_or_all_leaves() {
         let g = generators::star(50).unwrap().with_shuffled_ids(5);
-        let coloring = Coloring::new(
-            &g,
-            (0..50).map(|v| if v == 0 { 0u64 } else { 1 }).collect(),
-        )
-        .unwrap();
+        let coloring =
+            Coloring::new(&g, (0..50).map(|v| if v == 0 { 0u64 } else { 1 }).collect()).unwrap();
         let mis = mis_from_coloring(&g, &coloring).unwrap();
         mis.verify(&g).unwrap();
         assert!(mis.in_mis[0]);

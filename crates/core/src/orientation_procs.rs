@@ -90,13 +90,17 @@ fn orient_by_keys(graph: &Graph, key: &[(usize, u64)]) -> Orientation {
     orientation
 }
 
+/// Per-vertex `(bucket, color)` keys, the parallel cost of the bucket phase, and the palette
+/// size used inside each bucket.
+type BucketColorings = (Vec<(usize, u64)>, RoundReport, Vec<usize>);
+
 /// Colors every bucket subgraph with the provided closure (in parallel across buckets) and
 /// returns the per-vertex `(bucket, color)` keys plus the parallel cost of the bucket phase.
 fn color_buckets<F>(
     graph: &Graph,
     partition: &HPartition,
     mut color_bucket: F,
-) -> Result<(Vec<(usize, u64)>, RoundReport, Vec<usize>), CoreError>
+) -> Result<BucketColorings, CoreError>
 where
     F: FnMut(&Graph) -> Result<(Vec<u64>, RoundReport, usize), CoreError>,
 {
@@ -293,10 +297,9 @@ mod tests {
         // most `palette` consecutive same-bucket edges and at most ℓ − 1 bucket crossings.
         let g = generators::gnp(400, 0.05, 7).unwrap().with_shuffled_ids(9);
         let a = arbcolor_graph::degeneracy::degeneracy(&g);
-        for oriented in [
-            complete_orientation(&g, a, 1.0).unwrap(),
-            partial_orientation(&g, a, 2, 1.0).unwrap(),
-        ] {
+        for oriented in
+            [complete_orientation(&g, a, 1.0).unwrap(), partial_orientation(&g, a, 2, 1.0).unwrap()]
+        {
             let bound = (oriented.bucket_palette_bound + 1) * (oriented.partition.num_buckets + 1);
             assert!(
                 oriented.measured_length <= bound,
@@ -329,7 +332,7 @@ mod tests {
             .filter(|w| oriented.partition.h_index[w[0]] != oriented.partition.h_index[w[1]])
             .count();
         assert!(
-            crossings + 1 <= oriented.partition.num_buckets,
+            crossings < oriented.partition.num_buckets,
             "{crossings} crossings but only {} buckets",
             oriented.partition.num_buckets
         );

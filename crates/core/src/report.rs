@@ -21,11 +21,7 @@ pub struct ColoringRun {
 
 impl ColoringRun {
     /// Builds a run summary from its parts, computing `colors_used`.
-    pub fn new(
-        coloring: Coloring,
-        palette_bound: u64,
-        ledger: CostLedger,
-    ) -> Self {
+    pub fn new(coloring: Coloring, palette_bound: u64, ledger: CostLedger) -> Self {
         let colors_used = coloring.distinct_colors();
         let report = ledger.total();
         ColoringRun { coloring, colors_used, palette_bound, report, ledger }

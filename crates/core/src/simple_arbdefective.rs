@@ -73,7 +73,12 @@ impl arbcolor_runtime::node::NodeProgram for SimpleArbdefectiveNode {
         }
     }
 
-    fn round(&mut self, _ctx: &NodeCtx, inbox: &Inbox<'_, u64>, outbox: &mut Outbox<u64>) -> Status {
+    fn round(
+        &mut self,
+        _ctx: &NodeCtx,
+        inbox: &Inbox<'_, u64>,
+        outbox: &mut Outbox<u64>,
+    ) -> Status {
         for (port, &color) in inbox.iter() {
             if self.parent_ports.contains(&port) {
                 self.parent_colors.push(color);
@@ -104,7 +109,9 @@ impl Algorithm for SimpleArbdefective<'_> {
             .iter()
             .zip(self.graph.incident_edges(v))
             .enumerate()
-            .filter_map(|(port, (&u, &e))| (self.orientation.head(self.graph, e) == Some(u)).then_some(port))
+            .filter_map(|(port, (&u, &e))| {
+                (self.orientation.head(self.graph, e) == Some(u)).then_some(port)
+            })
             .collect();
         SimpleArbdefectiveNode { parent_ports, parent_colors: Vec::new(), k: self.k, chosen: None }
     }
@@ -186,13 +193,8 @@ pub fn simple_arbdefective(
         witnesses.insert(class_color, completed);
     }
 
-    let colored = ArbdefectiveColoring {
-        coloring,
-        k,
-        arbdefect_bound,
-        witnesses,
-        report: result.report,
-    };
+    let colored =
+        ArbdefectiveColoring { coloring, k, arbdefect_bound, witnesses, report: result.report };
     let worst = colored.verify(graph).map_err(|e| CoreError::InvariantViolated {
         reason: format!("Theorem 3.2 witness check failed: {e}"),
     })?;
@@ -272,8 +274,8 @@ mod tests {
         let g = generators::union_of_random_forests(150, 2, 7).unwrap().with_shuffled_ids(3);
         let bounded = bounded_outdegree_orientation(&g, 2, 1.0).unwrap();
         let k = (bounded.out_degree_bound + 1) as u64;
-        let out = simple_arbdefective(&g, &bounded.orientation, k, bounded.out_degree_bound, 0)
-            .unwrap();
+        let out =
+            simple_arbdefective(&g, &bounded.orientation, k, bounded.out_degree_bound, 0).unwrap();
         // ⌊m/k⌋ = 0, so every color class must be a forest-like (arboricity 0 means edgeless).
         assert_eq!(out.arbdefect_bound, 0);
         for (_, sub) in out.coloring.class_subgraphs(&g) {

@@ -185,8 +185,9 @@ mod tests {
                 if x == y {
                     continue;
                 }
-                let agreements =
-                    (0..family.q).filter(|&a| family.evaluate(x, a) == family.evaluate(y, a)).count();
+                let agreements = (0..family.q)
+                    .filter(|&a| family.evaluate(x, a) == family.evaluate(y, a))
+                    .count();
                 assert!(
                     agreements as u64 <= k,
                     "colors {x} and {y} agree on {agreements} > {k} points"
@@ -207,7 +208,12 @@ mod tests {
     fn choose_prime_field_satisfies_constraint() {
         for (colors, slack) in [(10u64, 3u64), (1000, 10), (1 << 20, 50), (5, 1), (2, 0)] {
             let family = choose_prime_field(colors, slack);
-            assert!(family.q > family.agreement() * slack, "q = {}, k = {}, slack = {slack}", family.q, family.agreement());
+            assert!(
+                family.q > family.agreement() * slack,
+                "q = {}, k = {}, slack = {slack}",
+                family.q,
+                family.agreement()
+            );
             assert!(u128::from(family.q).pow(family.digits) >= u128::from(colors));
         }
     }

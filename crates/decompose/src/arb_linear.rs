@@ -87,11 +87,8 @@ pub fn arboricity_linear_coloring(
         let slots: Vec<SweepSlot> = (0..sub.graph.n())
             .map(|child| {
                 let parent_vertex = sub.map.to_parent(child);
-                let forbidden: Vec<u64> = graph
-                    .neighbors(parent_vertex)
-                    .iter()
-                    .filter_map(|&u| colors[u])
-                    .collect();
+                let forbidden: Vec<u64> =
+                    graph.neighbors(parent_vertex).iter().filter_map(|&u| colors[u]).collect();
                 SweepSlot {
                     slot: schedule.color(child) as usize,
                     palette_offset: 0,
@@ -129,7 +126,8 @@ mod tests {
     #[test]
     fn colors_stay_within_palette_on_forest_unions() {
         for k in [1usize, 2, 3] {
-            let g = generators::union_of_random_forests(200, k, k as u64).unwrap().with_shuffled_ids(5);
+            let g =
+                generators::union_of_random_forests(200, k, k as u64).unwrap().with_shuffled_ids(5);
             let out = arboricity_linear_coloring(&g, k, 1.0).unwrap();
             assert!(out.coloring.is_legal(&g));
             assert!(out.coloring.max_color() < out.palette);

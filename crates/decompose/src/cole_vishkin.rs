@@ -66,13 +66,16 @@ impl arbcolor_runtime::node::NodeProgram for ColeVishkinNode {
         Status::Active
     }
 
-    fn round(&mut self, _ctx: &NodeCtx, inbox: &Inbox<'_, CvMsg>, outbox: &mut Outbox<CvMsg>) -> Status {
+    fn round(
+        &mut self,
+        _ctx: &NodeCtx,
+        inbox: &Inbox<'_, CvMsg>,
+        outbox: &mut Outbox<CvMsg>,
+    ) -> Status {
         // Record the parent's and (any) child's current color from the incoming messages.
         self.parent_color = self.parent_port.and_then(|p| inbox.from_port(p).copied());
-        self.children_color = inbox
-            .iter()
-            .find(|&(port, _)| Some(port) != self.parent_port)
-            .map(|(_, &c)| c);
+        self.children_color =
+            inbox.iter().find(|&(port, _)| Some(port) != self.parent_port).map(|(_, &c)| c);
 
         match self.phase {
             CvPhase::Contract(step) => {

@@ -75,10 +75,7 @@ mod tests {
     #[test]
     fn rejects_zero_p() {
         let g = generators::path(4).unwrap();
-        assert!(matches!(
-            defective_coloring(&g, 0),
-            Err(DecomposeError::InvalidParameter { .. })
-        ));
+        assert!(matches!(defective_coloring(&g, 0), Err(DecomposeError::InvalidParameter { .. })));
     }
 
     #[test]

@@ -83,7 +83,8 @@ mod tests {
         assert!(e.to_string().contains("p = 0"));
         let g = DecomposeError::from(GraphError::NotAcyclic);
         assert!(g.source().is_some());
-        let r = DecomposeError::from(RuntimeError::RoundLimitExceeded { limit: 1, still_active: 2 });
+        let r =
+            DecomposeError::from(RuntimeError::RoundLimitExceeded { limit: 1, still_active: 2 });
         assert!(r.to_string().contains("runtime"));
     }
 }

@@ -85,11 +85,7 @@ pub struct ForestsDecomposition {
 impl ForestsDecomposition {
     /// The edges belonging to forest `j`.
     pub fn forest_edges(&self, j: usize) -> Vec<EdgeIdx> {
-        self.forest_of_edge
-            .iter()
-            .enumerate()
-            .filter_map(|(e, &f)| (f == j).then_some(e))
-            .collect()
+        self.forest_of_edge.iter().enumerate().filter_map(|(e, &f)| (f == j).then_some(e)).collect()
     }
 
     /// Checks that every part is indeed a forest (no cycles) and that parts are edge-disjoint
@@ -103,7 +99,7 @@ impl ForestsDecomposition {
             let edges = self.forest_edges(j);
             // Union–find cycle check.
             let mut parent: Vec<usize> = (0..graph.n()).collect();
-            fn find(parent: &mut Vec<usize>, mut x: usize) -> usize {
+            fn find(parent: &mut [usize], mut x: usize) -> usize {
                 while parent[x] != x {
                     parent[x] = parent[parent[x]];
                     x = parent[x];
@@ -236,10 +232,7 @@ mod tests {
                     .incident_edges(v)
                     .iter()
                     .zip(g.neighbors(v))
-                    .filter(|(&e, &u)| {
-                        fd.forest_of_edge[e] == j
-                            && fd.parent[j][v] == Some(u)
-                    })
+                    .filter(|(&e, &u)| fd.forest_of_edge[e] == j && fd.parent[j][v] == Some(u))
                     .count();
                 assert!(outgoing_in_forest <= 1);
             }

@@ -119,11 +119,8 @@ impl HPartition {
     /// own or a later bucket.  Returns the worst violation if any.
     pub fn verify(&self, graph: &Graph) -> Result<(), DecomposeError> {
         for v in graph.vertices() {
-            let later = graph
-                .neighbors(v)
-                .iter()
-                .filter(|&&u| self.h_index[u] >= self.h_index[v])
-                .count();
+            let later =
+                graph.neighbors(v).iter().filter(|&&u| self.h_index[u] >= self.h_index[v]).count();
             if later > self.degree_bound {
                 return Err(DecomposeError::InvariantViolated {
                     reason: format!(
@@ -171,7 +168,11 @@ pub fn degree_threshold(arboricity: usize, epsilon: f64) -> usize {
 /// # Ok(())
 /// # }
 /// ```
-pub fn h_partition(graph: &Graph, arboricity: usize, epsilon: f64) -> Result<HPartition, DecomposeError> {
+pub fn h_partition(
+    graph: &Graph,
+    arboricity: usize,
+    epsilon: f64,
+) -> Result<HPartition, DecomposeError> {
     if epsilon <= 0.0 || epsilon.is_nan() {
         return Err(DecomposeError::InvalidParameter {
             reason: format!("epsilon must be positive, got {epsilon}"),

@@ -19,9 +19,7 @@
 use crate::algebraic::{choose_prime_field, PolynomialFamily};
 use crate::error::DecomposeError;
 use arbcolor_graph::{Coloring, Graph};
-use arbcolor_runtime::{
-    Algorithm, Executor, Inbox, NodeCtx, Outbox, RoundReport, Status,
-};
+use arbcolor_runtime::{Algorithm, Executor, Inbox, NodeCtx, Outbox, RoundReport, Status};
 use serde::{Deserialize, Serialize};
 
 /// One recoloring iteration: the function family to use and the number of *new* same-color
@@ -124,7 +122,12 @@ impl arbcolor_runtime::node::NodeProgram for RecolorNode {
         Status::Active
     }
 
-    fn round(&mut self, _ctx: &NodeCtx, inbox: &Inbox<'_, u64>, outbox: &mut Outbox<u64>) -> Status {
+    fn round(
+        &mut self,
+        _ctx: &NodeCtx,
+        inbox: &Inbox<'_, u64>,
+        outbox: &mut Outbox<u64>,
+    ) -> Status {
         let step = &self.schedule.steps[self.iteration];
         let family = &step.family;
         let neighbor_colors: Vec<u64> = inbox.iter().map(|(_, &c)| c).collect();
@@ -195,7 +198,10 @@ pub struct RecolorOutput {
 /// # Errors
 ///
 /// Propagates executor errors.
-pub fn run_schedule(graph: &Graph, schedule: &RecolorSchedule) -> Result<RecolorOutput, DecomposeError> {
+pub fn run_schedule(
+    graph: &Graph,
+    schedule: &RecolorSchedule,
+) -> Result<RecolorOutput, DecomposeError> {
     // Initial colors are id − 1 so they fall in [0, id_space).
     let initial: Vec<u64> = graph.ids().iter().map(|&id| id - 1).collect();
     run_schedule_from(graph, schedule, &initial)
@@ -261,8 +267,8 @@ pub fn linial_coloring(graph: &Graph) -> Result<RecolorOutput, DecomposeError> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use arbcolor_graph::generators;
     use crate::log_star::log_star;
+    use arbcolor_graph::generators;
 
     #[test]
     fn schedule_with_zero_budget_has_zero_total_budget() {

@@ -54,9 +54,8 @@ pub struct GreedySweepNode {
 impl GreedySweepNode {
     fn pick(&mut self) -> Option<u64> {
         let range = self.input.palette_offset..self.input.palette_offset + self.input.palette_size;
-        let choice = range
-            .clone()
-            .find(|c| !self.input.forbidden.contains(c) && !self.taken.contains(c));
+        let choice =
+            range.clone().find(|c| !self.input.forbidden.contains(c) && !self.taken.contains(c));
         self.chosen = choice;
         choice
     }
@@ -78,7 +77,12 @@ impl arbcolor_runtime::node::NodeProgram for GreedySweepNode {
         }
     }
 
-    fn round(&mut self, _ctx: &NodeCtx, inbox: &Inbox<'_, u64>, outbox: &mut Outbox<u64>) -> Status {
+    fn round(
+        &mut self,
+        _ctx: &NodeCtx,
+        inbox: &Inbox<'_, u64>,
+        outbox: &mut Outbox<u64>,
+    ) -> Status {
         self.round += 1;
         for (_, &c) in inbox.iter() {
             self.taken.push(c);
@@ -121,7 +125,10 @@ impl Algorithm for GreedySweep<'_> {
 ///
 /// Returns [`DecomposeError::InvariantViolated`] if a vertex could not find a free color in
 /// its palette (the caller supplied an insufficient palette), and propagates runtime errors.
-pub fn run_greedy_sweep(graph: &Graph, slots: &[SweepSlot]) -> Result<(Vec<u64>, RoundReport), DecomposeError> {
+pub fn run_greedy_sweep(
+    graph: &Graph,
+    slots: &[SweepSlot],
+) -> Result<(Vec<u64>, RoundReport), DecomposeError> {
     assert_eq!(slots.len(), graph.n(), "one sweep slot per vertex");
     let algorithm = GreedySweep::new(slots);
     let result = Executor::new(graph).run(&algorithm)?;
@@ -131,7 +138,9 @@ pub fn run_greedy_sweep(graph: &Graph, slots: &[SweepSlot]) -> Result<(Vec<u64>,
             Some(c) => colors.push(c),
             None => {
                 return Err(DecomposeError::InvariantViolated {
-                    reason: format!("vertex {v} found no free color in its palette during a greedy sweep"),
+                    reason: format!(
+                        "vertex {v} found no free color in its palette during a greedy sweep"
+                    ),
                 })
             }
         }
@@ -169,10 +178,7 @@ pub fn greedy_reduce(
     }
     if palette < graph.max_degree() as u64 + 1 {
         return Err(DecomposeError::InvalidParameter {
-            reason: format!(
-                "palette {palette} is smaller than Δ + 1 = {}",
-                graph.max_degree() + 1
-            ),
+            reason: format!("palette {palette} is smaller than Δ + 1 = {}", graph.max_degree() + 1),
         });
     }
     let (normalized, _) = coloring.normalized();

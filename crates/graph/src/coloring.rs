@@ -39,7 +39,10 @@ impl Coloring {
     /// number of vertices of `graph`.
     pub fn new(graph: &Graph, colors: Vec<Color>) -> Result<Self, GraphError> {
         if colors.len() != graph.n() {
-            return Err(GraphError::ColoringSizeMismatch { got: colors.len(), expected: graph.n() });
+            return Err(GraphError::ColoringSizeMismatch {
+                got: colors.len(),
+                expected: graph.n(),
+            });
         }
         Ok(Coloring { colors })
     }
@@ -97,12 +100,7 @@ impl Coloring {
 
     /// The monochromatic edges of `graph` under this coloring (empty iff legal).
     pub fn conflicts(&self, graph: &Graph) -> Vec<(Vertex, Vertex)> {
-        graph
-            .edges()
-            .iter()
-            .copied()
-            .filter(|&(u, v)| self.colors[u] == self.colors[v])
-            .collect()
+        graph.edges().iter().copied().filter(|&(u, v)| self.colors[u] == self.colors[v]).collect()
     }
 
     /// The defect of vertex `v`: the number of neighbors sharing `v`'s color.
@@ -127,10 +125,7 @@ impl Coloring {
 
     /// Materializes the subgraph induced by each color class, keyed by color value.
     pub fn class_subgraphs(&self, graph: &Graph) -> HashMap<Color, InducedSubgraph> {
-        self.classes()
-            .into_iter()
-            .map(|(c, vs)| (c, InducedSubgraph::new(graph, &vs)))
-            .collect()
+        self.classes().into_iter().map(|(c, vs)| (c, InducedSubgraph::new(graph, &vs))).collect()
     }
 
     /// The maximum degeneracy over all color-class subgraphs.
@@ -348,8 +343,7 @@ mod tests {
         let partition = Coloring::new(&g, vec![0, 0, 1, 1]).unwrap();
         let mut class_colorings = HashMap::new();
         for (color, sub) in partition.class_subgraphs(&g) {
-            let inner =
-                Coloring::new(&sub.graph, (0..sub.graph.n() as u64).collect()).unwrap();
+            let inner = Coloring::new(&sub.graph, (0..sub.graph.n() as u64).collect()).unwrap();
             class_colorings.insert(color, (sub, inner));
         }
         let combined = Coloring::combine_with_palettes(&g, &partition, &class_colorings, 10);

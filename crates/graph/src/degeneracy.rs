@@ -42,9 +42,7 @@ pub fn degeneracy_ordering(graph: &Graph) -> DegeneracyOrdering {
 
     for _ in 0..n {
         // Find the smallest non-empty bucket at or below/above `current`.
-        if current > 0 {
-            current -= 1;
-        }
+        current = current.saturating_sub(1);
         loop {
             while current <= max_deg && buckets[current].is_empty() {
                 current += 1;
@@ -171,11 +169,7 @@ mod tests {
         let g = generators::gnp(120, 0.08, 99).unwrap();
         let ord = degeneracy_ordering(&g);
         for (i, &v) in ord.order.iter().enumerate() {
-            let later_neighbors = g
-                .neighbors(v)
-                .iter()
-                .filter(|&&u| ord.rank[u] > i)
-                .count();
+            let later_neighbors = g.neighbors(v).iter().filter(|&&u| ord.rank[u] > i).count();
             assert!(
                 later_neighbors <= ord.degeneracy,
                 "vertex {v} has {later_neighbors} later neighbors but degeneracy is {}",

@@ -19,9 +19,7 @@ mod trees;
 
 pub use preferential::{barabasi_albert, random_planar_like};
 pub use random::{gnm, gnp, random_bipartite, random_regular_like};
-pub use structured::{
-    complete, complete_bipartite, cycle, grid, hypercube, path, star, torus,
-};
+pub use structured::{complete, complete_bipartite, cycle, grid, hypercube, path, star, torus};
 pub use trees::{
     balanced_tree, caterpillar, hub_and_spokes, random_forest, random_tree, star_forest_union,
     union_of_random_forests,

@@ -67,7 +67,11 @@ pub fn barabasi_albert(n: usize, edges_per_vertex: usize, seed: u64) -> Result<G
 /// # Errors
 ///
 /// Returns [`GraphError::InvalidParameter`] if `n == 0`.
-pub fn random_planar_like(n: usize, extra_chord_probability: f64, seed: u64) -> Result<Graph, GraphError> {
+pub fn random_planar_like(
+    n: usize,
+    extra_chord_probability: f64,
+    seed: u64,
+) -> Result<Graph, GraphError> {
     if n == 0 {
         return Err(GraphError::InvalidParameter { reason: "need n >= 1".to_string() });
     }

@@ -23,7 +23,9 @@ pub fn path(n: usize) -> Result<Graph, GraphError> {
 /// Returns [`GraphError::InvalidParameter`] if `n < 3`.
 pub fn cycle(n: usize) -> Result<Graph, GraphError> {
     if n < 3 {
-        return Err(GraphError::InvalidParameter { reason: format!("cycle needs n >= 3, got {n}") });
+        return Err(GraphError::InvalidParameter {
+            reason: format!("cycle needs n >= 3, got {n}"),
+        });
     }
     let mut b = GraphBuilder::new(n);
     for v in 0..n {

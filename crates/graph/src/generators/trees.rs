@@ -100,7 +100,9 @@ pub fn union_of_random_forests(n: usize, k: usize, seed: u64) -> Result<Graph, G
 pub fn balanced_tree(n: usize, arity: usize) -> Result<Graph, GraphError> {
     if n == 0 || arity == 0 {
         return Err(GraphError::InvalidParameter {
-            reason: format!("balanced tree needs n >= 1 and arity >= 1, got n = {n}, arity = {arity}"),
+            reason: format!(
+                "balanced tree needs n >= 1 and arity >= 1, got n = {n}, arity = {arity}"
+            ),
         });
     }
     let mut b = GraphBuilder::new(n);
@@ -117,7 +119,9 @@ pub fn balanced_tree(n: usize, arity: usize) -> Result<Graph, GraphError> {
 /// Returns [`GraphError::InvalidParameter`] if `spine == 0`.
 pub fn caterpillar(spine: usize, legs: usize) -> Result<Graph, GraphError> {
     if spine == 0 {
-        return Err(GraphError::InvalidParameter { reason: "caterpillar needs spine >= 1".to_string() });
+        return Err(GraphError::InvalidParameter {
+            reason: "caterpillar needs spine >= 1".to_string(),
+        });
     }
     let n = spine + spine * legs;
     let mut b = GraphBuilder::new(n);
@@ -145,7 +149,9 @@ pub fn caterpillar(spine: usize, legs: usize) -> Result<Graph, GraphError> {
 pub fn star_forest_union(n: usize, k: usize, hubs: usize, seed: u64) -> Result<Graph, GraphError> {
     if n == 0 || k == 0 || hubs == 0 {
         return Err(GraphError::InvalidParameter {
-            reason: format!("star forest union needs positive parameters, got n = {n}, k = {k}, hubs = {hubs}"),
+            reason: format!(
+                "star forest union needs positive parameters, got n = {n}, k = {k}, hubs = {hubs}"
+            ),
         });
     }
     if hubs >= n {

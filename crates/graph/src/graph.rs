@@ -130,10 +130,7 @@ impl Graph {
             return None;
         }
         let (a, b) = if self.degree(u) <= self.degree(v) { (u, v) } else { (v, u) };
-        self.neighbors(a)
-            .iter()
-            .position(|&w| w == b)
-            .map(|port| self.incident_edges(a)[port])
+        self.neighbors(a).iter().position(|&w| w == b).map(|port| self.incident_edges(a)[port])
     }
 
     /// Whether `{u, v}` is an edge of the graph.
@@ -289,14 +286,7 @@ impl GraphBuilder {
             cursor[v] += 1;
         }
 
-        Graph {
-            n,
-            offsets,
-            adjacency,
-            arc_edge,
-            edges,
-            ids: (1..=n as u64).collect(),
-        }
+        Graph { n, offsets, adjacency, arc_edge, edges, ids: (1..=n as u64).collect() }
     }
 }
 

@@ -54,7 +54,12 @@ impl Orientation {
     /// # Errors
     ///
     /// Returns [`GraphError::MissingEdge`] if `{u, v}` is not an edge of `graph`.
-    pub fn orient_towards(&mut self, graph: &Graph, u: Vertex, v: Vertex) -> Result<(), GraphError> {
+    pub fn orient_towards(
+        &mut self,
+        graph: &Graph,
+        u: Vertex,
+        v: Vertex,
+    ) -> Result<(), GraphError> {
         let e = graph.edge_between(u, v).ok_or(GraphError::MissingEdge { u, v })?;
         let (a, _b) = graph.endpoints(e);
         self.directions[e] =
@@ -287,8 +292,11 @@ impl Orientation {
         let mut o = Orientation::unoriented(graph);
         for e in 0..graph.m() {
             let (a, b) = graph.endpoints(e);
-            o.directions[e] =
-                if rank[a] < rank[b] { EdgeDirection::TowardSecond } else { EdgeDirection::TowardFirst };
+            o.directions[e] = if rank[a] < rank[b] {
+                EdgeDirection::TowardSecond
+            } else {
+                EdgeDirection::TowardFirst
+            };
         }
         o
     }
@@ -352,10 +360,7 @@ mod tests {
     fn missing_edge_is_an_error() {
         let g = path4();
         let mut o = Orientation::unoriented(&g);
-        assert_eq!(
-            o.orient_towards(&g, 0, 3).unwrap_err(),
-            GraphError::MissingEdge { u: 0, v: 3 }
-        );
+        assert_eq!(o.orient_towards(&g, 0, 3).unwrap_err(), GraphError::MissingEdge { u: 0, v: 3 });
     }
 
     #[test]

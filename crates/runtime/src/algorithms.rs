@@ -26,7 +26,12 @@ impl NodeProgram for ProposeMaxIdNode {
         }
     }
 
-    fn round(&mut self, _ctx: &NodeCtx, inbox: &Inbox<'_, u64>, _outbox: &mut Outbox<u64>) -> Status {
+    fn round(
+        &mut self,
+        _ctx: &NodeCtx,
+        inbox: &Inbox<'_, u64>,
+        _outbox: &mut Outbox<u64>,
+    ) -> Status {
         for (_, &id) in inbox.iter() {
             self.best = self.best.max(id);
         }
@@ -78,7 +83,12 @@ impl NodeProgram for FloodMaxIdNode {
         Status::Active
     }
 
-    fn round(&mut self, _ctx: &NodeCtx, inbox: &Inbox<'_, u64>, outbox: &mut Outbox<u64>) -> Status {
+    fn round(
+        &mut self,
+        _ctx: &NodeCtx,
+        inbox: &Inbox<'_, u64>,
+        outbox: &mut Outbox<u64>,
+    ) -> Status {
         for (_, &id) in inbox.iter() {
             self.best = self.best.max(id);
         }

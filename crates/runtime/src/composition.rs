@@ -85,8 +85,7 @@ mod tests {
 
     #[test]
     fn parallel_branches_take_max_rounds() {
-        let branches =
-            [RoundReport::new(3, 30), RoundReport::new(7, 10), RoundReport::new(5, 5)];
+        let branches = [RoundReport::new(3, 30), RoundReport::new(7, 10), RoundReport::new(5, 5)];
         assert_eq!(parallel_max(&branches), RoundReport::new(7, 45));
         assert_eq!(parallel_max(&[]), RoundReport::zero());
     }

@@ -151,11 +151,8 @@ impl<'g> Executor<'g> {
             }
         }
 
-        let outputs = nodes
-            .iter()
-            .zip(contexts.iter())
-            .map(|(node, ctx)| node.output(ctx))
-            .collect();
+        let outputs =
+            nodes.iter().zip(contexts.iter()).map(|(node, ctx)| node.output(ctx)).collect();
         Ok(ExecutionResult { outputs, report })
     }
 }
@@ -171,9 +168,7 @@ fn deliver<M: Clone>(
     let neighbors = graph.neighbors(sender);
     for (port, message) in outbox.into_messages() {
         let receiver = neighbors[port];
-        let receiver_port = graph
-            .port_of(receiver, sender)
-            .expect("graph adjacency is symmetric");
+        let receiver_port = graph.port_of(receiver, sender).expect("graph adjacency is symmetric");
         pending[receiver].push((receiver_port, message));
         report.messages += 1;
     }
@@ -215,10 +210,8 @@ mod tests {
     #[test]
     fn round_limit_is_enforced() {
         let g = generators::path(4).unwrap();
-        let err = Executor::new(&g)
-            .with_max_rounds(3)
-            .run(&FloodMaxId { rounds: 100 })
-            .unwrap_err();
+        let err =
+            Executor::new(&g).with_max_rounds(3).run(&FloodMaxId { rounds: 100 }).unwrap_err();
         assert!(matches!(err, RuntimeError::RoundLimitExceeded { limit: 3, .. }));
         assert!(!err.to_string().is_empty());
     }

@@ -209,14 +209,8 @@ mod tests {
 
     #[test]
     fn ctx_port_lookup() {
-        let ctx = NodeCtx {
-            vertex: 0,
-            id: 3,
-            n: 4,
-            id_space: 4,
-            degree: 2,
-            neighbor_ids: vec![9, 4],
-        };
+        let ctx =
+            NodeCtx { vertex: 0, id: 3, n: 4, id_space: 4, degree: 2, neighbor_ids: vec![9, 4] };
         assert_eq!(ctx.port_of_neighbor_id(4), Some(1));
         assert_eq!(ctx.port_of_neighbor_id(8), None);
     }

@@ -6,7 +6,7 @@
 //! `2^{O(√(log n))}`.  This example elects cluster heads on a hub-and-spokes deployment and
 //! compares against Luby's randomized algorithm.
 //!
-//! Run with: `cargo run --release -p arbcolor --example mis_scheduling`
+//! Run with: `cargo run --release --example mis_scheduling`
 
 use arbcolor::mis::mis_bounded_arboricity;
 use arbcolor_baselines::luby::luby_mis;

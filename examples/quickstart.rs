@@ -1,7 +1,7 @@
 //! Quickstart: color a bounded-arboricity graph with the paper's headline algorithm
 //! (Corollary 4.6) and inspect the result.
 //!
-//! Run with: `cargo run --release -p arbcolor --example quickstart`
+//! Run with: `cargo run --release --example quickstart`
 
 use arbcolor::legal_coloring::{a_power_coloring, APowerParams};
 use arbcolor_graph::{degeneracy, generators, properties};
@@ -32,7 +32,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     println!("phase breakdown:");
     for phase in run.ledger.phases() {
-        println!("  {:<24} {:>6} rounds {:>10} messages", phase.name, phase.report.rounds, phase.report.messages);
+        println!(
+            "  {:<24} {:>6} rounds {:>10} messages",
+            phase.name, phase.report.rounds, phase.report.messages
+        );
     }
     Ok(())
 }

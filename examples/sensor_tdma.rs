@@ -9,7 +9,7 @@
 //! packed together, so the paper's algorithm assigns O(1)-size slot tables in polylogarithmic
 //! time, while degree-based algorithms pay for the densest neighborhood.
 //!
-//! Run with: `cargo run --release -p arbcolor --example sensor_tdma`
+//! Run with: `cargo run --release --example sensor_tdma`
 
 use arbcolor::legal_coloring::{o_a_coloring, OaParams};
 use arbcolor_decompose::delta_linear::delta_plus_one_coloring;

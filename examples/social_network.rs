@@ -6,10 +6,10 @@
 //! paper's algorithm is parameterized by the arboricity, so it colors such graphs with o(Δ)
 //! colors in polylogarithmic time (Corollary 4.7).
 //!
-//! Run with: `cargo run --release -p arbcolor --example social_network`
+//! Run with: `cargo run --release --example social_network`
 
 use arbcolor::legal_coloring::sparse_delta_plus_one;
-use arbcolor_baselines::registry::{standard_baselines, ColoringBaseline};
+use arbcolor_baselines::registry::standard_baselines;
 use arbcolor_graph::{degeneracy, generators};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {

@@ -1,0 +1,15 @@
+//! Workspace host crate.
+//!
+//! This package exists so the workspace-level `tests/` (cross-crate integration and
+//! property suites) and `examples/` directories are attached to a cargo package and
+//! built by `cargo test` / `cargo build --examples`. It deliberately exports nothing;
+//! the real library surface lives in the `crates/` members:
+//!
+//! * [`arbcolor`](https://example.invalid/arbcolor) (`crates/core`) — the paper's procedures.
+//! * `arbcolor_graph` (`crates/graph`) — graph substrate.
+//! * `arbcolor_decompose` (`crates/decompose`) — prior-work decompositions.
+//! * `arbcolor_runtime` (`crates/runtime`) — LOCAL-model simulator.
+//! * `arbcolor_baselines` (`crates/baselines`) — comparison algorithms.
+//! * `arbcolor_bench` (`crates/bench`) — experiment harness and Criterion benches.
+
+#![forbid(unsafe_code)]

@@ -88,8 +88,7 @@ fn tradeoffs_cover_the_color_time_spectrum() {
 #[test]
 fn mis_is_valid_on_every_workload() {
     for (name, g, a) in workloads() {
-        let mis = mis_bounded_arboricity(&g, a, 0.5, 1.0)
-            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        let mis = mis_bounded_arboricity(&g, a, 0.5, 1.0).unwrap_or_else(|e| panic!("{name}: {e}"));
         mis.verify(&g).unwrap_or_else(|e| panic!("{name}: {e}"));
     }
 }
@@ -101,7 +100,8 @@ fn baselines_and_paper_agree_on_legality() {
     let ours = a_power_coloring(&g, a, APowerParams { eta: 1.0, epsilon: 1.0 }).unwrap();
     assert!(ours.coloring.is_legal(&g));
     for baseline in standard_baselines(17) {
-        let outcome = baseline.run(&g).unwrap_or_else(|e| panic!("{} failed: {e}", baseline.name()));
+        let outcome =
+            baseline.run(&g).unwrap_or_else(|e| panic!("{} failed: {e}", baseline.name()));
         assert!(outcome.coloring.is_legal(&g), "{}", outcome.name);
     }
 }
@@ -112,14 +112,10 @@ fn rounds_grow_polylogarithmically_with_n_for_fixed_arboricity() {
     // than a constant factor plus the log n growth.
     let small = generators::union_of_random_forests(300, 3, 18).unwrap().with_shuffled_ids(19);
     let large = generators::union_of_random_forests(2400, 3, 18).unwrap().with_shuffled_ids(19);
-    let r_small = a_power_coloring(&small, 3, APowerParams { eta: 0.5, epsilon: 1.0 })
-        .unwrap()
-        .report
-        .rounds;
-    let r_large = a_power_coloring(&large, 3, APowerParams { eta: 0.5, epsilon: 1.0 })
-        .unwrap()
-        .report
-        .rounds;
+    let r_small =
+        a_power_coloring(&small, 3, APowerParams { eta: 0.5, epsilon: 1.0 }).unwrap().report.rounds;
+    let r_large =
+        a_power_coloring(&large, 3, APowerParams { eta: 0.5, epsilon: 1.0 }).unwrap().report.rounds;
     let log_ratio = (2400f64).log2() / (300f64).log2();
     assert!(
         (r_large as f64) <= (r_small as f64) * 3.0 * log_ratio,

@@ -1,0 +1,291 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Provides the subset of the proptest API this workspace's property suites
+//! use: the [`Strategy`] trait over integer ranges and tuples, `prop_map`, the
+//! [`proptest!`] macro (with optional `#![proptest_config(..)]`), and the
+//! `prop_assert*` macros. Unlike real proptest there is no shrinking and no
+//! persistence: cases are sampled from a fixed-seed deterministic generator,
+//! so failures reproduce exactly across runs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Everything a property-test file needs, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, proptest, ProptestConfig, Strategy, TestRng,
+    };
+}
+
+/// Per-block configuration for [`proptest!`].
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of sampled cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` samples per property.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// The deterministic generator backing sampled cases (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates a generator from a fixed seed.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        TestRng { state: seed }
+    }
+
+    /// Returns the next uniformly random 64-bit word.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// A recipe for generating values of an associated type.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f` (mirrors `proptest::Strategy::prop_map`).
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, U, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+
+    fn sample(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+macro_rules! impl_strategy_for_int_range {
+    ($($t:ty),* $(,)?) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end - self.start) as u128;
+                let x = rng.next_u64() as u128;
+                self.start + ((x * span) >> 64) as $t
+            }
+        }
+
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample empty range");
+                let span = (end - start) as u128 + 1;
+                let x = rng.next_u64() as u128;
+                start + ((x * span) >> 64) as $t
+            }
+        }
+    )*};
+}
+
+impl_strategy_for_int_range!(u8, u16, u32, u64, usize);
+
+/// A strategy producing one constant value (mirrors `proptest::strategy::Just`).
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_strategy_for_tuple {
+    ($(($($name:ident : $idx:tt),+)),* $(,)?) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_strategy_for_tuple!(
+    (A: 0),
+    (A: 0, B: 1),
+    (A: 0, B: 1, C: 2),
+    (A: 0, B: 1, C: 2, D: 3),
+    (A: 0, B: 1, C: 2, D: 3, E: 4),
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5),
+);
+
+/// Defines property tests: each `fn name(bindings in strategies) { body }`
+/// becomes a `#[test]` sampling its strategies `config.cases` times.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ @cfg ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ @cfg ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (@cfg ($cfg:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                // Stable per-test seed: the test name hashed FNV-1a style.
+                let mut seed: u64 = 0xcbf2_9ce4_8422_2325;
+                for b in stringify!($name).bytes() {
+                    seed ^= b as u64;
+                    seed = seed.wrapping_mul(0x0000_0100_0000_01B3);
+                }
+                let mut rng = $crate::TestRng::new(seed);
+                for case in 0..config.cases {
+                    let mut run = || -> ::std::result::Result<(), ::std::string::String> {
+                        $(let $pat = $crate::Strategy::sample(&($strat), &mut rng);)+
+                        $body
+                        Ok(())
+                    };
+                    if let Err(message) = run() {
+                        panic!("property {} failed at case {case}: {message}", stringify!($name));
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err(format!("assertion failed: {}", stringify!($cond)));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err(format!($($fmt)+));
+        }
+    };
+}
+
+/// Asserts equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return Err(format!("assertion failed: {:?} == {:?}", l, r));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return Err(format!($($fmt)+));
+        }
+    }};
+}
+
+/// Asserts inequality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l != r) {
+            return Err(format!("assertion failed: {:?} != {:?}", l, r));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l != r) {
+            return Err(format!($($fmt)+));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_and_tuples_sample_in_bounds((a, b) in (0usize..10, 5u64..6), c in 1usize..4) {
+            prop_assert!(a < 10);
+            prop_assert_eq!(b, 5);
+            prop_assert!((1..4).contains(&c));
+        }
+
+        #[test]
+        fn prop_map_applies((x, y) in (0u32..100, 0u32..100).prop_map(|(x, y)| (x + 1, y))) {
+            prop_assert!(x >= 1);
+            prop_assert_ne!(x, 0);
+            let _ = y;
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic() {
+        let strat = (20usize..120, 1usize..5);
+        let mut r1 = TestRng::new(99);
+        let mut r2 = TestRng::new(99);
+        for _ in 0..50 {
+            assert_eq!(strat.sample(&mut r1), strat.sample(&mut r2));
+        }
+    }
+}

@@ -1,0 +1,239 @@
+//! Offline stand-in for `serde`.
+//!
+//! The real `serde` is unavailable in this build environment, so this crate
+//! provides the same import surface the workspace uses — `Serialize` and
+//! `Deserialize` traits plus same-named derive macros — backed by a direct
+//! compact-JSON writer instead of serde's visitor architecture. `serde_json`
+//! (also vendored) renders any `Serialize` type through [`Serialize::to_json`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::{BTreeMap, HashMap};
+
+/// A type that can write itself as compact JSON.
+///
+/// Derivable via `#[derive(Serialize)]`; implemented for the primitives and
+/// standard containers the workspace serializes.
+pub trait Serialize {
+    /// Appends this value's compact JSON encoding to `out`.
+    fn serialize_json(&self, out: &mut String);
+
+    /// Convenience wrapper returning the compact JSON encoding.
+    fn to_json(&self) -> String {
+        let mut out = String::new();
+        self.serialize_json(&mut out);
+        out
+    }
+}
+
+/// Marker trait mirroring `serde::Deserialize`.
+///
+/// The workspace derives it for symmetry with upstream serde but never
+/// deserializes through the stand-in, so the trait has no methods.
+pub trait Deserialize<'de>: Sized {}
+
+macro_rules! impl_serialize_display {
+    ($($t:ty),* $(,)?) => {$(
+        impl Serialize for $t {
+            fn serialize_json(&self, out: &mut String) {
+                use std::fmt::Write as _;
+                let _ = write!(out, "{}", self);
+            }
+        }
+    )*};
+}
+
+impl_serialize_display!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize);
+
+macro_rules! impl_serialize_float {
+    ($($t:ty),* $(,)?) => {$(
+        impl Serialize for $t {
+            fn serialize_json(&self, out: &mut String) {
+                use std::fmt::Write as _;
+                if self.is_finite() {
+                    let _ = write!(out, "{}", self);
+                } else {
+                    // serde_json renders non-finite floats as null.
+                    out.push_str("null");
+                }
+            }
+        }
+    )*};
+}
+
+impl_serialize_float!(f32, f64);
+
+impl Serialize for bool {
+    fn serialize_json(&self, out: &mut String) {
+        out.push_str(if *self { "true" } else { "false" });
+    }
+}
+
+/// Appends the JSON string-literal encoding of `s` (with quotes) to `out`.
+pub fn write_json_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                use std::fmt::Write as _;
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl Serialize for str {
+    fn serialize_json(&self, out: &mut String) {
+        write_json_string(self, out);
+    }
+}
+
+impl Serialize for String {
+    fn serialize_json(&self, out: &mut String) {
+        write_json_string(self, out);
+    }
+}
+
+impl Serialize for char {
+    fn serialize_json(&self, out: &mut String) {
+        let mut buf = [0u8; 4];
+        write_json_string(self.encode_utf8(&mut buf), out);
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize_json(&self, out: &mut String) {
+        (**self).serialize_json(out);
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize_json(&self, out: &mut String) {
+        match self {
+            Some(v) => v.serialize_json(out),
+            None => out.push_str("null"),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn serialize_json(&self, out: &mut String) {
+        (**self).serialize_json(out);
+    }
+}
+
+fn write_json_seq<'a, T: Serialize + 'a>(items: impl Iterator<Item = &'a T>, out: &mut String) {
+    out.push('[');
+    for (i, item) in items.enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        item.serialize_json(out);
+    }
+    out.push(']');
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize_json(&self, out: &mut String) {
+        write_json_seq(self.iter(), out);
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize_json(&self, out: &mut String) {
+        write_json_seq(self.iter(), out);
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize_json(&self, out: &mut String) {
+        write_json_seq(self.iter(), out);
+    }
+}
+
+/// Map keys must render as JSON strings; anything `Display` qualifies.
+fn write_json_map<'a, K, V>(entries: impl Iterator<Item = (&'a K, &'a V)>, out: &mut String)
+where
+    K: std::fmt::Display + 'a,
+    V: Serialize + 'a,
+{
+    out.push('{');
+    for (i, (k, v)) in entries.enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        write_json_string(&k.to_string(), out);
+        out.push(':');
+        v.serialize_json(out);
+    }
+    out.push('}');
+}
+
+impl<K: std::fmt::Display, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn serialize_json(&self, out: &mut String) {
+        write_json_map(self.iter(), out);
+    }
+}
+
+impl<K: std::fmt::Display, V: Serialize> Serialize for HashMap<K, V> {
+    fn serialize_json(&self, out: &mut String) {
+        write_json_map(self.iter(), out);
+    }
+}
+
+macro_rules! impl_serialize_tuple {
+    ($(($($name:ident : $idx:tt),+)),* $(,)?) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn serialize_json(&self, out: &mut String) {
+                out.push('[');
+                let mut first = true;
+                $(
+                    if !first { out.push(','); }
+                    first = false;
+                    self.$idx.serialize_json(out);
+                )+
+                let _ = first;
+                out.push(']');
+            }
+        }
+    )*};
+}
+
+impl_serialize_tuple!((A: 0), (A: 0, B: 1), (A: 0, B: 1, C: 2), (A: 0, B: 1, C: 2, D: 3));
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_render_as_json() {
+        assert_eq!(42u64.to_json(), "42");
+        assert_eq!((-3i32).to_json(), "-3");
+        assert_eq!(1.5f64.to_json(), "1.5");
+        assert_eq!(f64::NAN.to_json(), "null");
+        assert_eq!(true.to_json(), "true");
+        assert_eq!("a\"b\\c\n".to_json(), r#""a\"b\\c\n""#);
+    }
+
+    #[test]
+    fn containers_render_as_json() {
+        assert_eq!(vec![1u8, 2, 3].to_json(), "[1,2,3]");
+        assert_eq!(Some(7u32).to_json(), "7");
+        assert_eq!(Option::<u32>::None.to_json(), "null");
+        let mut m = BTreeMap::new();
+        m.insert("b".to_string(), 2.0f64);
+        m.insert("a".to_string(), 1.5f64);
+        assert_eq!(m.to_json(), r#"{"a":1.5,"b":2}"#);
+        assert_eq!((1u8, "x").to_json(), r#"[1,"x"]"#);
+    }
+}

@@ -1,0 +1,314 @@
+//! Derive macros for the offline `serde` stand-in.
+//!
+//! Implemented without `syn`/`quote` (neither is available offline): a small
+//! hand-rolled parser over [`proc_macro::TokenStream`] that understands the
+//! shapes this workspace actually derives on — structs with named fields,
+//! tuple/unit structs, and enums with unit/tuple/struct variants, all without
+//! generic parameters.
+//!
+//! `#[derive(Serialize)]` emits an `impl serde::Serialize` writing compact
+//! JSON; `#[derive(Deserialize)]` emits the stand-in's marker impl.
+
+#![warn(missing_docs)]
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// The parsed shape of the item the derive is attached to.
+enum Item {
+    NamedStruct { name: String, fields: Vec<String> },
+    TupleStruct { name: String, arity: usize },
+    UnitStruct { name: String },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+/// Derives the stand-in `serde::Serialize` (compact JSON writer).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen_serialize(&item).parse().expect("generated impl parses"),
+        Err(msg) => error(&msg),
+    }
+}
+
+/// Derives the stand-in `serde::Deserialize` marker impl.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => {
+            let name = match &item {
+                Item::NamedStruct { name, .. }
+                | Item::TupleStruct { name, .. }
+                | Item::UnitStruct { name }
+                | Item::Enum { name, .. } => name,
+            };
+            format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
+                .parse()
+                .expect("generated impl parses")
+        }
+        Err(msg) => error(&msg),
+    }
+}
+
+fn error(msg: &str) -> TokenStream {
+    format!("compile_error!({:?});", msg).parse().expect("error tokens parse")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    // Skip outer attributes and visibility.
+    skip_attrs_and_vis(&tokens, &mut i)?;
+
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) if id.to_string() == "struct" => "struct",
+        Some(TokenTree::Ident(id)) if id.to_string() == "enum" => "enum",
+        other => {
+            return Err(format!("serde stand-in derive: expected struct or enum, got {other:?}"))
+        }
+    };
+    i += 1;
+
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("serde stand-in derive: expected item name, got {other:?}")),
+    };
+    i += 1;
+
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "serde stand-in derive: generic type `{name}` is not supported; extend vendor/serde_derive"
+        ));
+    }
+
+    if kind == "struct" {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Ok(Item::NamedStruct { name, fields: parse_named_fields(g.stream())? })
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Ok(Item::TupleStruct { name, arity: split_top_level(g.stream()).len() })
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok(Item::UnitStruct { name }),
+            other => Err(format!("serde stand-in derive: unsupported struct body {other:?}")),
+        }
+    } else {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Ok(Item::Enum { name, variants: parse_variants(g.stream())? })
+            }
+            other => Err(format!("serde stand-in derive: unsupported enum body {other:?}")),
+        }
+    }
+}
+
+/// Skips attributes and visibility modifiers, rejecting `#[serde(...)]`: the
+/// stand-in implements no serde attributes, and silently ignoring e.g.
+/// `rename`/`skip` would produce wrong JSON instead of a compile error.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) -> Result<(), String> {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(g)) = tokens.get(*i + 1) {
+                    let mut inner = g.stream().into_iter();
+                    let is_serde = matches!(inner.next(), Some(TokenTree::Ident(id)) if id.to_string() == "serde");
+                    if is_serde {
+                        return Err(
+                            "serde stand-in derive: #[serde(...)] attributes are not supported; \
+                             extend vendor/serde_derive before using them"
+                                .to_string(),
+                        );
+                    }
+                }
+                *i += 2; // `#` + the `[...]` group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1; // `pub(crate)` etc.
+                }
+            }
+            _ => break,
+        }
+    }
+    Ok(())
+}
+
+/// Splits a token stream on top-level commas, treating `<...>` as nesting so
+/// commas inside generic arguments (e.g. `BTreeMap<String, f64>`) don't split.
+fn split_top_level(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut out: Vec<Vec<TokenTree>> = Vec::new();
+    let mut current: Vec<TokenTree> = Vec::new();
+    let mut angle_depth: usize = 0;
+    for tt in stream {
+        match &tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                angle_depth = angle_depth.saturating_sub(1)
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                out.push(std::mem::take(&mut current));
+                continue;
+            }
+            _ => {}
+        }
+        current.push(tt);
+    }
+    if !current.is_empty() {
+        out.push(current);
+    }
+    out
+}
+
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    for chunk in split_top_level(stream) {
+        let mut i = 0;
+        skip_attrs_and_vis(&chunk, &mut i)?;
+        match chunk.get(i) {
+            Some(TokenTree::Ident(id)) => fields.push(id.to_string()),
+            None => continue, // trailing comma
+            other => return Err(format!("serde stand-in derive: unsupported field {other:?}")),
+        }
+    }
+    Ok(fields)
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let mut variants = Vec::new();
+    for chunk in split_top_level(stream) {
+        let mut i = 0;
+        skip_attrs_and_vis(&chunk, &mut i)?;
+        let name = match chunk.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => continue, // trailing comma
+            other => return Err(format!("serde stand-in derive: unsupported variant {other:?}")),
+        };
+        i += 1;
+        let kind = match chunk.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                VariantKind::Tuple(split_top_level(g.stream()).len())
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                VariantKind::Struct(parse_named_fields(g.stream())?)
+            }
+            _ => VariantKind::Unit, // unit variant, possibly with `= discriminant`
+        };
+        variants.push(Variant { name, kind });
+    }
+    Ok(variants)
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    let (name, body) = match item {
+        Item::NamedStruct { name, fields } => (name, gen_named_struct_body(fields)),
+        Item::TupleStruct { name, arity } => (name, gen_tuple_struct_body(*arity)),
+        Item::UnitStruct { name } => (name, "out.push_str(\"null\");".to_string()),
+        Item::Enum { name, variants } => (name, gen_enum_body(name, variants)),
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn serialize_json(&self, out: &mut ::std::string::String) {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+}
+
+fn gen_named_struct_body(fields: &[String]) -> String {
+    let mut body = String::from("out.push('{');\n");
+    for (k, f) in fields.iter().enumerate() {
+        if k > 0 {
+            body.push_str("out.push(',');\n");
+        }
+        body.push_str(&format!("out.push_str(\"\\\"{f}\\\":\");\n"));
+        body.push_str(&format!("::serde::Serialize::serialize_json(&self.{f}, out);\n"));
+    }
+    body.push_str("out.push('}');");
+    body
+}
+
+fn gen_tuple_struct_body(arity: usize) -> String {
+    if arity == 1 {
+        return "::serde::Serialize::serialize_json(&self.0, out);".to_string();
+    }
+    let mut body = String::from("out.push('[');\n");
+    for k in 0..arity {
+        if k > 0 {
+            body.push_str("out.push(',');\n");
+        }
+        body.push_str(&format!("::serde::Serialize::serialize_json(&self.{k}, out);\n"));
+    }
+    body.push_str("out.push(']');");
+    body
+}
+
+fn gen_enum_body(name: &str, variants: &[Variant]) -> String {
+    if variants.is_empty() {
+        return "match *self {}".to_string();
+    }
+    let mut body = String::from("match self {\n");
+    for v in variants {
+        let vname = &v.name;
+        match &v.kind {
+            VariantKind::Unit => {
+                body.push_str(&format!("{name}::{vname} => out.push_str(\"\\\"{vname}\\\"\"),\n"));
+            }
+            VariantKind::Tuple(arity) => {
+                let binders: Vec<String> = (0..*arity).map(|k| format!("__f{k}")).collect();
+                let pat = binders.join(", ");
+                let mut arm = format!("{name}::{vname}({pat}) => {{\n");
+                arm.push_str(&format!("out.push_str(\"{{\\\"{vname}\\\":\");\n"));
+                if *arity == 1 {
+                    arm.push_str("::serde::Serialize::serialize_json(__f0, out);\n");
+                } else {
+                    arm.push_str("out.push('[');\n");
+                    for (k, b) in binders.iter().enumerate() {
+                        if k > 0 {
+                            arm.push_str("out.push(',');\n");
+                        }
+                        arm.push_str(&format!("::serde::Serialize::serialize_json({b}, out);\n"));
+                    }
+                    arm.push_str("out.push(']');\n");
+                }
+                arm.push_str("out.push('}');\n}\n");
+                body.push_str(&arm);
+            }
+            VariantKind::Struct(fields) => {
+                let pat = fields.join(", ");
+                let mut arm = format!("{name}::{vname} {{ {pat} }} => {{\n");
+                arm.push_str(&format!("out.push_str(\"{{\\\"{vname}\\\":{{\");\n"));
+                for (k, f) in fields.iter().enumerate() {
+                    if k > 0 {
+                        arm.push_str("out.push(',');\n");
+                    }
+                    arm.push_str(&format!("out.push_str(\"\\\"{f}\\\":\");\n"));
+                    arm.push_str(&format!("::serde::Serialize::serialize_json({f}, out);\n"));
+                }
+                arm.push_str("out.push_str(\"}}\");\n}\n");
+                body.push_str(&arm);
+            }
+        }
+    }
+    body.push('}');
+    body
+}

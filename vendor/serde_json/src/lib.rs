@@ -1,0 +1,50 @@
+//! Offline stand-in for `serde_json`: compact JSON rendering of any type
+//! implementing the vendored [`serde::Serialize`] trait.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+
+/// Serialization error. The stand-in writer is infallible, so this is only a
+/// type-level match for the upstream signature.
+#[derive(Debug, Clone)]
+pub struct Error(());
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("serde_json stand-in error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Result alias mirroring `serde_json::Result`.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Renders `value` as a compact JSON string.
+///
+/// # Errors
+///
+/// Never fails in the stand-in; the `Result` mirrors the upstream signature.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String> {
+    Ok(value.to_json())
+}
+
+/// Renders `value` as JSON. The stand-in does not pretty-print; output is the
+/// same compact encoding as [`to_string`].
+///
+/// # Errors
+///
+/// Never fails in the stand-in; the `Result` mirrors the upstream signature.
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String> {
+    to_string(value)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn renders_through_serialize() {
+        assert_eq!(super::to_string(&vec![1u32, 2]).unwrap(), "[1,2]");
+    }
+}
