@@ -1,6 +1,8 @@
-//! A uniform interface over all coloring algorithms, used by the experiment harness to build
-//! the §1.2 comparison table.
+//! A uniform interface over all coloring algorithms — the §1.2 comparison baselines plus the
+//! two headline algorithms — used by the experiment harness to build its comparison tables.
 
+use arbcolor::ghaffari_kuhn::ghaffari_kuhn_coloring;
+use arbcolor::legal_coloring::sparse_delta_plus_one;
 use arbcolor_decompose::arb_linear::arboricity_linear_coloring;
 use arbcolor_decompose::delta_linear::delta_plus_one_coloring;
 use arbcolor_graph::{degeneracy, Coloring, Graph};
@@ -166,6 +168,59 @@ impl ColoringBaseline for ArboricityLinearBaseline {
     }
 }
 
+/// Barenboim–Elkin (PODC 2010), the repository's first headline algorithm, through its
+/// `(Δ+1)`-coloring statement (Corollary 4.7): arboricity-parameterized,
+/// `O(log a · log n)` rounds, at most `Δ + 1` colors whenever `a ≪ Δ`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BarenboimElkinHeadline;
+
+impl ColoringBaseline for BarenboimElkinHeadline {
+    fn name(&self) -> &'static str {
+        "barenboim_elkin"
+    }
+
+    fn run(&self, graph: &Graph) -> Result<BaselineOutcome, String> {
+        let a = degeneracy::degeneracy(graph).max(1);
+        let run = sparse_delta_plus_one(graph, a, 0.5, 1.0).map_err(|e| e.to_string())?;
+        Ok(BaselineOutcome {
+            name: self.name().to_string(),
+            colors: run.colors_used,
+            coloring: run.coloring,
+            report: run.report,
+            deterministic: true,
+        })
+    }
+}
+
+/// Ghaffari–Kuhn (arXiv:2011.04511), the repository's second headline algorithm:
+/// degree-parameterized `(deg+1)`-list coloring, `O(log² Δ · log n)` rounds, always at most
+/// `Δ + 1` colors.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GhaffariKuhnHeadline;
+
+impl ColoringBaseline for GhaffariKuhnHeadline {
+    fn name(&self) -> &'static str {
+        "ghaffari_kuhn"
+    }
+
+    fn run(&self, graph: &Graph) -> Result<BaselineOutcome, String> {
+        let run = ghaffari_kuhn_coloring(graph).map_err(|e| e.to_string())?;
+        Ok(BaselineOutcome {
+            name: self.name().to_string(),
+            colors: run.colors_used,
+            coloring: run.coloring,
+            report: run.report,
+            deterministic: true,
+        })
+    }
+}
+
+/// The two headline algorithms, in publication order — every head-to-head experiment runs
+/// exactly this list so both contenders see the same seeded graphs.
+pub fn headline_algorithms() -> Vec<Box<dyn ColoringBaseline>> {
+    vec![Box::new(BarenboimElkinHeadline), Box::new(GhaffariKuhnHeadline)]
+}
+
 /// All baselines, in the order the §1.2 comparison table lists them.
 pub fn standard_baselines(seed: u64) -> Vec<Box<dyn ColoringBaseline>> {
     vec![
@@ -196,10 +251,34 @@ mod tests {
 
     #[test]
     fn names_are_unique() {
-        let names: Vec<&str> = standard_baselines(1).iter().map(|b| b.name()).collect();
+        let names: Vec<&str> = standard_baselines(1)
+            .iter()
+            .chain(headline_algorithms().iter())
+            .map(|b| b.name())
+            .collect();
         let mut deduped = names.clone();
         deduped.sort_unstable();
         deduped.dedup();
         assert_eq!(names.len(), deduped.len());
+    }
+
+    #[test]
+    fn headline_algorithms_color_legally_within_delta_plus_one() {
+        let g = generators::star_forest_union(300, 2, 4, 9).unwrap().with_shuffled_ids(3);
+        let headliners = headline_algorithms();
+        assert_eq!(headliners.len(), 2);
+        for algorithm in headliners {
+            let outcome =
+                algorithm.run(&g).unwrap_or_else(|e| panic!("{} failed: {e}", algorithm.name()));
+            assert!(outcome.coloring.is_legal(&g), "{} is illegal", outcome.name);
+            assert!(
+                outcome.colors <= g.max_degree() + 1,
+                "{} used {} colors but Δ + 1 = {}",
+                outcome.name,
+                outcome.colors,
+                g.max_degree() + 1
+            );
+            assert!(outcome.deterministic);
+        }
     }
 }

@@ -1,8 +1,10 @@
-//! Criterion benchmark for the headline result (Corollary 4.6, experiment E8) and the
-//! Section 4 parameter selections (E5–E7): wall-clock time of the full simulated execution as
-//! the graph grows.  The quantity of scientific interest (simulated LOCAL rounds) is produced
-//! by the `experiments` binary; this bench tracks the simulator's own cost.
+//! Criterion benchmark for the two headline algorithms — Barenboim–Elkin (Corollary 4.6,
+//! experiment E8) with its Section 4 parameter selections (E5–E7), and Ghaffari–Kuhn
+//! (experiment E16) — as wall-clock time of the full simulated execution while the graph
+//! grows.  The quantity of scientific interest (simulated LOCAL rounds) is produced by the
+//! `experiments` binary; this bench tracks the simulator's own cost.
 
+use arbcolor::ghaffari_kuhn::ghaffari_kuhn_coloring;
 use arbcolor::legal_coloring::{a_power_coloring, o_a_coloring, APowerParams, OaParams};
 use arbcolor_graph::generators;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
@@ -31,5 +33,17 @@ fn bench_o_a(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_headline, bench_o_a);
+fn bench_ghaffari_kuhn(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e16_ghaffari_kuhn");
+    group.sample_size(10);
+    for n in [250usize, 500, 1000] {
+        let g = generators::union_of_random_forests(n, 4, 37).unwrap().with_shuffled_ids(1);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
+            b.iter(|| ghaffari_kuhn_coloring(g).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_headline, bench_o_a, bench_ghaffari_kuhn);
 criterion_main!(benches);

@@ -1,36 +1,48 @@
 //! Regenerates every experiment table of EXPERIMENTS.md.
 //!
 //! Usage:
-//!   cargo run --release -p arbcolor_bench --bin experiments            # all experiments, scale 1
-//!   cargo run --release -p arbcolor_bench --bin experiments -- E8      # one experiment
-//!   cargo run --release -p arbcolor_bench --bin experiments -- all 2   # all, scale 2
+//!   cargo run --release -p arbcolor_bench --bin experiments             # all experiments, scale 1
+//!   cargo run --release -p arbcolor_bench --bin experiments -- E8       # one experiment
+//!   cargo run --release -p arbcolor_bench --bin experiments -- all 2    # all, scale 2
 //!   cargo run --release -p arbcolor_bench --bin experiments -- E8 1 --json
+//!   cargo run --release -p arbcolor_bench --bin experiments -- --smoke  # CI tier: tiny graphs
+//!
+//! `--smoke` shrinks every workload to the smoke tier (the CI `bench-smoke` job runs it with
+//! `--json` and archives the rows as a workflow artifact on every pull request).  With
+//! `--json` the output is pure JSON lines — one row object per line, no markdown headers —
+//! so it can be piped straight into a file or a line-oriented tool.
 
-use arbcolor_bench::experiments;
+use arbcolor_bench::experiments::{self, SizeClass};
 use arbcolor_bench::Row;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let which = args.first().map(String::as_str).unwrap_or("all").to_uppercase();
-    let scale: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(1).max(1);
     let json = args.iter().any(|a| a == "--json");
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let positional: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    let which = positional.first().map(|s| s.as_str()).unwrap_or("all").to_uppercase();
+    let sz = if smoke {
+        SizeClass::Smoke
+    } else {
+        SizeClass::Scale(positional.get(1).and_then(|s| s.parse().ok()).unwrap_or(1))
+    };
 
-    let all = experiments::run_all(scale);
-    let mut printed = false;
-    for (id, rows) in &all {
-        if which != "ALL" && which != *id {
-            continue;
-        }
-        printed = true;
-        println!("\n## {id}\n");
-        if json {
-            println!("{}", Row::to_json_lines(rows));
-        } else {
-            println!("{}", Row::to_markdown(rows));
-        }
-    }
-    if !printed {
-        eprintln!("unknown experiment id {which}; known ids are E1..E15 or 'all'");
+    // Filter the lazy catalog first so selecting one experiment runs only that experiment.
+    let selected: Vec<_> = experiments::catalog()
+        .into_iter()
+        .filter(|(id, _)| which == "ALL" || which == *id)
+        .collect();
+    if selected.is_empty() {
+        eprintln!("unknown experiment id {which}; known ids are E1..E16 or 'all'");
         std::process::exit(1);
+    }
+    for (id, run) in selected {
+        let rows = run(sz);
+        if json {
+            println!("{}", Row::to_json_lines(&rows));
+        } else {
+            println!("\n## {id}\n");
+            println!("{}", Row::to_markdown(&rows));
+        }
     }
 }

@@ -1,8 +1,10 @@
 //! One function per experiment of the reproduction index (DESIGN.md §5).
 //!
-//! Every function takes a `scale` factor (1 = the sizes recorded in EXPERIMENTS.md; larger
-//! values grow the graphs) and returns measurement [`Row`]s.  All experiments are
-//! deterministic: graph generators and randomized baselines take fixed seeds.
+//! Every function takes a [`SizeClass`] — `Scale(1)` reproduces the sizes recorded in
+//! EXPERIMENTS.md, larger scales grow the graphs, and `Smoke` shrinks every workload to a
+//! tiny fraction so the whole suite finishes in seconds (the CI `bench-smoke` job runs it on
+//! every pull request and archives the JSON rows).  All experiments are deterministic: graph
+//! generators and randomized baselines take fixed seeds.
 
 use crate::row::Row;
 use arbcolor::arb_kuhn::arb_kuhn_coloring;
@@ -16,12 +18,32 @@ use arbcolor::orientation_procs::{complete_orientation, partial_orientation};
 use arbcolor::simple_arbdefective::simple_arbdefective;
 use arbcolor::tradeoffs::{color_time_tradeoff, sub_quadratic_coloring};
 use arbcolor_baselines::luby::luby_mis;
-use arbcolor_baselines::registry::standard_baselines;
+use arbcolor_baselines::registry::{headline_algorithms, standard_baselines};
 use arbcolor_decompose::defective::defective_coloring;
 use arbcolor_decompose::forests::bounded_outdegree_orientation;
 use arbcolor_graph::{degeneracy, generators, Graph};
 
 const EPS: f64 = 1.0;
+
+/// How large the experiment workloads should be.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SizeClass {
+    /// Tiny graphs for the CI smoke tier: every base size is divided by six (with a floor),
+    /// keeping the full suite under a few seconds while still exercising every code path.
+    Smoke,
+    /// The recorded experiment sizes multiplied by the given factor (0 is treated as 1).
+    Scale(usize),
+}
+
+impl SizeClass {
+    /// Maps a base vertex count to the vertex count to run at.
+    pub fn n(self, base: usize) -> usize {
+        match self {
+            SizeClass::Smoke => (base / 6).max(40),
+            SizeClass::Scale(factor) => base * factor.max(1),
+        }
+    }
+}
 
 fn forest_graph(n: usize, a: usize, seed: u64) -> (Graph, usize) {
     let g = generators::union_of_random_forests(n, a, seed)
@@ -31,8 +53,8 @@ fn forest_graph(n: usize, a: usize, seed: u64) -> (Graph, usize) {
 }
 
 /// E1 — Theorem 3.2: Simple-Arbdefective on a complete bounded-out-degree orientation.
-pub fn e1_simple_arbdefective(scale: usize) -> Vec<Row> {
-    let (g, a) = forest_graph(300 * scale, 4, 11);
+pub fn e1_simple_arbdefective(sz: SizeClass) -> Vec<Row> {
+    let (g, a) = forest_graph(sz.n(300), 4, 11);
     let bounded = bounded_outdegree_orientation(&g, a, EPS).expect("arboricity bound holds");
     let mut rows = Vec::new();
     for k in [1u64, 2, 4, 8] {
@@ -52,9 +74,9 @@ pub fn e1_simple_arbdefective(scale: usize) -> Vec<Row> {
 }
 
 /// E2 — Lemma 3.3: Complete-Orientation out-degree and length.
-pub fn e2_complete_orientation(scale: usize) -> Vec<Row> {
+pub fn e2_complete_orientation(sz: SizeClass) -> Vec<Row> {
     let mut rows = Vec::new();
-    for (n, a) in [(200 * scale, 2), (400 * scale, 4), (800 * scale, 4)] {
+    for (n, a) in [(sz.n(200), 2), (sz.n(400), 4), (sz.n(800), 4)] {
         let (g, _) = forest_graph(n, a, 13);
         let oriented = complete_orientation(&g, a, EPS).expect("Lemma 3.3");
         rows.push(
@@ -74,8 +96,8 @@ pub fn e2_complete_orientation(scale: usize) -> Vec<Row> {
 }
 
 /// E3 — Theorem 3.5: Partial-Orientation deficit/length/rounds versus `t`.
-pub fn e3_partial_orientation(scale: usize) -> Vec<Row> {
-    let (g, a) = forest_graph(500 * scale, 6, 17);
+pub fn e3_partial_orientation(sz: SizeClass) -> Vec<Row> {
+    let (g, a) = forest_graph(sz.n(500), 6, 17);
     let mut rows = Vec::new();
     for t in [1usize, 2, 3, 6] {
         let oriented = partial_orientation(&g, a, t, EPS).expect("Theorem 3.5");
@@ -93,8 +115,8 @@ pub fn e3_partial_orientation(scale: usize) -> Vec<Row> {
 }
 
 /// E4 — Corollary 3.6: Arbdefective-Coloring quality versus `(k, t)`.
-pub fn e4_arbdefective_coloring(scale: usize) -> Vec<Row> {
-    let (g, a) = forest_graph(400 * scale, 6, 19);
+pub fn e4_arbdefective_coloring(sz: SizeClass) -> Vec<Row> {
+    let (g, a) = forest_graph(sz.n(400), 6, 19);
     let mut rows = Vec::new();
     for (k, t) in [(2u64, 2usize), (3, 3), (6, 6), (3, 6)] {
         let out = arbdefective_coloring(&g, a, k, t, EPS).expect("Corollary 3.6");
@@ -110,10 +132,10 @@ pub fn e4_arbdefective_coloring(scale: usize) -> Vec<Row> {
 }
 
 /// E5 — Lemma 4.1: the one-shot `O(a)`-coloring.
-pub fn e5_one_shot(scale: usize) -> Vec<Row> {
+pub fn e5_one_shot(sz: SizeClass) -> Vec<Row> {
     let mut rows = Vec::new();
     for a in [4usize, 8, 12] {
-        let (g, _) = forest_graph(300 * scale, a, 23);
+        let (g, _) = forest_graph(sz.n(300), a, 23);
         let run = one_shot_coloring(&g, a, EPS).expect("Lemma 4.1");
         rows.push(
             Row::new("E5", format!("forests n={}, a={a}", g.n()))
@@ -127,8 +149,8 @@ pub fn e5_one_shot(scale: usize) -> Vec<Row> {
 }
 
 /// E6 — Theorem 4.3 / Corollary 4.4: `O(a)` colors in `O(a^µ log n)` rounds.
-pub fn e6_o_a_coloring(scale: usize) -> Vec<Row> {
-    let (g, a) = forest_graph(500 * scale, 8, 29);
+pub fn e6_o_a_coloring(sz: SizeClass) -> Vec<Row> {
+    let (g, a) = forest_graph(sz.n(500), 8, 29);
     let mut rows = Vec::new();
     for mu in [0.3, 0.6, 0.9] {
         let run = o_a_coloring(&g, a, OaParams { mu, epsilon: EPS }).expect("Theorem 4.3");
@@ -144,10 +166,10 @@ pub fn e6_o_a_coloring(scale: usize) -> Vec<Row> {
 }
 
 /// E7 — Theorem 4.5: `a^{1+o(1)}` colors.
-pub fn e7_a_one_plus_o1(scale: usize) -> Vec<Row> {
+pub fn e7_a_one_plus_o1(sz: SizeClass) -> Vec<Row> {
     let mut rows = Vec::new();
     for a in [4usize, 8, 16] {
-        let (g, _) = forest_graph(400 * scale, a, 31);
+        let (g, _) = forest_graph(sz.n(400), a, 31);
         let run = a_one_plus_o1_coloring(&g, a, EPS).expect("Theorem 4.5");
         rows.push(
             Row::new("E7", format!("forests n={}, a={a}", g.n()))
@@ -162,9 +184,9 @@ pub fn e7_a_one_plus_o1(scale: usize) -> Vec<Row> {
 
 /// E8 — Corollary 4.6 (headline): `O(a^{1+η})` colors in `O(log a · log n)` rounds; rounds
 /// scale with `log n`.
-pub fn e8_headline(scale: usize) -> Vec<Row> {
+pub fn e8_headline(sz: SizeClass) -> Vec<Row> {
     let mut rows = Vec::new();
-    for n in [250 * scale, 500 * scale, 1000 * scale, 2000 * scale] {
+    for n in [sz.n(250), sz.n(500), sz.n(1000), sz.n(2000)] {
         let (g, a) = forest_graph(n, 4, 37);
         let run = a_power_coloring(&g, a, APowerParams { eta: 0.5, epsilon: EPS })
             .expect("Corollary 4.6");
@@ -181,16 +203,16 @@ pub fn e8_headline(scale: usize) -> Vec<Row> {
 }
 
 /// E9 — Corollary 4.7: sparse graphs (`a ≪ Δ`) get far fewer than `Δ` colors.
-pub fn e9_sparse_delta(scale: usize) -> Vec<Row> {
+pub fn e9_sparse_delta(sz: SizeClass) -> Vec<Row> {
     let mut rows = Vec::new();
     for (name, g) in [
         (
             "star-forests",
-            generators::star_forest_union(800 * scale, 2, 4, 41).unwrap().with_shuffled_ids(5),
+            generators::star_forest_union(sz.n(800), 2, 4, 41).unwrap().with_shuffled_ids(5),
         ),
         (
             "preferential-attachment",
-            generators::barabasi_albert(800 * scale, 3, 43).unwrap().with_shuffled_ids(6),
+            generators::barabasi_albert(sz.n(800), 3, 43).unwrap().with_shuffled_ids(6),
         ),
     ] {
         let a = degeneracy::degeneracy(&g).max(1);
@@ -208,8 +230,8 @@ pub fn e9_sparse_delta(scale: usize) -> Vec<Row> {
 }
 
 /// E10 — Theorem 5.2: `O(a²/g)` colors in `O(log g · log n)` rounds.
-pub fn e10_sub_quadratic(scale: usize) -> Vec<Row> {
-    let (g, a) = forest_graph(500 * scale, 8, 47);
+pub fn e10_sub_quadratic(sz: SizeClass) -> Vec<Row> {
+    let (g, a) = forest_graph(sz.n(500), 8, 47);
     let mut rows = Vec::new();
     for split in [2usize, 4, 8] {
         let run = sub_quadratic_coloring(&g, a, split, 1.0, EPS).expect("Theorem 5.2");
@@ -225,8 +247,8 @@ pub fn e10_sub_quadratic(scale: usize) -> Vec<Row> {
 }
 
 /// E11 — Theorem 5.3: the color/time trade-off.
-pub fn e11_tradeoff(scale: usize) -> Vec<Row> {
-    let (g, a) = forest_graph(500 * scale, 8, 53);
+pub fn e11_tradeoff(sz: SizeClass) -> Vec<Row> {
+    let (g, a) = forest_graph(sz.n(500), 8, 53);
     let mut rows = Vec::new();
     for t in [1usize, 2, 4, 8] {
         let run = color_time_tradeoff(&g, a, t, 0.5, EPS).expect("Theorem 5.3");
@@ -242,10 +264,10 @@ pub fn e11_tradeoff(scale: usize) -> Vec<Row> {
 }
 
 /// E12 — §1.2 MIS: deterministic bounded-arboricity MIS versus Luby.
-pub fn e12_mis(scale: usize) -> Vec<Row> {
+pub fn e12_mis(sz: SizeClass) -> Vec<Row> {
     let mut rows = Vec::new();
     for a in [2usize, 4] {
-        let (g, _) = forest_graph(500 * scale, a, 59);
+        let (g, _) = forest_graph(sz.n(500), a, 59);
         let det = mis_bounded_arboricity(&g, a, 0.5, EPS).expect("MIS");
         det.verify(&g).expect("valid MIS");
         let luby = luby_mis(&g, 61);
@@ -260,19 +282,13 @@ pub fn e12_mis(scale: usize) -> Vec<Row> {
     rows
 }
 
-/// E13 — the §1.2 state-of-the-art comparison table (paper vs baselines).
-pub fn e13_baseline_table(scale: usize) -> Vec<Row> {
-    let g = generators::star_forest_union(600 * scale, 2, 4, 67).unwrap().with_shuffled_ids(8);
-    let a = degeneracy::degeneracy(&g).max(1);
+/// E13 — the §1.2 state-of-the-art comparison table: the two headline algorithms (the
+/// `barenboim_elkin` registry entry *is* the paper's Corollary 4.6/4.7 coloring) versus
+/// every baseline on the same graph.
+pub fn e13_baseline_table(sz: SizeClass) -> Vec<Row> {
+    let g = generators::star_forest_union(sz.n(600), 2, 4, 67).unwrap().with_shuffled_ids(8);
     let mut rows = Vec::new();
-    let ours = a_power_coloring(&g, a, APowerParams { eta: 0.5, epsilon: EPS }).expect("ours");
-    rows.push(
-        Row::new("E13", format!("this paper (Cor 4.6) on stars n={}", g.n()))
-            .with("colors", ours.colors_used as f64)
-            .with("rounds", ours.report.rounds as f64)
-            .with("deterministic", 1.0),
-    );
-    for baseline in standard_baselines(71) {
+    for baseline in headline_algorithms().into_iter().chain(standard_baselines(71)) {
         match baseline.run(&g) {
             Ok(outcome) => rows.push(
                 Row::new("E13", format!("{} on stars n={}", outcome.name, g.n()))
@@ -287,8 +303,8 @@ pub fn e13_baseline_table(scale: usize) -> Vec<Row> {
 }
 
 /// E14 — Figure 1: structure of the longest directed path under Partial-Orientation.
-pub fn e14_figure1(scale: usize) -> Vec<Row> {
-    let (g, a) = forest_graph(500 * scale, 4, 73);
+pub fn e14_figure1(sz: SizeClass) -> Vec<Row> {
+    let (g, a) = forest_graph(sz.n(500), 4, 73);
     let oriented = partial_orientation(&g, a, 3, EPS).expect("Theorem 3.5");
     let path = oriented.orientation.longest_path(&g).expect("acyclic");
     let crossings = path
@@ -303,9 +319,9 @@ pub fn e14_figure1(scale: usize) -> Vec<Row> {
 }
 
 /// E15 — Lemma 2.1 and Algorithm Arb-Kuhn: the recoloring primitives.
-pub fn e15_primitives(scale: usize) -> Vec<Row> {
+pub fn e15_primitives(sz: SizeClass) -> Vec<Row> {
     let mut rows = Vec::new();
-    let g = generators::gnp(600 * scale, 0.02, 79).unwrap().with_shuffled_ids(9);
+    let g = generators::gnp(sz.n(600), 0.02, 79).unwrap().with_shuffled_ids(9);
     let delta = g.max_degree();
     for p in [2usize, 4, 8] {
         let out = defective_coloring(&g, p).expect("Lemma 2.1");
@@ -319,7 +335,7 @@ pub fn e15_primitives(scale: usize) -> Vec<Row> {
                 .with("rounds", out.output.report.rounds as f64),
         );
     }
-    let (gf, a) = forest_graph(600 * scale, 6, 83);
+    let (gf, a) = forest_graph(sz.n(600), 6, 83);
     for d in [1usize, 2, 3] {
         let out = arb_kuhn_coloring(&gf, a, d, EPS).expect("Arb-Kuhn");
         let worst = out.verify(&gf).expect("witnesses");
@@ -334,25 +350,90 @@ pub fn e15_primitives(scale: usize) -> Vec<Row> {
     rows
 }
 
-/// Runs every experiment at the given scale, returning `(experiment id, rows)` pairs.
-pub fn run_all(scale: usize) -> Vec<(&'static str, Vec<Row>)> {
+/// E16 — the headline head-to-head: Barenboim–Elkin versus Ghaffari–Kuhn on the same seeded
+/// graph of every generator family.  Every coloring is re-verified legal with at most `Δ + 1`
+/// colors before its row is emitted.
+pub fn e16_headline_head_to_head(sz: SizeClass) -> Vec<Row> {
+    let families: Vec<(&str, Graph)> = vec![
+        (
+            "forests",
+            generators::union_of_random_forests(sz.n(500), 3, 89).unwrap().with_shuffled_ids(10),
+        ),
+        (
+            "star-forests",
+            generators::star_forest_union(sz.n(600), 2, 4, 91).unwrap().with_shuffled_ids(11),
+        ),
+        (
+            "preferential-attachment",
+            generators::barabasi_albert(sz.n(600), 3, 93).unwrap().with_shuffled_ids(12),
+        ),
+        ("random-trees", generators::random_tree(sz.n(500), 97).unwrap().with_shuffled_ids(13)),
+        ("grid", generators::grid(sz.n(120) / 5, 25).unwrap().with_shuffled_ids(14)),
+        ("caterpillar", generators::caterpillar(sz.n(480) / 6, 5).unwrap().with_shuffled_ids(15)),
+    ];
+    let mut rows = Vec::new();
+    for (family, g) in &families {
+        let delta_plus_one = g.max_degree() + 1;
+        for algorithm in headline_algorithms() {
+            let outcome = algorithm
+                .run(g)
+                .unwrap_or_else(|e| panic!("{} failed on {family}: {e}", algorithm.name()));
+            assert!(
+                outcome.coloring.is_legal(g),
+                "{} produced an illegal coloring on {family}",
+                outcome.name
+            );
+            assert!(
+                outcome.colors <= delta_plus_one,
+                "{} used {} colors on {family} but Δ + 1 = {delta_plus_one}",
+                outcome.name,
+                outcome.colors
+            );
+            rows.push(
+                Row::new("E16", format!("{family} n={} · {}", g.n(), outcome.name))
+                    .with("n", g.n() as f64)
+                    .with("max_degree", g.max_degree() as f64)
+                    .with("degeneracy", degeneracy::degeneracy(g) as f64)
+                    .with("colors", outcome.colors as f64)
+                    .with("delta_plus_one", delta_plus_one as f64)
+                    .with("rounds", outcome.report.rounds as f64)
+                    .with("messages", outcome.report.messages as f64)
+                    .with("legal", 1.0),
+            );
+        }
+    }
+    rows
+}
+
+/// One experiment of the catalog.
+pub type ExperimentFn = fn(SizeClass) -> Vec<Row>;
+
+/// The experiment catalog: `(id, function)` pairs in index order.  Callers that only want a
+/// single experiment should filter this *before* running anything — every entry is lazy.
+pub fn catalog() -> Vec<(&'static str, ExperimentFn)> {
     vec![
-        ("E1", e1_simple_arbdefective(scale)),
-        ("E2", e2_complete_orientation(scale)),
-        ("E3", e3_partial_orientation(scale)),
-        ("E4", e4_arbdefective_coloring(scale)),
-        ("E5", e5_one_shot(scale)),
-        ("E6", e6_o_a_coloring(scale)),
-        ("E7", e7_a_one_plus_o1(scale)),
-        ("E8", e8_headline(scale)),
-        ("E9", e9_sparse_delta(scale)),
-        ("E10", e10_sub_quadratic(scale)),
-        ("E11", e11_tradeoff(scale)),
-        ("E12", e12_mis(scale)),
-        ("E13", e13_baseline_table(scale)),
-        ("E14", e14_figure1(scale)),
-        ("E15", e15_primitives(scale)),
+        ("E1", e1_simple_arbdefective),
+        ("E2", e2_complete_orientation),
+        ("E3", e3_partial_orientation),
+        ("E4", e4_arbdefective_coloring),
+        ("E5", e5_one_shot),
+        ("E6", e6_o_a_coloring),
+        ("E7", e7_a_one_plus_o1),
+        ("E8", e8_headline),
+        ("E9", e9_sparse_delta),
+        ("E10", e10_sub_quadratic),
+        ("E11", e11_tradeoff),
+        ("E12", e12_mis),
+        ("E13", e13_baseline_table),
+        ("E14", e14_figure1),
+        ("E15", e15_primitives),
+        ("E16", e16_headline_head_to_head),
     ]
+}
+
+/// Runs every experiment at the given size, returning `(experiment id, rows)` pairs.
+pub fn run_all(sz: SizeClass) -> Vec<(&'static str, Vec<Row>)> {
+    catalog().into_iter().map(|(id, run)| (id, run(sz))).collect()
 }
 
 #[cfg(test)]
@@ -362,8 +443,29 @@ mod tests {
     #[test]
     fn small_scale_experiments_produce_rows() {
         // Spot-check a few cheap experiments end to end at scale 1.
-        assert!(!e1_simple_arbdefective(1).is_empty());
-        assert!(!e3_partial_orientation(1).is_empty());
-        assert!(!e14_figure1(1).is_empty());
+        assert!(!e1_simple_arbdefective(SizeClass::Scale(1)).is_empty());
+        assert!(!e3_partial_orientation(SizeClass::Scale(1)).is_empty());
+        assert!(!e14_figure1(SizeClass::Scale(1)).is_empty());
+    }
+
+    #[test]
+    fn smoke_tier_shrinks_workloads() {
+        assert_eq!(SizeClass::Smoke.n(600), 100);
+        assert_eq!(SizeClass::Smoke.n(120), 40);
+        assert_eq!(SizeClass::Scale(2).n(300), 600);
+        assert_eq!(SizeClass::Scale(0).n(300), 300);
+    }
+
+    #[test]
+    fn e16_reports_both_headliners_on_every_family() {
+        let rows = e16_headline_head_to_head(SizeClass::Smoke);
+        // Two rows (one per headliner) per generator family, already verified legal and
+        // within Δ + 1 by the experiment itself.
+        assert_eq!(rows.len() % 2, 0);
+        assert!(rows.len() >= 12);
+        for pair in rows.chunks(2) {
+            assert!(pair[0].workload.contains("barenboim_elkin"), "{}", pair[0].workload);
+            assert!(pair[1].workload.contains("ghaffari_kuhn"), "{}", pair[1].workload);
+        }
     }
 }

@@ -11,4 +11,5 @@
 pub mod experiments;
 pub mod row;
 
+pub use experiments::SizeClass;
 pub use row::Row;

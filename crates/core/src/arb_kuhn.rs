@@ -93,18 +93,8 @@ impl Algorithm for ArbRecolorAlgorithm<'_> {
 
     fn node(&self, ctx: &NodeCtx) -> ArbRecolorNode {
         let v = ctx.vertex;
-        let parent_ports: Vec<usize> = self
-            .graph
-            .neighbors(v)
-            .iter()
-            .zip(self.graph.incident_edges(v))
-            .enumerate()
-            .filter_map(|(port, (&u, &e))| {
-                (self.orientation.head(self.graph, e) == Some(u)).then_some(port)
-            })
-            .collect();
         ArbRecolorNode {
-            parent_ports,
+            parent_ports: self.orientation.parent_ports(self.graph, v).collect(),
             steps: self.schedule.steps.clone(),
             color: self.graph.id(v) - 1,
             iteration: 0,

@@ -24,6 +24,11 @@
 //!   and the parameter selections for every statement in Section 4.
 //! * [`arb_kuhn`] — Algorithm **Arb-Kuhn** (Section 5, Lemma 5.1): arbdefective recoloring via
 //!   low-agreement polynomial families, counting collisions only against parents.
+//! * [`list_coloring`] — the shared `(deg+1)`-list coloring instance type ([`ColorLists`]):
+//!   per-vertex color lists with slack and membership validation.
+//! * [`ghaffari_kuhn`] — the second headline algorithm (Ghaffari–Kuhn, arXiv:2011.04511):
+//!   deterministic `(deg+1)`-list coloring by recursive color-space halving over
+//!   defective-coloring schedules, `O(log² Δ · log n)` rounds without network decomposition.
 //! * [`tradeoffs`] — Theorems 5.2 and 5.3: trading colors for time.
 //! * [`mis`] — maximal independent set in `O(a + a^µ log n)` rounds via the coloring reduction
 //!   (Section 1.2).
@@ -54,8 +59,10 @@
 pub mod arb_kuhn;
 pub mod arbdefective_coloring;
 pub mod error;
+pub mod ghaffari_kuhn;
 pub mod goal;
 pub mod legal_coloring;
+pub mod list_coloring;
 pub mod mis;
 pub mod orientation_procs;
 pub mod report;
@@ -63,4 +70,5 @@ pub mod simple_arbdefective;
 pub mod tradeoffs;
 
 pub use error::CoreError;
+pub use list_coloring::ColorLists;
 pub use report::ColoringRun;

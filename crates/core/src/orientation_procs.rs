@@ -99,19 +99,39 @@ type BucketColorings = (Vec<(usize, u64)>, RoundReport, Vec<usize>);
 fn color_buckets<F>(
     graph: &Graph,
     partition: &HPartition,
+    color_bucket: F,
+) -> Result<BucketColorings, CoreError>
+where
+    F: FnMut(&Graph) -> Result<(Vec<u64>, RoundReport, usize), CoreError>,
+{
+    let order: Vec<usize> = (0..partition.buckets().len()).collect();
+    color_buckets_in_order(graph, partition, &order, color_bucket)
+}
+
+/// [`color_buckets`] with an explicit bucket processing order.
+///
+/// The buckets are vertex-disjoint and the model charges them as one parallel phase, so the
+/// order in which the simulator happens to materialize them must never influence the result;
+/// the property tests below drive this with shuffled orders.
+fn color_buckets_in_order<F>(
+    graph: &Graph,
+    partition: &HPartition,
+    order: &[usize],
     mut color_bucket: F,
 ) -> Result<BucketColorings, CoreError>
 where
     F: FnMut(&Graph) -> Result<(Vec<u64>, RoundReport, usize), CoreError>,
 {
+    let buckets = partition.buckets();
     let mut key: Vec<(usize, u64)> = (0..graph.n()).map(|v| (partition.h_index[v], 0)).collect();
     let mut branch_reports = Vec::new();
     let mut palette_sizes = Vec::new();
-    for bucket_vertices in partition.buckets() {
+    for &bucket in order {
+        let bucket_vertices = &buckets[bucket];
         if bucket_vertices.is_empty() {
             continue;
         }
-        let sub = InducedSubgraph::new(graph, &bucket_vertices);
+        let sub = InducedSubgraph::new(graph, bucket_vertices);
         let (colors, report, palette) = color_bucket(&sub.graph)?;
         branch_reports.push(report);
         palette_sizes.push(palette);
@@ -318,6 +338,80 @@ mod tests {
             Err(CoreError::InvalidParameter { .. })
         ));
         assert!(complete_orientation(&generators::complete(20).unwrap(), 1, 1.0).is_err());
+    }
+
+    mod bucket_order_independence {
+        use super::super::*;
+        use arbcolor_decompose::linial::linial_coloring;
+        use arbcolor_decompose::reduction::greedy_reduce;
+        use arbcolor_graph::generators;
+        use proptest::prelude::*;
+
+        /// The legal per-bucket coloring closure of Procedure Complete-Orientation.
+        fn legal_bucket(bucket: &Graph) -> Result<(Vec<u64>, RoundReport, usize), CoreError> {
+            let linial = linial_coloring(bucket)?;
+            let palette = bucket.max_degree() as u64 + 1;
+            let reduced = greedy_reduce(bucket, &linial.coloring, palette)?;
+            let report = linial.report.then(reduced.report);
+            Ok((reduced.coloring.colors().to_vec(), report, palette as usize))
+        }
+
+        /// Derives a deterministic permutation of `0..len` from a seed (Fisher–Yates with a
+        /// SplitMix-style generator).
+        fn permutation(len: usize, mut seed: u64) -> Vec<usize> {
+            let mut order: Vec<usize> = (0..len).collect();
+            for i in (1..len).rev() {
+                seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let j = (seed >> 33) as usize % (i + 1);
+                order.swap(i, j);
+            }
+            order
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(12))]
+
+            #[test]
+            fn processing_order_never_affects_legality_or_palette(
+                n in 60usize..160,
+                a in 2usize..5,
+                seed in 0u64..1_000,
+            ) {
+                let g = generators::union_of_random_forests(n, a, seed)
+                    .expect("valid parameters")
+                    .with_shuffled_ids(seed + 1);
+                let partition = h_partition(&g, a, 1.0).unwrap();
+                let num_buckets = partition.buckets().len();
+                let identity: Vec<usize> = (0..num_buckets).collect();
+                let reversed: Vec<usize> = identity.iter().rev().copied().collect();
+                let shuffled = permutation(num_buckets, seed ^ 0x5DEECE66D);
+
+                let (base_key, base_cost, base_palettes) =
+                    color_buckets_in_order(&g, &partition, &identity, legal_bucket).unwrap();
+                let base_orientation = orient_by_keys(&g, &base_key);
+                prop_assert!(base_orientation.is_acyclic(&g));
+
+                for order in [&reversed, &shuffled] {
+                    let (key, cost, palettes) =
+                        color_buckets_in_order(&g, &partition, order, legal_bucket).unwrap();
+                    // Same per-vertex (bucket, color) keys → same orientation, same legality.
+                    prop_assert_eq!(&key, &base_key);
+                    prop_assert_eq!(cost, base_cost);
+                    prop_assert_eq!(
+                        palettes.iter().max(),
+                        base_palettes.iter().max(),
+                        "palette bound depends on bucket order"
+                    );
+                    prop_assert_eq!(orient_by_keys(&g, &key), base_orientation.clone());
+                }
+
+                // The keys double as a legal coloring of the graph (distinct on every edge),
+                // which is exactly what the downstream orientation relies on.
+                for &(u, v) in g.edges() {
+                    prop_assert_ne!(base_key[u], base_key[v]);
+                }
+            }
+        }
     }
 
     #[test]

@@ -102,17 +102,8 @@ impl Algorithm for SimpleArbdefective<'_> {
     type Node = SimpleArbdefectiveNode;
 
     fn node(&self, ctx: &NodeCtx) -> SimpleArbdefectiveNode {
-        let v = ctx.vertex;
-        let parent_ports: Vec<usize> = self
-            .graph
-            .neighbors(v)
-            .iter()
-            .zip(self.graph.incident_edges(v))
-            .enumerate()
-            .filter_map(|(port, (&u, &e))| {
-                (self.orientation.head(self.graph, e) == Some(u)).then_some(port)
-            })
-            .collect();
+        let parent_ports: Vec<usize> =
+            self.orientation.parent_ports(self.graph, ctx.vertex).collect();
         SimpleArbdefectiveNode { parent_ports, parent_colors: Vec::new(), k: self.k, chosen: None }
     }
 

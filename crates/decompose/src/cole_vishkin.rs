@@ -34,7 +34,7 @@ enum CvPhase {
     Done,
 }
 
-/// Node program of [`ColeVishkin`].
+/// Node program of the Cole–Vishkin recoloring (driven by [`cole_vishkin_forest_coloring`]).
 #[derive(Debug, Clone)]
 pub struct ColeVishkinNode {
     parent_port: Option<usize>,

@@ -46,7 +46,7 @@ pub mod orientation;
 pub mod properties;
 pub mod subgraph;
 
-pub use coloring::Coloring;
+pub use coloring::{Color, Coloring};
 pub use error::GraphError;
 pub use graph::{EdgeIdx, Graph, GraphBuilder, Vertex};
 pub use orientation::{EdgeDirection, Orientation};

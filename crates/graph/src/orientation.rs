@@ -108,34 +108,65 @@ impl Orientation {
         }
     }
 
-    /// The *parents* of `v`: neighbors reached by edges oriented away from `v`.
-    pub fn parents(&self, graph: &Graph, v: Vertex) -> Vec<Vertex> {
+    /// Iterates over the *parents* of `v`: neighbors reached by edges oriented away from `v`.
+    ///
+    /// Allocation-free variant of [`Orientation::parents`] for hot per-vertex loops.
+    pub fn parents_iter<'a>(
+        &'a self,
+        graph: &'a Graph,
+        v: Vertex,
+    ) -> impl Iterator<Item = Vertex> + 'a {
         graph
             .neighbors(v)
             .iter()
             .zip(graph.incident_edges(v))
-            .filter_map(|(&u, &e)| (self.head(graph, e) == Some(u)).then_some(u))
-            .collect()
+            .filter_map(move |(&u, &e)| (self.head(graph, e) == Some(u)).then_some(u))
     }
 
-    /// The *children* of `v`: neighbors whose edges are oriented towards `v`.
-    pub fn children(&self, graph: &Graph, v: Vertex) -> Vec<Vertex> {
+    /// Iterates over the *children* of `v`: neighbors whose edges are oriented towards `v`.
+    ///
+    /// Allocation-free variant of [`Orientation::children`] for hot per-vertex loops.
+    pub fn children_iter<'a>(
+        &'a self,
+        graph: &'a Graph,
+        v: Vertex,
+    ) -> impl Iterator<Item = Vertex> + 'a {
         graph
             .neighbors(v)
             .iter()
             .zip(graph.incident_edges(v))
-            .filter_map(|(&u, &e)| (self.head(graph, e) == Some(v)).then_some(u))
-            .collect()
+            .filter_map(move |(&u, &e)| (self.head(graph, e) == Some(v)).then_some(u))
+    }
+
+    /// Iterates over the *ports* of `v`'s parents (positions in `v`'s adjacency list whose
+    /// edges are oriented away from `v`) — the form node programs need to match inbox
+    /// messages against, without allocating a vertex list first.
+    pub fn parent_ports<'a>(
+        &'a self,
+        graph: &'a Graph,
+        v: Vertex,
+    ) -> impl Iterator<Item = usize> + 'a {
+        graph
+            .neighbors(v)
+            .iter()
+            .zip(graph.incident_edges(v))
+            .enumerate()
+            .filter_map(move |(port, (&u, &e))| (self.head(graph, e) == Some(u)).then_some(port))
+    }
+
+    /// The *parents* of `v`, materialized (see [`Orientation::parents_iter`]).
+    pub fn parents(&self, graph: &Graph, v: Vertex) -> Vec<Vertex> {
+        self.parents_iter(graph, v).collect()
+    }
+
+    /// The *children* of `v`, materialized (see [`Orientation::children_iter`]).
+    pub fn children(&self, graph: &Graph, v: Vertex) -> Vec<Vertex> {
+        self.children_iter(graph, v).collect()
     }
 
     /// Out-degree of vertex `v` (number of parents).
     pub fn out_degree(&self, graph: &Graph, v: Vertex) -> usize {
-        graph
-            .neighbors(v)
-            .iter()
-            .zip(graph.incident_edges(v))
-            .filter(|&(&u, &e)| self.head(graph, e) == Some(u))
-            .count()
+        self.parents_iter(graph, v).count()
     }
 
     /// Maximum out-degree over all vertices.
@@ -354,6 +385,21 @@ mod tests {
         assert_eq!(o.deficit(&g, 2), 1); // edge (2,3) unoriented
         assert_eq!(o.max_deficit(&g), 1);
         assert_eq!(o.unoriented_count(), 1);
+    }
+
+    #[test]
+    fn iterator_variants_agree_with_the_materialized_queries() {
+        let g = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3), (1, 3)]).unwrap();
+        let o = Orientation::from_ranking(&g, &[2, 0, 3, 1]);
+        for v in g.vertices() {
+            assert_eq!(o.parents_iter(&g, v).collect::<Vec<_>>(), o.parents(&g, v));
+            assert_eq!(o.children_iter(&g, v).collect::<Vec<_>>(), o.children(&g, v));
+            assert_eq!(o.parents_iter(&g, v).count(), o.out_degree(&g, v));
+            // Ports resolve back to exactly the parent vertices, in adjacency order.
+            let via_ports: Vec<_> =
+                o.parent_ports(&g, v).map(|port| g.neighbors(v)[port]).collect();
+            assert_eq!(via_ports, o.parents(&g, v));
+        }
     }
 
     #[test]

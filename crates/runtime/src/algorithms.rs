@@ -1,5 +1,23 @@
-//! Tiny reference algorithms used by tests, documentation examples and the runtime's own
-//! test-suite.  They double as templates for how node programs are written.
+//! Reference algorithms and reusable scheduled node programs.
+//!
+//! The first half of this module holds tiny reference algorithms used by tests, documentation
+//! examples and the runtime's own test-suite; they double as templates for how node programs
+//! are written.  The second half holds two generic *scheduled* building blocks shared by the
+//! list-coloring drivers in higher crates:
+//!
+//! * [`ScheduledListColor`] — slot-scheduled greedy list coloring: every vertex is given a
+//!   *slot* and a private candidate list; in its slot it adopts the first list color not
+//!   announced by a neighbor and not externally forbidden.  When the slots come from a legal
+//!   coloring (neighbors never share a slot) and every list is larger than the vertex degree,
+//!   every vertex succeeds.
+//! * [`HalvingSplit`] — slot-scheduled color-space bipartition: every vertex is given a slot
+//!   plus the sizes of its palette's intersection with the lower and upper halves of the
+//!   current color space; in its slot it commits to the half with the larger remaining margin
+//!   (palette share minus neighbors already committed there), and after all slots have fired
+//!   it self-defers if its committed half cannot guarantee a proper greedy completion.
+//!
+//! Both programs take per-vertex inputs at construction time, exactly like the procedures of
+//! the paper (the output of one phase is locally known to each vertex when the next starts).
 
 use crate::node::{Algorithm, Inbox, NodeCtx, NodeProgram, Outbox, Status};
 
@@ -118,6 +136,280 @@ impl Algorithm for FloodMaxId {
     }
 }
 
+/// Per-vertex input of [`ScheduledListColor`].
+#[derive(Debug, Clone)]
+pub struct ListColorSlot {
+    /// The round in which this vertex picks its color (slot 0 picks immediately).
+    pub slot: usize,
+    /// Candidate colors in preference order (the vertex's private list).
+    pub palette: Vec<u64>,
+    /// Colors this vertex must avoid in addition to its neighbors' announcements (e.g. final
+    /// colors of already-colored neighbors outside the current subgraph).
+    pub forbidden: Vec<u64>,
+}
+
+/// Slot-scheduled greedy list coloring (node-program factory).
+///
+/// Cost: `max_slot + 1` rounds and one broadcast per vertex.
+#[derive(Debug, Clone)]
+pub struct ScheduledListColor<'a> {
+    slots: &'a [ListColorSlot],
+}
+
+impl<'a> ScheduledListColor<'a> {
+    /// Creates the algorithm from one [`ListColorSlot`] per vertex.
+    pub fn new(slots: &'a [ListColorSlot]) -> Self {
+        ScheduledListColor { slots }
+    }
+}
+
+/// Node program of [`ScheduledListColor`].
+#[derive(Debug, Clone)]
+pub struct ScheduledListColorNode {
+    input: ListColorSlot,
+    taken: Vec<u64>,
+    chosen: Option<u64>,
+    round: usize,
+}
+
+impl ScheduledListColorNode {
+    fn pick(&mut self) -> Option<u64> {
+        let choice = self
+            .input
+            .palette
+            .iter()
+            .copied()
+            .find(|c| !self.input.forbidden.contains(c) && !self.taken.contains(c));
+        self.chosen = choice;
+        choice
+    }
+}
+
+impl NodeProgram for ScheduledListColorNode {
+    type Msg = u64;
+    type Output = Option<u64>;
+
+    fn init(&mut self, _ctx: &NodeCtx, outbox: &mut Outbox<u64>) -> Status {
+        self.round = 0;
+        if self.input.slot == 0 {
+            if let Some(c) = self.pick() {
+                outbox.broadcast(c);
+            }
+            Status::Halted
+        } else {
+            Status::Active
+        }
+    }
+
+    fn round(
+        &mut self,
+        _ctx: &NodeCtx,
+        inbox: &Inbox<'_, u64>,
+        outbox: &mut Outbox<u64>,
+    ) -> Status {
+        self.round += 1;
+        for (_, &c) in inbox.iter() {
+            self.taken.push(c);
+        }
+        if self.round == self.input.slot {
+            if let Some(c) = self.pick() {
+                outbox.broadcast(c);
+            }
+            Status::Halted
+        } else {
+            Status::Active
+        }
+    }
+
+    fn output(&self, _ctx: &NodeCtx) -> Option<u64> {
+        self.chosen
+    }
+}
+
+impl Algorithm for ScheduledListColor<'_> {
+    type Node = ScheduledListColorNode;
+
+    fn node(&self, ctx: &NodeCtx) -> ScheduledListColorNode {
+        ScheduledListColorNode {
+            input: self.slots[ctx.vertex].clone(),
+            taken: Vec::new(),
+            chosen: None,
+            round: 0,
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "scheduled-list-color"
+    }
+}
+
+/// Per-vertex input of [`HalvingSplit`].
+#[derive(Debug, Clone)]
+pub struct SplitSlot {
+    /// The round in which this vertex announces its half (slot 0 announces immediately).
+    pub slot: usize,
+    /// `|Ψ(v) ∩ lower half|` — the vertex's palette share in the lower half.
+    pub low_count: usize,
+    /// `|Ψ(v) ∩ upper half|` — the vertex's palette share in the upper half.
+    pub high_count: usize,
+    /// Half preferred when the margins and the palette shares are both tied (used to break
+    /// the symmetry of identical palettes deterministically).
+    pub tie_high: bool,
+}
+
+/// The side a vertex ends up on after a [`HalvingSplit`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SplitChoice {
+    /// The vertex recurses on the lower half of the color space.
+    Low,
+    /// The vertex recurses on the upper half of the color space.
+    High,
+    /// The vertex's committed half cannot guarantee a greedy completion
+    /// (`palette share < same-half neighbors + 1`); it drops out of the recursion and is
+    /// colored by the final cleanup sweep from its original list.
+    Deferred,
+}
+
+/// Slot-scheduled color-space bipartition (node-program factory).
+///
+/// Runs for exactly `num_slots` rounds; every vertex broadcasts its committed half once, in
+/// its slot, and listens for the whole execution so it can count how many neighbors ended up
+/// on its half.
+#[derive(Debug, Clone)]
+pub struct HalvingSplit<'a> {
+    slots: &'a [SplitSlot],
+    num_slots: usize,
+}
+
+impl<'a> HalvingSplit<'a> {
+    /// Creates the algorithm from one [`SplitSlot`] per vertex; every slot must be smaller
+    /// than `num_slots`.
+    pub fn new(slots: &'a [SplitSlot], num_slots: usize) -> Self {
+        assert!(num_slots > 0, "at least one slot is required");
+        assert!(
+            slots.iter().all(|s| s.slot < num_slots),
+            "every slot must be smaller than num_slots"
+        );
+        HalvingSplit { slots, num_slots }
+    }
+}
+
+/// Node program of [`HalvingSplit`].
+#[derive(Debug, Clone)]
+pub struct HalvingSplitNode {
+    input: SplitSlot,
+    num_slots: usize,
+    committed_low: usize,
+    committed_high: usize,
+    side_high: Option<bool>,
+    deferred: bool,
+    round: usize,
+}
+
+impl HalvingSplitNode {
+    /// Commits to the half with the larger remaining margin (palette share minus the
+    /// neighbors already committed there).
+    fn decide(&mut self) -> bool {
+        let margin_low = self.input.low_count as i64 - self.committed_low as i64;
+        let margin_high = self.input.high_count as i64 - self.committed_high as i64;
+        let high = match margin_high.cmp(&margin_low) {
+            std::cmp::Ordering::Greater => true,
+            std::cmp::Ordering::Less => false,
+            std::cmp::Ordering::Equal => match self.input.high_count.cmp(&self.input.low_count) {
+                std::cmp::Ordering::Greater => true,
+                std::cmp::Ordering::Less => false,
+                std::cmp::Ordering::Equal => self.input.tie_high,
+            },
+        };
+        self.side_high = Some(high);
+        high
+    }
+
+    /// After every slot has fired: self-defer when the committed half cannot guarantee a
+    /// greedy completion against the neighbors that committed to the same half.
+    fn finalize(&mut self) {
+        let high = self.side_high.expect("every slot fired");
+        let (share, rivals) = if high {
+            (self.input.high_count, self.committed_high)
+        } else {
+            (self.input.low_count, self.committed_low)
+        };
+        self.deferred = share < rivals + 1;
+    }
+}
+
+impl NodeProgram for HalvingSplitNode {
+    type Msg = bool;
+    type Output = SplitChoice;
+
+    fn init(&mut self, _ctx: &NodeCtx, outbox: &mut Outbox<bool>) -> Status {
+        self.round = 0;
+        if self.input.slot == 0 {
+            let high = self.decide();
+            outbox.broadcast(high);
+        }
+        Status::Active
+    }
+
+    fn round(
+        &mut self,
+        _ctx: &NodeCtx,
+        inbox: &Inbox<'_, bool>,
+        outbox: &mut Outbox<bool>,
+    ) -> Status {
+        self.round += 1;
+        for (_, &high) in inbox.iter() {
+            if high {
+                self.committed_high += 1;
+            } else {
+                self.committed_low += 1;
+            }
+        }
+        if self.round == self.input.slot {
+            let high = self.decide();
+            outbox.broadcast(high);
+        }
+        // The slot-(K−1) announcements are delivered in round K, so everyone stays active for
+        // exactly num_slots rounds before the deferral check.
+        if self.round >= self.num_slots {
+            self.finalize();
+            Status::Halted
+        } else {
+            Status::Active
+        }
+    }
+
+    fn output(&self, _ctx: &NodeCtx) -> SplitChoice {
+        if self.deferred {
+            SplitChoice::Deferred
+        } else if self.side_high == Some(true) {
+            SplitChoice::High
+        } else {
+            SplitChoice::Low
+        }
+    }
+}
+
+impl Algorithm for HalvingSplit<'_> {
+    type Node = HalvingSplitNode;
+
+    fn node(&self, ctx: &NodeCtx) -> HalvingSplitNode {
+        HalvingSplitNode {
+            input: self.slots[ctx.vertex].clone(),
+            num_slots: self.num_slots,
+            committed_low: 0,
+            committed_high: 0,
+            side_high: None,
+            deferred: false,
+            round: 0,
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "halving-split"
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -146,5 +438,67 @@ mod tests {
         let result = Executor::new(&g).run(&FloodMaxId { rounds: 2 }).unwrap();
         let global_max = g.ids().iter().copied().max().unwrap();
         assert!(result.outputs.iter().all(|&x| x == global_max));
+    }
+
+    #[test]
+    fn scheduled_list_color_respects_lists_and_schedule() {
+        // A 4-cycle scheduled by a proper 2-coloring; lists are disjoint from {9} via the
+        // forbidden set of vertex 0.
+        let g = generators::cycle(4).unwrap();
+        let slots = vec![
+            ListColorSlot { slot: 0, palette: vec![9, 5], forbidden: vec![9] },
+            ListColorSlot { slot: 1, palette: vec![5, 7], forbidden: vec![] },
+            ListColorSlot { slot: 0, palette: vec![5, 6], forbidden: vec![] },
+            ListColorSlot { slot: 1, palette: vec![5, 8], forbidden: vec![] },
+        ];
+        let result = Executor::new(&g).run(&ScheduledListColor::new(&slots)).unwrap();
+        // Vertex 0 avoids forbidden 9 and takes 5; vertex 2 takes 5 (not adjacent to 0);
+        // vertices 1 and 3 see both announcements and fall back to their second choice.
+        assert_eq!(result.outputs, vec![Some(5), Some(7), Some(5), Some(8)]);
+        // The slot-1 vertices pick (and halt) in round 1, so the whole sweep costs one round.
+        assert_eq!(result.report.rounds, 1);
+    }
+
+    #[test]
+    fn scheduled_list_color_reports_exhausted_lists_as_none() {
+        let g = generators::path(2).unwrap();
+        let slots = vec![
+            ListColorSlot { slot: 0, palette: vec![1], forbidden: vec![] },
+            ListColorSlot { slot: 1, palette: vec![1], forbidden: vec![] },
+        ];
+        let result = Executor::new(&g).run(&ScheduledListColor::new(&slots)).unwrap();
+        assert_eq!(result.outputs[0], Some(1));
+        assert_eq!(result.outputs[1], None);
+    }
+
+    #[test]
+    fn halving_split_balances_identical_palettes_by_margin() {
+        // A triangle with palettes split 2/2: the slot-0 vertex takes its tie-break half, and
+        // the later vertices see it and flow to the other half, keeping every margin positive.
+        let g = generators::complete(3).unwrap();
+        let slots = vec![
+            SplitSlot { slot: 0, low_count: 2, high_count: 2, tie_high: false },
+            SplitSlot { slot: 1, low_count: 2, high_count: 2, tie_high: false },
+            SplitSlot { slot: 2, low_count: 2, high_count: 2, tie_high: false },
+        ];
+        let result = Executor::new(&g).run(&HalvingSplit::new(&slots, 3)).unwrap();
+        assert_eq!(result.outputs[0], SplitChoice::Low);
+        assert_eq!(result.outputs[1], SplitChoice::High);
+        // Vertex 2 sees one commitment per half; margins tie, counts tie, tie_high says Low.
+        assert_eq!(result.outputs[2], SplitChoice::Low);
+        assert_eq!(result.report.rounds, 3);
+    }
+
+    #[test]
+    fn halving_split_defers_vertices_without_a_greedy_guarantee() {
+        // Both endpoints of an edge hold a single lower-half color and announce in the same
+        // slot, so neither can guarantee a proper completion: both must defer.
+        let g = generators::path(2).unwrap();
+        let slots = vec![
+            SplitSlot { slot: 0, low_count: 1, high_count: 0, tie_high: false },
+            SplitSlot { slot: 0, low_count: 1, high_count: 0, tie_high: false },
+        ];
+        let result = Executor::new(&g).run(&HalvingSplit::new(&slots, 1)).unwrap();
+        assert_eq!(result.outputs, vec![SplitChoice::Deferred, SplitChoice::Deferred]);
     }
 }

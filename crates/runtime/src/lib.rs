@@ -48,4 +48,4 @@ pub mod trace;
 pub use composition::{parallel_max, CostLedger, PhaseCost};
 pub use metrics::RoundReport;
 pub use network::{ExecutionResult, Executor, RuntimeError};
-pub use node::{Algorithm, Inbox, NodeCtx, Outbox, Status};
+pub use node::{Algorithm, Inbox, NodeCtx, NodeProgram, Outbox, Status};
