@@ -6,20 +6,76 @@
 //!   cargo run --release -p arbcolor_bench --bin experiments -- all 2    # all, scale 2
 //!   cargo run --release -p arbcolor_bench --bin experiments -- E8 1 --json
 //!   cargo run --release -p arbcolor_bench --bin experiments -- --smoke  # CI tier: tiny graphs
+//!   cargo run --release -p arbcolor_bench --bin experiments -- --smoke --par 4
 //!
 //! `--smoke` shrinks every workload to the smoke tier (the CI `bench-smoke` job runs it with
 //! `--json` and archives the rows as a workflow artifact on every pull request).  With
 //! `--json` the output is pure JSON lines — one row object per line, no markdown headers —
 //! so it can be piped straight into a file or a line-oriented tool.
+//!
+//! `--par N` (or `--par=N`) sets the process-wide executor configuration: `N > 1` runs every
+//! experiment on the sharded simulator with `N` pool threads (`arbcolor_runtime::shard`),
+//! `N = 1` forces the sequential executor.  Results are bit-identical either way — the CI
+//! `bench-smoke` job runs the tier under both and fails on any diff — only wall-clock
+//! changes.  E17 additionally performs its own 1-vs-4-thread sweep to report speedups.
+//!
+//! `--par-cutoff N` (or `--par-cutoff=N`) overrides the sequential-fallback cutoff of the
+//! sharded paths (default ~2k vertices).  `--par-cutoff 0` forces even tiny graphs through
+//! the sharded executor and the parallel bucket phase — the CI cross-executor gate uses it
+//! so the smoke tier genuinely exercises the parallel code on every experiment.
 
 use arbcolor_bench::experiments::{self, SizeClass};
 use arbcolor_bench::Row;
+use arbcolor_runtime::{set_default_executor, set_default_sequential_cutoff, ExecutorKind};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let json = args.iter().any(|a| a == "--json");
     let smoke = args.iter().any(|a| a == "--smoke");
-    let positional: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+
+    // Collect positionals while pulling out `--par N` and `--par-cutoff N` (with `=` forms).
+    let mut par: Option<&str> = None;
+    let mut par_cutoff: Option<&str> = None;
+    let mut positional: Vec<&String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        let arg = &args[i];
+        for (flag, slot) in [("--par", &mut par), ("--par-cutoff", &mut par_cutoff)] {
+            if arg == flag {
+                let Some(value) = args.get(i + 1) else {
+                    eprintln!("{flag} expects a number (e.g. {flag} 4)");
+                    std::process::exit(1);
+                };
+                *slot = Some(value.as_str());
+                i += 1; // skip the value
+            } else if let Some(value) = arg.strip_prefix(flag).and_then(|r| r.strip_prefix('=')) {
+                *slot = Some(value);
+            }
+        }
+        if !arg.starts_with("--") {
+            positional.push(arg);
+        }
+        i += 1;
+    }
+    let parse_flag = |flag: &str, value: Option<&str>| -> Option<usize> {
+        value.map(|v| {
+            v.parse::<usize>().unwrap_or_else(|_| {
+                eprintln!("{flag} expects a number, got {v:?}");
+                std::process::exit(1);
+            })
+        })
+    };
+    if let Some(cutoff) = parse_flag("--par-cutoff", par_cutoff) {
+        set_default_sequential_cutoff(cutoff);
+    }
+    if let Some(threads) = parse_flag("--par", par) {
+        set_default_executor(if threads > 1 {
+            ExecutorKind::sharded(threads)
+        } else {
+            ExecutorKind::Sequential
+        });
+    }
+
     let which = positional.first().map(|s| s.as_str()).unwrap_or("all").to_uppercase();
     let sz = if smoke {
         SizeClass::Smoke
@@ -33,7 +89,7 @@ fn main() {
         .filter(|(id, _)| which == "ALL" || which == *id)
         .collect();
     if selected.is_empty() {
-        eprintln!("unknown experiment id {which}; known ids are E1..E16 or 'all'");
+        eprintln!("unknown experiment id {which}; known ids are E1..E17 or 'all'");
         std::process::exit(1);
     }
     for (id, run) in selected {

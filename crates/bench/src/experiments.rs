@@ -22,6 +22,8 @@ use arbcolor_baselines::registry::{headline_algorithms, standard_baselines};
 use arbcolor_decompose::defective::defective_coloring;
 use arbcolor_decompose::forests::bounded_outdegree_orientation;
 use arbcolor_graph::{degeneracy, generators, Graph};
+use arbcolor_runtime::{default_executor, set_default_executor, ExecutorKind, RoundReport};
+use std::time::Instant;
 
 const EPS: f64 = 1.0;
 
@@ -405,6 +407,79 @@ pub fn e16_headline_head_to_head(sz: SizeClass) -> Vec<Row> {
     rows
 }
 
+/// E17 — the sharded-simulator scale sweep: both headliners on growing forest unions under
+/// the sequential executor (`threads = 1`) and the sharded executor (`threads = 4`).
+///
+/// Rounds, messages, and palettes are re-checked to be **bit-identical** across executors
+/// before a row is emitted (the determinism guarantee of `arbcolor_runtime::shard`); the
+/// wall-clock column is the only quantity allowed to differ.  `speedup_vs_seq` is the
+/// sequential wall-clock divided by the row's wall-clock, so the `threads = 4` rows report
+/// the parallel speedup of the whole pipeline on the same graph.
+///
+/// At `Scale(1)` this is the `n ∈ {10⁵, 10⁶}` sweep of the reproduction index — minutes of
+/// work; the smoke tier shrinks it to one n just above the sharded executor's sequential
+/// cutoff so CI exercises the parallel path end to end in seconds.
+pub fn e17_sharded_scale(sz: SizeClass) -> Vec<Row> {
+    let sizes: Vec<usize> = match sz {
+        SizeClass::Smoke => vec![4_000],
+        SizeClass::Scale(factor) => {
+            let factor = factor.max(1);
+            vec![100_000 * factor, 1_000_000 * factor]
+        }
+    };
+    let previous = default_executor();
+    let mut rows = Vec::new();
+    for n in sizes {
+        let g = generators::union_of_random_forests(n, 3, 101).unwrap().with_shuffled_ids(16);
+        for algorithm in headline_algorithms() {
+            let mut sequential: Option<(usize, RoundReport, f64)> = None;
+            for threads in [1usize, 4] {
+                set_default_executor(if threads == 1 {
+                    ExecutorKind::Sequential
+                } else {
+                    ExecutorKind::sharded(threads)
+                });
+                let start = Instant::now();
+                let outcome = algorithm.run(&g).unwrap_or_else(|e| {
+                    panic!("{} failed on forests n={n}, threads={threads}: {e}", algorithm.name())
+                });
+                let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+                let speedup = match &sequential {
+                    None => {
+                        sequential = Some((outcome.colors, outcome.report, wall_ms));
+                        1.0
+                    }
+                    Some((colors, report, seq_wall_ms)) => {
+                        let (colors, report, seq_wall_ms) = (*colors, *report, *seq_wall_ms);
+                        assert_eq!(
+                            (outcome.colors, outcome.report),
+                            (colors, report),
+                            "{} diverged between executors on forests n={n}",
+                            outcome.name
+                        );
+                        seq_wall_ms / wall_ms
+                    }
+                };
+                rows.push(
+                    Row::new(
+                        "E17",
+                        format!("forests n={n} · {} · threads={threads}", outcome.name),
+                    )
+                    .with("n", n as f64)
+                    .with("threads", threads as f64)
+                    .with("colors", outcome.colors as f64)
+                    .with("rounds", outcome.report.rounds as f64)
+                    .with("messages", outcome.report.messages as f64)
+                    .with("wall_ms", wall_ms)
+                    .with("speedup_vs_seq", speedup),
+                );
+            }
+        }
+    }
+    set_default_executor(previous);
+    rows
+}
+
 /// One experiment of the catalog.
 pub type ExperimentFn = fn(SizeClass) -> Vec<Row>;
 
@@ -428,6 +503,7 @@ pub fn catalog() -> Vec<(&'static str, ExperimentFn)> {
         ("E14", e14_figure1),
         ("E15", e15_primitives),
         ("E16", e16_headline_head_to_head),
+        ("E17", e17_sharded_scale),
     ]
 }
 
@@ -454,6 +530,16 @@ mod tests {
         assert_eq!(SizeClass::Smoke.n(120), 40);
         assert_eq!(SizeClass::Scale(2).n(300), 600);
         assert_eq!(SizeClass::Scale(0).n(300), 300);
+    }
+
+    #[test]
+    fn catalog_includes_the_sharded_scale_sweep() {
+        // E17 itself is exercised (and its executors cross-checked) by the CI smoke tier;
+        // here we only pin its catalog identity so `experiments -- E17` keeps resolving.
+        let ids: Vec<&str> = catalog().iter().map(|(id, _)| *id).collect();
+        assert_eq!(ids.first(), Some(&"E1"));
+        assert_eq!(ids.last(), Some(&"E17"));
+        assert_eq!(ids.len(), 17);
     }
 
     #[test]

@@ -15,7 +15,7 @@ use crate::error::CoreError;
 use arbcolor_decompose::forests::bounded_outdegree_orientation;
 use arbcolor_decompose::linial::{RecolorSchedule, RecolorStep};
 use arbcolor_graph::{Coloring, Graph, Orientation};
-use arbcolor_runtime::{Algorithm, CostLedger, Executor, Inbox, NodeCtx, Outbox, Status};
+use arbcolor_runtime::{run_algorithm, Algorithm, CostLedger, Inbox, NodeCtx, Outbox, Status};
 use std::collections::HashMap;
 
 /// The Arb-Recolor iteration driver (node-program factory).
@@ -160,7 +160,7 @@ pub fn arb_kuhn_coloring(
         RecolorSchedule::build(id_space, bounded.out_degree_bound, target_arbdefect as u64);
     let algorithm =
         ArbRecolorAlgorithm { graph, orientation: &bounded.orientation, schedule: &schedule };
-    let result = Executor::new(graph).run(&algorithm)?;
+    let result = run_algorithm(graph, &algorithm)?;
     ledger.push("arb-recolor", result.report);
     let coloring = Coloring::new(graph, result.outputs)?;
     let arbdefect_bound = schedule.total_budget() as usize;

@@ -44,7 +44,7 @@ use arbcolor_graph::{Coloring, Graph, InducedSubgraph, Vertex};
 use arbcolor_runtime::algorithms::{
     HalvingSplit, ListColorSlot, ScheduledListColor, SplitChoice, SplitSlot,
 };
-use arbcolor_runtime::{parallel_max, CostLedger, Executor, RoundReport};
+use arbcolor_runtime::{parallel_max, run_algorithm, CostLedger, RoundReport};
 
 /// Color-space size at or below which an instance is finished by a direct greedy list sweep
 /// (its maximum degree is below this bound too, because lists have greedy slack).
@@ -166,7 +166,7 @@ pub fn ghaffari_kuhn_list_coloring(
                     }
                 })
                 .collect();
-            let result = Executor::new(&sub.graph).run(&HalvingSplit::new(&slots, num_slots))?;
+            let result = run_algorithm(&sub.graph, &HalvingSplit::new(&slots, num_slots))?;
             split_reports.push(defective.output.report.then(result.report));
 
             let mut low =
@@ -258,7 +258,7 @@ fn scheduled_sweep(
             forbidden,
         })
         .collect();
-    let result = Executor::new(graph).run(&ScheduledListColor::new(&inputs))?;
+    let result = run_algorithm(graph, &ScheduledListColor::new(&inputs))?;
     let mut out = Vec::with_capacity(graph.n());
     for (v, chosen) in result.outputs.into_iter().enumerate() {
         match chosen {

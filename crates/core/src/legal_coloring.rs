@@ -23,8 +23,8 @@ use crate::error::CoreError;
 use crate::report::ColoringRun;
 use arbcolor_decompose::arb_linear::arboricity_linear_coloring;
 use arbcolor_decompose::hpartition::degree_threshold;
-use arbcolor_graph::{Coloring, Graph, InducedSubgraph};
-use arbcolor_runtime::CostLedger;
+use arbcolor_graph::{Coloring, Graph, InducedSubgraph, PartitionScratch};
+use arbcolor_runtime::{CostLedger, RoundReport};
 
 /// Parameters of the raw Legal-Coloring driver.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -54,6 +54,20 @@ pub struct APowerParams {
     pub epsilon: f64,
 }
 
+/// Reusable buffers for the phase loop of Procedure Legal-Coloring.
+///
+/// Every phase of Algorithm 2 re-partitions the graph into the current decomposition's
+/// subgraphs and refines the group assignment; without scratch reuse each phase re-walks the
+/// CSR with fresh parent-sized allocations (`O(phases · groups · n)` in total).  The scratch
+/// holds the decomposition buffers ([`PartitionScratch`]), the next-phase group assignment,
+/// and the per-branch cost reports, so the loop allocates them once.
+#[derive(Debug, Default)]
+struct PhaseScratch {
+    partition: PartitionScratch,
+    next_group: Vec<usize>,
+    branch_reports: Vec<RoundReport>,
+}
+
 /// Runs Procedure Legal-Coloring (Algorithm 2) with an explicit refinement parameter `p`.
 ///
 /// `arboricity` must be an upper bound on the arboricity of `graph`.
@@ -79,6 +93,7 @@ pub fn legal_coloring(
     let mut group: Vec<usize> = vec![0; graph.n()];
     let mut num_groups = 1usize;
     let mut alpha = arboricity;
+    let mut scratch = PhaseScratch::default();
 
     // --- The while-loop of Algorithm 2 (lines 4–16). ---
     while alpha > p {
@@ -88,43 +103,46 @@ pub fn legal_coloring(
             // the final coloring pay for the larger palette instead of looping forever.
             break;
         }
-        let subgraphs = InducedSubgraph::partition(graph, &group, num_groups);
-        let mut branch_reports = Vec::new();
-        let mut new_group = group.clone();
+        let subgraphs =
+            InducedSubgraph::partition_with(graph, &group, num_groups, &mut scratch.partition);
+        scratch.branch_reports.clear();
+        scratch.next_group.clear();
+        scratch.next_group.extend_from_slice(&group);
         for (g_index, sub) in subgraphs.iter().enumerate() {
             if sub.graph.n() == 0 {
                 continue;
             }
             let refined = arbdefective_coloring(&sub.graph, alpha, p as u64, p, epsilon)?;
-            branch_reports.push(refined.ledger.total());
+            scratch.branch_reports.push(refined.ledger.total());
             for child in 0..sub.graph.n() {
                 let color = refined.coloring.coloring.color(child) as usize;
-                new_group[sub.map.to_parent(child)] = g_index * p + color;
+                scratch.next_group[sub.map.to_parent(child)] = g_index * p + color;
             }
         }
-        ledger.push_parallel("refine", &branch_reports);
-        group = new_group;
+        ledger.push_parallel("refine", &scratch.branch_reports);
+        std::mem::swap(&mut group, &mut scratch.next_group);
         num_groups *= p;
         alpha = new_alpha;
     }
 
     // --- Final coloring of the low-arboricity subgraphs (lines 17–20). ---
     let palette = degree_threshold(alpha, epsilon) as u64 + 1;
-    let subgraphs = InducedSubgraph::partition(graph, &group, num_groups);
-    let mut branch_reports = Vec::new();
+    let subgraphs =
+        InducedSubgraph::partition_with(graph, &group, num_groups, &mut scratch.partition);
+    scratch.branch_reports.clear();
     let mut colors = vec![0u64; graph.n()];
     for (g_index, sub) in subgraphs.iter().enumerate() {
         if sub.graph.n() == 0 {
             continue;
         }
         let inner = arboricity_linear_coloring(&sub.graph, alpha, epsilon)?;
-        branch_reports.push(inner.report);
+        scratch.branch_reports.push(inner.report);
         for child in 0..sub.graph.n() {
             colors[sub.map.to_parent(child)] =
                 g_index as u64 * palette + inner.coloring.color(child);
         }
     }
-    ledger.push_parallel("final-legal-coloring", &branch_reports);
+    ledger.push_parallel("final-legal-coloring", &scratch.branch_reports);
 
     let coloring = Coloring::new(graph, colors)?;
     if !coloring.is_legal(graph) {

@@ -9,7 +9,7 @@
 use crate::error::CoreError;
 use crate::legal_coloring::{o_a_coloring, OaParams};
 use arbcolor_graph::{Coloring, Graph};
-use arbcolor_runtime::{Algorithm, CostLedger, Executor, Inbox, NodeCtx, Outbox, Status};
+use arbcolor_runtime::{run_algorithm, Algorithm, CostLedger, Inbox, NodeCtx, Outbox, Status};
 
 /// The class-sweep MIS algorithm (node-program factory).
 #[derive(Debug, Clone)]
@@ -126,7 +126,7 @@ pub fn mis_from_coloring(graph: &Graph, coloring: &Coloring) -> Result<MisResult
     let (normalized, _) = coloring.normalized();
     let slots: Vec<u64> = normalized.colors().to_vec();
     let algorithm = MisSweep { slots: &slots };
-    let result = Executor::new(graph).run(&algorithm)?;
+    let result = run_algorithm(graph, &algorithm)?;
     let in_mis = result.outputs;
     let size = in_mis.iter().filter(|&&b| b).count();
     let mut ledger = CostLedger::new();

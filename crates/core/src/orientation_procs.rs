@@ -18,7 +18,9 @@ use arbcolor_decompose::hpartition::{h_partition, HPartition};
 use arbcolor_decompose::linial::linial_coloring;
 use arbcolor_decompose::reduction::greedy_reduce;
 use arbcolor_graph::{Graph, InducedSubgraph, Orientation, Vertex};
-use arbcolor_runtime::{parallel_max, CostLedger, RoundReport};
+use arbcolor_runtime::{
+    default_executor, default_sequential_cutoff, parallel_max, CostLedger, RoundReport, WorkPool,
+};
 
 /// An acyclic (partial) orientation produced by one of the orientation procedures, together
 /// with the parameters the paper's analysis guarantees for it.
@@ -94,45 +96,67 @@ fn orient_by_keys(graph: &Graph, key: &[(usize, u64)]) -> Orientation {
 /// size used inside each bucket.
 type BucketColorings = (Vec<(usize, u64)>, RoundReport, Vec<usize>);
 
-/// Colors every bucket subgraph with the provided closure (in parallel across buckets) and
-/// returns the per-vertex `(bucket, color)` keys plus the parallel cost of the bucket phase.
+/// Colors every bucket subgraph with the provided closure and returns the per-vertex
+/// `(bucket, color)` keys plus the parallel cost of the bucket phase.
+///
+/// The H-partition buckets are vertex-disjoint and the LOCAL model already charges them as
+/// one parallel phase, so when the process-wide executor configuration has a thread budget
+/// (see [`arbcolor_runtime::set_default_executor`]) the buckets are materialized and colored
+/// on a [`WorkPool`]; the result is identical either way.  Small graphs stay sequential —
+/// the recursive drivers invoke this on many tiny subgraphs, and those should not pay pool
+/// setup costs (the same rationale as the sharded executor's sequential cutoff).
 fn color_buckets<F>(
     graph: &Graph,
     partition: &HPartition,
     color_bucket: F,
 ) -> Result<BucketColorings, CoreError>
 where
-    F: FnMut(&Graph) -> Result<(Vec<u64>, RoundReport, usize), CoreError>,
+    F: Fn(&Graph) -> Result<(Vec<u64>, RoundReport, usize), CoreError> + Send + Sync,
 {
+    let threads =
+        if graph.n() <= default_sequential_cutoff() { 1 } else { default_executor().threads() };
     let order: Vec<usize> = (0..partition.buckets().len()).collect();
-    color_buckets_in_order(graph, partition, &order, color_bucket)
+    color_buckets_in_order(graph, partition, &order, threads, color_bucket)
 }
 
-/// [`color_buckets`] with an explicit bucket processing order.
+/// One bucket's coloring, before it is merged into the per-vertex keys.
+type BucketResult = Result<(InducedSubgraph, Vec<u64>, RoundReport, usize), CoreError>;
+
+/// [`color_buckets`] with an explicit bucket processing order and thread budget.
 ///
-/// The buckets are vertex-disjoint and the model charges them as one parallel phase, so the
-/// order in which the simulator happens to materialize them must never influence the result;
-/// the property tests below drive this with shuffled orders.
+/// The buckets are vertex-disjoint and the model charges them as one parallel phase, so
+/// neither the order in which the simulator happens to materialize them nor the number of
+/// pool threads may ever influence the result; the property tests below drive this with
+/// shuffled orders and varying thread counts.
 fn color_buckets_in_order<F>(
     graph: &Graph,
     partition: &HPartition,
     order: &[usize],
-    mut color_bucket: F,
+    threads: usize,
+    color_bucket: F,
 ) -> Result<BucketColorings, CoreError>
 where
-    F: FnMut(&Graph) -> Result<(Vec<u64>, RoundReport, usize), CoreError>,
+    F: Fn(&Graph) -> Result<(Vec<u64>, RoundReport, usize), CoreError> + Send + Sync,
 {
     let buckets = partition.buckets();
+    let selected: Vec<usize> = order.iter().copied().filter(|&b| !buckets[b].is_empty()).collect();
+    let color_one = |bucket: usize| -> BucketResult {
+        let sub = InducedSubgraph::new(graph, &buckets[bucket]);
+        let (colors, report, palette) = color_bucket(&sub.graph)?;
+        Ok((sub, colors, report, palette))
+    };
+    let colored: Vec<BucketResult> = if threads > 1 && selected.len() > 1 {
+        WorkPool::new(threads).map(selected, |_, bucket| color_one(bucket))
+    } else {
+        selected.into_iter().map(color_one).collect()
+    };
+
+    // Merge in `order` sequence — deterministic regardless of which worker colored what.
     let mut key: Vec<(usize, u64)> = (0..graph.n()).map(|v| (partition.h_index[v], 0)).collect();
     let mut branch_reports = Vec::new();
     let mut palette_sizes = Vec::new();
-    for &bucket in order {
-        let bucket_vertices = &buckets[bucket];
-        if bucket_vertices.is_empty() {
-            continue;
-        }
-        let sub = InducedSubgraph::new(graph, bucket_vertices);
-        let (colors, report, palette) = color_bucket(&sub.graph)?;
+    for result in colored {
+        let (sub, colors, report, palette) = result?;
         branch_reports.push(report);
         palette_sizes.push(palette);
         for (child, &c) in colors.iter().enumerate() {
@@ -387,13 +411,13 @@ mod tests {
                 let shuffled = permutation(num_buckets, seed ^ 0x5DEECE66D);
 
                 let (base_key, base_cost, base_palettes) =
-                    color_buckets_in_order(&g, &partition, &identity, legal_bucket).unwrap();
+                    color_buckets_in_order(&g, &partition, &identity, 1, legal_bucket).unwrap();
                 let base_orientation = orient_by_keys(&g, &base_key);
                 prop_assert!(base_orientation.is_acyclic(&g));
 
                 for order in [&reversed, &shuffled] {
                     let (key, cost, palettes) =
-                        color_buckets_in_order(&g, &partition, order, legal_bucket).unwrap();
+                        color_buckets_in_order(&g, &partition, order, 1, legal_bucket).unwrap();
                     // Same per-vertex (bucket, color) keys → same orientation, same legality.
                     prop_assert_eq!(&key, &base_key);
                     prop_assert_eq!(cost, base_cost);
@@ -403,6 +427,24 @@ mod tests {
                         "palette bound depends on bucket order"
                     );
                     prop_assert_eq!(orient_by_keys(&g, &key), base_orientation.clone());
+                }
+
+                // The parallel variant: coloring the buckets on the work pool must return
+                // exactly what the sequential path returns for the same processing order,
+                // for any thread count.
+                for threads in [2usize, 4] {
+                    for order in [&identity, &shuffled] {
+                        let (seq_key, seq_cost, seq_palettes) =
+                            color_buckets_in_order(&g, &partition, order, 1, legal_bucket)
+                                .unwrap();
+                        let (par_key, par_cost, par_palettes) =
+                            color_buckets_in_order(&g, &partition, order, threads, legal_bucket)
+                                .unwrap();
+                        prop_assert_eq!(&par_key, &seq_key);
+                        prop_assert_eq!(par_cost, seq_cost);
+                        prop_assert_eq!(&par_palettes, &seq_palettes);
+                        prop_assert_eq!(&par_key, &base_key);
+                    }
                 }
 
                 // The keys double as a legal coloring of the graph (distinct on every edge),

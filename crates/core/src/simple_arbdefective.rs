@@ -11,7 +11,7 @@
 
 use crate::error::CoreError;
 use arbcolor_graph::{Coloring, Graph, Orientation};
-use arbcolor_runtime::{Algorithm, Executor, Inbox, NodeCtx, Outbox, RoundReport, Status};
+use arbcolor_runtime::{run_algorithm, Algorithm, Inbox, NodeCtx, Outbox, RoundReport, Status};
 use std::collections::HashMap;
 
 /// The Simple-Arbdefective DAG-sweep algorithm (node-program factory).
@@ -167,7 +167,7 @@ pub fn simple_arbdefective(
         });
     }
     let algorithm = SimpleArbdefective::new(graph, orientation, k);
-    let result = Executor::new(graph).run(&algorithm)?;
+    let result = run_algorithm(graph, &algorithm)?;
     let coloring = Coloring::new(graph, result.outputs)?;
     let arbdefect_bound = deficit_bound + out_degree_bound / k as usize;
 

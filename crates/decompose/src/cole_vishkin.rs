@@ -12,7 +12,7 @@
 
 use crate::error::DecomposeError;
 use arbcolor_graph::{Coloring, Graph, Vertex};
-use arbcolor_runtime::{Algorithm, Executor, Inbox, NodeCtx, Outbox, RoundReport, Status};
+use arbcolor_runtime::{run_algorithm, Algorithm, Inbox, NodeCtx, Outbox, RoundReport, Status};
 
 /// Number of iterations after which the Cole–Vishkin contraction is guaranteed to have
 /// reached at most 6 colors for any 64-bit identifier space (`log* 2^64` plus slack).
@@ -192,7 +192,7 @@ pub fn cole_vishkin_forest_coloring(
         }
     }
     let algorithm = ColeVishkinPorts { parent_port };
-    let result = Executor::new(graph).run(&algorithm)?;
+    let result = run_algorithm(graph, &algorithm)?;
     let coloring = Coloring::new(graph, result.outputs)?;
 
     // Validate against the forest edges only.

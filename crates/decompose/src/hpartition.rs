@@ -9,7 +9,7 @@
 
 use crate::error::DecomposeError;
 use arbcolor_graph::{Graph, Vertex};
-use arbcolor_runtime::{Algorithm, Executor, Inbox, NodeCtx, Outbox, RoundReport, Status};
+use arbcolor_runtime::{run_algorithm, Algorithm, Inbox, NodeCtx, Outbox, RoundReport, Status};
 use serde::{Deserialize, Serialize};
 
 /// The distributed peeling algorithm computing an H-partition.
@@ -189,7 +189,7 @@ pub fn h_partition(
     };
 
     let algorithm = HPartitionAlgorithm { threshold, max_iterations };
-    let result = Executor::new(graph).run(&algorithm)?;
+    let result = run_algorithm(graph, &algorithm)?;
 
     let mut h_index = vec![0usize; graph.n()];
     let mut unassigned = 0usize;

@@ -19,7 +19,7 @@
 use crate::algebraic::{choose_prime_field, PolynomialFamily};
 use crate::error::DecomposeError;
 use arbcolor_graph::{Coloring, Graph};
-use arbcolor_runtime::{Algorithm, Executor, Inbox, NodeCtx, Outbox, RoundReport, Status};
+use arbcolor_runtime::{run_algorithm, Algorithm, Inbox, NodeCtx, Outbox, RoundReport, Status};
 use serde::{Deserialize, Serialize};
 
 /// One recoloring iteration: the function family to use and the number of *new* same-color
@@ -228,7 +228,7 @@ pub fn run_schedule_from(
         });
     }
     let algorithm = RecolorAlgorithm::new(schedule, initial);
-    let result = Executor::new(graph).run(&algorithm)?;
+    let result = run_algorithm(graph, &algorithm)?;
     let coloring = Coloring::new(graph, result.outputs)?;
     let colors_used = coloring.distinct_colors();
     Ok(RecolorOutput {

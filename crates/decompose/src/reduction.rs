@@ -13,7 +13,7 @@
 
 use crate::error::DecomposeError;
 use arbcolor_graph::{Coloring, Graph};
-use arbcolor_runtime::{Algorithm, Executor, Inbox, NodeCtx, Outbox, RoundReport, Status};
+use arbcolor_runtime::{run_algorithm, Algorithm, Inbox, NodeCtx, Outbox, RoundReport, Status};
 
 /// Per-vertex input of the greedy sweep.
 #[derive(Debug, Clone)]
@@ -131,7 +131,7 @@ pub fn run_greedy_sweep(
 ) -> Result<(Vec<u64>, RoundReport), DecomposeError> {
     assert_eq!(slots.len(), graph.n(), "one sweep slot per vertex");
     let algorithm = GreedySweep::new(slots);
-    let result = Executor::new(graph).run(&algorithm)?;
+    let result = run_algorithm(graph, &algorithm)?;
     let mut colors = Vec::with_capacity(graph.n());
     for (v, chosen) in result.outputs.into_iter().enumerate() {
         match chosen {

@@ -50,4 +50,4 @@ pub use coloring::{Color, Coloring};
 pub use error::GraphError;
 pub use graph::{EdgeIdx, Graph, GraphBuilder, Vertex};
 pub use orientation::{EdgeDirection, Orientation};
-pub use subgraph::{InducedSubgraph, VertexMap};
+pub use subgraph::{InducedSubgraph, PartitionScratch, VertexMap};

@@ -121,14 +121,95 @@ impl InducedSubgraph {
     ///
     /// Panics if `partition.len() != parent.n()` or a part index is out of range.
     pub fn partition(parent: &Graph, partition: &[usize], parts: usize) -> Vec<InducedSubgraph> {
+        Self::partition_with(parent, partition, parts, &mut PartitionScratch::default())
+    }
+
+    /// [`InducedSubgraph::partition`] with caller-owned scratch buffers.
+    ///
+    /// Unlike calling [`InducedSubgraph::new`] once per part — which allocates and walks a
+    /// fresh parent-sized lookup table for every part — the *construction* here runs over
+    /// **one** shared parent-to-child table in `O(n + m)`, and recursive drivers (Procedure
+    /// Legal-Coloring refines its decomposition every phase) can reuse `scratch` across
+    /// calls so the table and the per-part vertex lists are allocated once.  The returned
+    /// [`VertexMap`]s still own a lookup table each, truncated to the largest parent vertex
+    /// of the part — so the *output* remains `O(parts · n)`-sized in the worst case
+    /// (scattered parts); only the construction-time churn is eliminated.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `partition.len() != parent.n()` or a part index is out of range.
+    pub fn partition_with(
+        parent: &Graph,
+        partition: &[usize],
+        parts: usize,
+        scratch: &mut PartitionScratch,
+    ) -> Vec<InducedSubgraph> {
         assert_eq!(partition.len(), parent.n(), "partition must have one entry per vertex");
-        let mut groups: Vec<Vec<Vertex>> = vec![Vec::new(); parts];
+        let PartitionScratch { groups, to_child } = scratch;
+        if groups.len() < parts {
+            groups.resize_with(parts, Vec::new);
+        }
+        for group in groups.iter_mut() {
+            group.clear();
+        }
         for (v, &part) in partition.iter().enumerate() {
             assert!(part < parts, "part index {part} out of range (parts = {parts})");
             groups[part].push(v);
         }
-        groups.iter().map(|group| InducedSubgraph::new(parent, group)).collect()
+        // The parts are disjoint, so one shared table maps every parent vertex to its child
+        // index within its own part.
+        to_child.clear();
+        to_child.resize(parent.n(), None);
+        for group in groups.iter() {
+            for (child, &v) in group.iter().enumerate() {
+                to_child[v] = Some(child);
+            }
+        }
+
+        groups[..parts]
+            .iter()
+            .map(|group| {
+                let mut builder = GraphBuilder::new(group.len());
+                for (child_u, &parent_u) in group.iter().enumerate() {
+                    let part = partition[parent_u];
+                    for &parent_v in parent.neighbors(parent_u) {
+                        if partition[parent_v] == part {
+                            let child_v = to_child[parent_v].expect("vertex of the same part");
+                            if child_u < child_v {
+                                builder
+                                    .add_edge(child_u, child_v)
+                                    .expect("endpoints are valid by construction");
+                            }
+                        }
+                    }
+                }
+                let ids: Vec<u64> = group.iter().map(|&p| parent.id(p)).collect();
+                let graph = builder.build().with_ids_internal(ids);
+                // The per-part lookup table only needs entries up to the largest parent
+                // vertex of the part; `VertexMap::to_child` treats out-of-range as absent.
+                let table_len = group.iter().max().map_or(0, |&v| v + 1);
+                let mut part_to_child = vec![None; table_len];
+                for (child, &v) in group.iter().enumerate() {
+                    part_to_child[v] = Some(child);
+                }
+                InducedSubgraph {
+                    graph,
+                    map: VertexMap { to_parent: group.clone(), to_child: part_to_child },
+                }
+            })
+            .collect()
     }
+}
+
+/// Reusable buffers for [`InducedSubgraph::partition_with`]: the per-part vertex lists and
+/// the shared parent-to-child index table survive across calls, so repeated decompositions
+/// of the same parent graph stop churning the allocator.
+#[derive(Debug, Default)]
+pub struct PartitionScratch {
+    /// Recycled per-part vertex lists.
+    groups: Vec<Vec<Vertex>>,
+    /// Shared parent-to-child index table (valid for the duration of one call).
+    to_child: Vec<Option<Vertex>>,
 }
 
 /// Replaces the identifiers of `graph` (used to inherit parent IDs).
@@ -205,6 +286,28 @@ mod tests {
         let mut target = vec![0u64; g.n()];
         sub.map.scatter(&values, &mut target);
         assert_eq!(target, vec![20, 0, 0, 10, 0]);
+    }
+
+    #[test]
+    fn partition_with_scratch_matches_per_part_construction() {
+        let g = crate::generators::gnp(60, 0.1, 5).unwrap().with_shuffled_ids(6);
+        let partition: Vec<usize> = (0..g.n()).map(|v| (v * 7 + 3) % 4).collect();
+        let mut scratch = PartitionScratch::default();
+        // Reuse the same scratch across repeated partitions (the Legal-Coloring pattern).
+        for parts_round in 0..3 {
+            let parts = 4 + parts_round; // extra empty parts must come out empty
+            let fast = InducedSubgraph::partition_with(&g, &partition, parts, &mut scratch);
+            assert_eq!(fast.len(), parts);
+            for (part, sub) in fast.iter().enumerate() {
+                let group: Vec<Vertex> = (0..g.n()).filter(|&v| partition[v] == part).collect();
+                let slow = InducedSubgraph::new(&g, &group);
+                assert_eq!(sub.graph, slow.graph);
+                assert_eq!(sub.map.parent_vertices(), slow.map.parent_vertices());
+                for v in 0..g.n() {
+                    assert_eq!(sub.map.to_child(v), slow.map.to_child(v));
+                }
+            }
+        }
     }
 
     #[test]

@@ -14,6 +14,9 @@
 //!   about locality.
 //! * [`Executor`] — runs an algorithm on a graph until every node halts, returning the
 //!   per-vertex outputs and a [`RoundReport`] with round and message counts.
+//! * [`shard`] — the sharded parallel simulator: a hand-rolled [`WorkPool`], the
+//!   [`ShardedExecutor`] (bit-identical results to [`Executor`] at any thread count), and
+//!   the process-wide [`ExecutorKind`] switch consulted by [`run_algorithm`].
 //! * [`composition`] — cost accounting for multi-phase algorithms (sequential phases add,
 //!   parallel executions on disjoint subgraphs take the maximum), mirroring how the paper
 //!   accounts for the recursion of Procedure Legal-Coloring, where disjoint subgraphs proceed
@@ -43,9 +46,14 @@ pub mod composition;
 pub mod metrics;
 pub mod network;
 pub mod node;
+pub mod shard;
 pub mod trace;
 
 pub use composition::{parallel_max, CostLedger, PhaseCost};
 pub use metrics::RoundReport;
 pub use network::{ExecutionResult, Executor, RuntimeError};
 pub use node::{Algorithm, Inbox, NodeCtx, NodeProgram, Outbox, Status};
+pub use shard::{
+    default_executor, default_sequential_cutoff, run_algorithm, set_default_executor,
+    set_default_sequential_cutoff, ExecutorKind, PoolScope, ShardedExecutor, WorkPool,
+};

@@ -72,17 +72,8 @@ impl<'g> Executor<'g> {
     /// Builds the [`NodeCtx`] of every vertex.
     fn contexts(&self) -> Vec<NodeCtx> {
         let g = self.graph;
-        let id_space = g.ids().iter().copied().max().unwrap_or(0).max(g.n() as u64);
-        g.vertices()
-            .map(|v| NodeCtx {
-                vertex: v,
-                id: g.id(v),
-                n: g.n(),
-                id_space,
-                degree: g.degree(v),
-                neighbor_ids: g.neighbors(v).iter().map(|&u| g.id(u)).collect(),
-            })
-            .collect()
+        let id_space = id_space_of(g);
+        g.vertices().map(|v| node_ctx(g, v, id_space)).collect()
     }
 
     /// Runs `algorithm` until every node halts.
@@ -102,8 +93,11 @@ impl<'g> Executor<'g> {
         let mut report = RoundReport::zero();
 
         // Pending messages for the *next* delivery, stored per receiving vertex as
-        // (receiver_port, message).
+        // (receiver_port, message), double-buffered against the inboxes read by the current
+        // round so no per-vertex `Vec` is ever reallocated after this point.
         let mut pending: Vec<Vec<(usize, <A::Node as NodeProgram>::Msg)>> =
+            (0..n).map(|_| Vec::new()).collect();
+        let mut inboxes: Vec<Vec<(usize, <A::Node as NodeProgram>::Msg)>> =
             (0..n).map(|_| Vec::new()).collect();
 
         // Initialization: local computation plus the sends of the first round.
@@ -127,8 +121,7 @@ impl<'g> Executor<'g> {
                 });
             }
             report.rounds += 1;
-            let inboxes: Vec<Vec<(usize, <A::Node as NodeProgram>::Msg)>> =
-                std::mem::replace(&mut pending, (0..n).map(|_| Vec::new()).collect());
+            swap_mailboxes(&mut pending, &mut inboxes);
 
             any_outgoing = false;
             for v in 0..n {
@@ -154,6 +147,34 @@ impl<'g> Executor<'g> {
         let outputs =
             nodes.iter().zip(contexts.iter()).map(|(node, ctx)| node.output(ctx)).collect();
         Ok(ExecutionResult { outputs, report })
+    }
+}
+
+/// Upper bound on the identifier space of `graph` as exposed through [`NodeCtx::id_space`].
+pub(crate) fn id_space_of(graph: &Graph) -> u64 {
+    graph.ids().iter().copied().max().unwrap_or(0).max(graph.n() as u64)
+}
+
+/// Builds the [`NodeCtx`] of vertex `v` (shared by the sequential and sharded executors so
+/// node programs observe byte-identical contexts under either).
+pub(crate) fn node_ctx(graph: &Graph, v: usize, id_space: u64) -> NodeCtx {
+    NodeCtx {
+        vertex: v,
+        id: graph.id(v),
+        n: graph.n(),
+        id_space,
+        degree: graph.degree(v),
+        neighbor_ids: graph.neighbors(v).iter().map(|&u| graph.id(u)).collect(),
+    }
+}
+
+/// Flips a pending/inbox mailbox double buffer: after the call, `inbox` holds what `pending`
+/// accumulated, and `pending` holds the previously read (now cleared) mailboxes with their
+/// capacity retained.  Shared by the sequential and sharded executors.
+pub(crate) fn swap_mailboxes<T>(pending: &mut Vec<Vec<T>>, inbox: &mut Vec<Vec<T>>) {
+    std::mem::swap(pending, inbox);
+    for mailbox in pending.iter_mut() {
+        mailbox.clear();
     }
 }
 

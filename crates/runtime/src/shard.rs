@@ -1,0 +1,799 @@
+//! Sharded parallel execution of LOCAL algorithms.
+//!
+//! The LOCAL model charges one round of cost for all vertices acting *in parallel*, but the
+//! sequential [`Executor`] simulates every node program on one thread, so
+//! wall-clock time scales far worse than the round complexity the algorithms promise.  This
+//! module closes that gap without giving up determinism:
+//!
+//! * [`WorkPool`] — a hand-rolled fixed-size work pool built from `std::thread` and `mpsc`
+//!   channels only (the build environment has no registry access, so no rayon).  A pool is
+//!   cheap to construct; [`WorkPool::scope`] spawns the workers, runs a closure that may
+//!   submit any number of fork/join batches through [`PoolScope::map`], and joins all
+//!   workers before returning.
+//! * [`ShardedExecutor`] — partitions the vertex set into contiguous shards, keeps
+//!   double-buffered per-vertex mailboxes inside each shard (swap + clear instead of
+//!   reallocating `n` fresh `Vec`s per round), runs `init`/`round` for each shard's nodes on
+//!   the pool, and exchanges cross-shard message batches at a deterministic per-round
+//!   barrier.
+//! * [`ExecutorKind`] — a value describing which executor to use, plus a process-wide
+//!   default ([`set_default_executor`]/[`default_executor`]) consulted by
+//!   [`run_algorithm`], the entry point the algorithm drivers across the workspace go
+//!   through.  Flipping the default reconfigures the whole stack.
+//!
+//! # Determinism guarantee
+//!
+//! For every graph, algorithm, shard count, and thread count, [`ShardedExecutor::run`]
+//! produces **bit-identical** outputs, round counts, and message counts to the sequential
+//! [`Executor`].  The argument:
+//!
+//! 1. Shards are contiguous vertex ranges in increasing vertex order, so concatenating the
+//!    per-source-shard message batches in shard order reproduces the global
+//!    sender-index order in every receiver's mailbox — exactly the order the sequential
+//!    executor's delivery loop produces.
+//! 2. Within a shard, nodes step in increasing vertex order and append to per-destination
+//!    batches, so each batch is internally sender-ordered.
+//! 3. The per-round barrier makes the exchange synchronous: no message produced in round
+//!    `r` can be observed before round `r + 1`, regardless of which worker thread ran
+//!    which shard, and the coordinator merges batches in a fixed order.
+//!
+//! Worker assignment therefore only decides *who* computes each shard, never *what* is
+//! computed, so any thread count (including 1) yields the same execution.  The cross-crate
+//! suite `tests/sharded_executor.rs` and the CI cross-executor diff enforce this.
+//!
+//! # Example
+//!
+//! ```
+//! use arbcolor_graph::generators;
+//! use arbcolor_runtime::{algorithms::FloodMaxId, Executor, ShardedExecutor};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let g = generators::cycle(64)?;
+//! let algorithm = FloodMaxId { rounds: 8 };
+//! let sequential = Executor::new(&g).run(&algorithm)?;
+//! let sharded = ShardedExecutor::new(&g)
+//!     .with_threads(2)
+//!     .with_shards(3)
+//!     .with_sequential_cutoff(0)
+//!     .run(&algorithm)?;
+//! assert_eq!(sequential.outputs, sharded.outputs);
+//! assert_eq!(sequential.report, sharded.report);
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::metrics::RoundReport;
+use crate::network::{
+    id_space_of, node_ctx, swap_mailboxes, ExecutionResult, Executor, RuntimeError,
+};
+use crate::node::{Algorithm, Inbox, NodeProgram, Outbox, Status};
+use arbcolor_graph::{Graph, Vertex};
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+
+// ---------------------------------------------------------------------------
+// Work pool
+// ---------------------------------------------------------------------------
+
+/// A unit of work shipped to a pool worker.
+type Job<'env> = Box<dyn FnOnce() + Send + 'env>;
+
+/// A hand-rolled fixed-size work pool: plain `std::thread` workers fed through `mpsc`
+/// channels.
+///
+/// The pool itself is just a thread count; [`WorkPool::scope`] spawns the workers inside a
+/// [`std::thread::scope`], so jobs may borrow data that outlives the scope call, and every
+/// worker is joined before `scope` returns.  Use [`PoolScope::map`] for fork/join batches,
+/// or the [`WorkPool::map`] convenience wrapper for a one-shot batch.
+#[derive(Debug, Clone)]
+pub struct WorkPool {
+    threads: usize,
+}
+
+impl WorkPool {
+    /// Creates a pool that will run jobs on `threads` workers (clamped to at least 1).
+    pub fn new(threads: usize) -> Self {
+        WorkPool { threads: threads.max(1) }
+    }
+
+    /// Number of worker threads this pool spawns.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Spawns the workers, runs `f` with a [`PoolScope`] handle for submitting fork/join
+    /// batches, then shuts the workers down and joins them.
+    ///
+    /// Jobs submitted through the scope must not themselves submit to the same scope (the
+    /// API makes this impossible: jobs never see the [`PoolScope`]).
+    pub fn scope<'env, R>(&self, f: impl FnOnce(&PoolScope<'env>) -> R) -> R {
+        std::thread::scope(|s| {
+            let mut workers = Vec::with_capacity(self.threads);
+            for _ in 0..self.threads {
+                let (sender, receiver) = mpsc::channel::<Job<'env>>();
+                s.spawn(move || {
+                    while let Ok(job) = receiver.recv() {
+                        job();
+                    }
+                });
+                workers.push(sender);
+            }
+            f(&PoolScope { workers })
+            // `PoolScope` (and with it every job sender) drops here, the workers' receive
+            // loops end, and `std::thread::scope` joins them all.
+        })
+    }
+
+    /// One-shot fork/join: spawns the workers, maps `f` over `items`, joins the workers.
+    ///
+    /// Results are returned in item order; see [`PoolScope::map`].
+    pub fn map<T, R, F>(&self, items: Vec<T>, f: F) -> Vec<R>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(usize, T) -> R + Send + Sync,
+    {
+        self.scope(|scope| scope.map(items, f))
+    }
+}
+
+/// Handle for submitting fork/join batches to a live [`WorkPool`] scope.
+#[derive(Debug)]
+pub struct PoolScope<'env> {
+    workers: Vec<mpsc::Sender<Job<'env>>>,
+}
+
+impl<'env> PoolScope<'env> {
+    /// Applies `f` to every item, distributing items round-robin over the workers, and
+    /// blocks until all results are in.  Results are returned in item order, so the output
+    /// is independent of scheduling.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a job panics on a worker (the worker's panic is also propagated when the
+    /// enclosing [`WorkPool::scope`] joins its threads).
+    pub fn map<T, R, F>(&self, items: Vec<T>, f: F) -> Vec<R>
+    where
+        T: Send + 'env,
+        R: Send + 'env,
+        F: Fn(usize, T) -> R + Send + Sync + 'env,
+    {
+        let count = items.len();
+        if count == 0 {
+            return Vec::new();
+        }
+        if self.workers.len() == 1 || count == 1 {
+            // A single worker executes submissions in item order anyway; skip the channel
+            // round-trips and run inline.
+            return items.into_iter().enumerate().map(|(i, item)| f(i, item)).collect();
+        }
+        let f = Arc::new(f);
+        let (results_in, results_out) = mpsc::channel::<(usize, R)>();
+        for (index, item) in items.into_iter().enumerate() {
+            let f = Arc::clone(&f);
+            let results_in = results_in.clone();
+            let worker = &self.workers[index % self.workers.len()];
+            worker
+                .send(Box::new(move || {
+                    // The coordinator may stop listening only after receiving all results,
+                    // so this send can only fail during panic unwinding; ignore it then.
+                    let _ = results_in.send((index, f(index, item)));
+                }))
+                .expect("pool worker exited before the scope ended");
+        }
+        drop(results_in);
+        let mut slots: Vec<Option<R>> = (0..count).map(|_| None).collect();
+        for _ in 0..count {
+            let (index, result) =
+                results_out.recv().expect("a pool worker panicked while running a job");
+            slots[index] = Some(result);
+        }
+        slots.into_iter().map(|slot| slot.expect("every job reports exactly once")).collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Executor selection
+// ---------------------------------------------------------------------------
+
+/// Which simulator implementation to run an algorithm on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecutorKind {
+    /// The single-threaded reference [`Executor`].
+    Sequential,
+    /// The [`ShardedExecutor`] with explicit thread and shard counts.
+    Sharded {
+        /// Worker threads of the pool.
+        threads: usize,
+        /// Number of contiguous vertex shards.
+        shards: usize,
+    },
+}
+
+impl ExecutorKind {
+    /// A sharded configuration with one shard per thread.
+    pub fn sharded(threads: usize) -> Self {
+        let threads = threads.max(1);
+        ExecutorKind::Sharded { threads, shards: threads }
+    }
+
+    /// The worker-thread budget of this configuration (1 for [`ExecutorKind::Sequential`]).
+    ///
+    /// Phase drivers that parallelize *across* disjoint subgraphs (rather than across the
+    /// vertices of one execution) use this as their pool size.
+    pub fn threads(&self) -> usize {
+        match self {
+            ExecutorKind::Sequential => 1,
+            ExecutorKind::Sharded { threads, .. } => (*threads).max(1),
+        }
+    }
+
+    /// Runs `algorithm` on `graph` under this executor configuration.
+    ///
+    /// Both configurations produce bit-identical results; only wall-clock time differs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::RoundLimitExceeded`] if the algorithm does not terminate
+    /// within the default round limit.
+    pub fn run<A>(
+        &self,
+        graph: &Graph,
+        algorithm: &A,
+    ) -> Result<ExecutionResult<<A::Node as NodeProgram>::Output>, RuntimeError>
+    where
+        A: Algorithm + Sync,
+        A::Node: Send,
+        <A::Node as NodeProgram>::Msg: Send,
+        <A::Node as NodeProgram>::Output: Send,
+    {
+        match *self {
+            ExecutorKind::Sequential => Executor::new(graph).run(algorithm),
+            ExecutorKind::Sharded { threads, shards } => {
+                ShardedExecutor::new(graph).with_threads(threads).with_shards(shards).run(algorithm)
+            }
+        }
+    }
+}
+
+/// The process-wide default executor configuration (starts out sequential).
+static DEFAULT_EXECUTOR: Mutex<ExecutorKind> = Mutex::new(ExecutorKind::Sequential);
+
+/// Sets the process-wide default executor used by [`run_algorithm`].
+///
+/// Both kinds produce bit-identical results, so flipping the default mid-run changes
+/// wall-clock behaviour only; binaries typically set it once from a CLI flag.
+pub fn set_default_executor(kind: ExecutorKind) {
+    *DEFAULT_EXECUTOR.lock().expect("executor-kind lock") = kind;
+}
+
+/// The current process-wide default executor configuration.
+pub fn default_executor() -> ExecutorKind {
+    *DEFAULT_EXECUTOR.lock().expect("executor-kind lock")
+}
+
+/// The process-wide default for the sharded executor's sequential cutoff (see
+/// [`ShardedExecutor::with_sequential_cutoff`]).
+static SEQUENTIAL_CUTOFF: AtomicUsize =
+    AtomicUsize::new(ShardedExecutor::DEFAULT_SEQUENTIAL_CUTOFF);
+
+/// Sets the process-wide default sequential cutoff picked up by new [`ShardedExecutor`]s
+/// (and by the parallel phase drivers that mirror its small-work fallback).
+///
+/// Results are identical at any cutoff; lowering it only forces the parallel code paths on
+/// smaller graphs.  The CI cross-executor gate runs the smoke tier with cutoff 0 so even
+/// tiny workloads execute sharded and diff against the sequential rows.
+pub fn set_default_sequential_cutoff(cutoff: usize) {
+    SEQUENTIAL_CUTOFF.store(cutoff, Ordering::Relaxed);
+}
+
+/// The current process-wide default sequential cutoff.
+pub fn default_sequential_cutoff() -> usize {
+    SEQUENTIAL_CUTOFF.load(Ordering::Relaxed)
+}
+
+/// Runs `algorithm` on `graph` under the process-wide default executor configuration.
+///
+/// This is the entry point the algorithm drivers across the workspace use, so a single
+/// [`set_default_executor`] call switches the whole stack between the sequential and the
+/// sharded simulator.
+///
+/// # Errors
+///
+/// Returns [`RuntimeError::RoundLimitExceeded`] if the algorithm does not terminate within
+/// the default round limit.
+pub fn run_algorithm<A>(
+    graph: &Graph,
+    algorithm: &A,
+) -> Result<ExecutionResult<<A::Node as NodeProgram>::Output>, RuntimeError>
+where
+    A: Algorithm + Sync,
+    A::Node: Send,
+    <A::Node as NodeProgram>::Msg: Send,
+    <A::Node as NodeProgram>::Output: Send,
+{
+    default_executor().run(graph, algorithm)
+}
+
+// ---------------------------------------------------------------------------
+// Shard layout
+// ---------------------------------------------------------------------------
+
+/// Balanced partition of `0..n` into contiguous shards: the first `n % shards` shards hold
+/// `⌈n/shards⌉` vertices, the rest `⌊n/shards⌋`.
+#[derive(Debug, Clone)]
+struct ShardLayout {
+    shards: usize,
+    /// Vertices per small shard (`⌊n/shards⌋`).
+    base: usize,
+    /// Number of shards holding one extra vertex (`n % shards`).
+    big: usize,
+}
+
+impl ShardLayout {
+    fn new(n: usize, shards: usize) -> Self {
+        let shards = shards.max(1);
+        ShardLayout { shards, base: n / shards, big: n % shards }
+    }
+
+    fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// The shard owning vertex `v`, in O(1).
+    fn shard_of(&self, v: Vertex) -> usize {
+        let split = self.big * (self.base + 1);
+        if v < split {
+            v / (self.base + 1)
+        } else {
+            self.big + (v - split) / self.base
+        }
+    }
+
+    /// The contiguous vertex range of shard `s`.
+    fn range(&self, s: usize) -> Range<usize> {
+        let start = if s < self.big {
+            s * (self.base + 1)
+        } else {
+            self.big * (self.base + 1) + (s - self.big) * self.base
+        };
+        let len = if s < self.big { self.base + 1 } else { self.base };
+        start..start + len
+    }
+
+    fn ranges(&self) -> Vec<Range<usize>> {
+        (0..self.shards).map(|s| self.range(s)).collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Sharded executor
+// ---------------------------------------------------------------------------
+
+/// A message batch from one source shard to one destination shard:
+/// `(receiver vertex, receiver port, message)` triples in sender order.
+type Batch<M> = Vec<(Vertex, usize, M)>;
+
+/// Everything one shard owns between rounds.
+struct ShardState<N: NodeProgram> {
+    /// First global vertex of the shard (vertices are `start..start + nodes.len()`).
+    start: usize,
+    contexts: Vec<crate::node::NodeCtx>,
+    nodes: Vec<N>,
+    active: Vec<bool>,
+    active_count: usize,
+    /// Mailboxes being filled for the next delivery (per local vertex).
+    pending: Vec<Vec<(usize, N::Msg)>>,
+    /// Mailboxes read by the current round (double buffer of `pending`).
+    inbox: Vec<Vec<(usize, N::Msg)>>,
+}
+
+/// What one shard reports back to the barrier after stepping its nodes.
+struct StepOutput<M> {
+    /// Outgoing batches indexed by destination shard.
+    outgoing: Vec<Batch<M>>,
+    /// Messages sent by this shard in this step.
+    messages: usize,
+}
+
+/// Runs [`Algorithm`]s on a [`Graph`] by partitioning the vertices into contiguous shards
+/// and stepping the shards on a [`WorkPool`], producing bit-identical results to the
+/// sequential [`Executor`] (see the [module docs](self) for the argument).
+///
+/// Graphs at or below the [sequential cutoff](Self::with_sequential_cutoff) are delegated
+/// to the sequential executor: the results are identical either way, and the many small
+/// subgraph executions of the recursive drivers should not pay pool setup costs.
+#[derive(Debug, Clone)]
+pub struct ShardedExecutor<'g> {
+    graph: &'g Graph,
+    max_rounds: usize,
+    threads: usize,
+    shards: Option<usize>,
+    sequential_cutoff: usize,
+}
+
+impl<'g> ShardedExecutor<'g> {
+    /// Below this many vertices the sequential executor is used (results are identical; the
+    /// pool only pays off once shards hold real work).
+    pub const DEFAULT_SEQUENTIAL_CUTOFF: usize = 2048;
+
+    /// Creates a sharded executor for `graph` with one thread (and one shard) per available
+    /// CPU, the default round limit, and the process-wide default sequential cutoff (see
+    /// [`set_default_sequential_cutoff`]).
+    pub fn new(graph: &'g Graph) -> Self {
+        let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+        ShardedExecutor {
+            graph,
+            max_rounds: Executor::DEFAULT_MAX_ROUNDS,
+            threads,
+            shards: None,
+            sequential_cutoff: default_sequential_cutoff(),
+        }
+    }
+
+    /// Overrides the round limit.
+    #[must_use]
+    pub fn with_max_rounds(mut self, max_rounds: usize) -> Self {
+        self.max_rounds = max_rounds;
+        self
+    }
+
+    /// Sets the worker-thread count (clamped to at least 1).  Unless
+    /// [`with_shards`](Self::with_shards) is also called, the shard count follows the
+    /// thread count.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Sets the shard count independently of the thread count (clamped to at least 1).
+    ///
+    /// The shard count never affects results — only how the vertex set is batched.
+    #[must_use]
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = Some(shards.max(1));
+        self
+    }
+
+    /// Sets the vertex count at or below which the sequential executor is used instead.
+    /// Pass 0 to force the sharded path even on tiny graphs (the equivalence tests do).
+    #[must_use]
+    pub fn with_sequential_cutoff(mut self, cutoff: usize) -> Self {
+        self.sequential_cutoff = cutoff;
+        self
+    }
+
+    /// The graph this executor runs on.
+    pub fn graph(&self) -> &Graph {
+        self.graph
+    }
+
+    /// Runs `algorithm` until every node halts.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::RoundLimitExceeded`] if the algorithm does not terminate
+    /// within the configured round limit.
+    pub fn run<A>(
+        &self,
+        algorithm: &A,
+    ) -> Result<ExecutionResult<<A::Node as NodeProgram>::Output>, RuntimeError>
+    where
+        A: Algorithm + Sync,
+        A::Node: Send,
+        <A::Node as NodeProgram>::Msg: Send,
+        <A::Node as NodeProgram>::Output: Send,
+    {
+        let n = self.graph.n();
+        let shards = self.shards.unwrap_or(self.threads).max(1);
+        if n <= self.sequential_cutoff || (self.threads == 1 && shards == 1) {
+            return Executor::new(self.graph).with_max_rounds(self.max_rounds).run(algorithm);
+        }
+
+        let graph = self.graph;
+        let layout = ShardLayout::new(n, shards);
+        let id_space = id_space_of(graph);
+        let pool = WorkPool::new(self.threads);
+
+        pool.scope(|scope| {
+            // Build every shard's contexts and nodes, and run the initialization step
+            // (local computation plus the sends of the first round), in parallel.
+            let built = scope.map(layout.ranges(), |_, range| {
+                let mut state = build_shard(graph, algorithm, id_space, range);
+                let out = step_shard(graph, &layout, &mut state, StepMode::Init);
+                (state, out)
+            });
+
+            let mut report = RoundReport::zero();
+            let mut states = Vec::with_capacity(shards);
+            let mut outgoing = Vec::with_capacity(shards);
+            let mut total_active = 0usize;
+            let mut round_messages = 0usize;
+            for (state, out) in built {
+                report.messages += out.messages;
+                round_messages += out.messages;
+                total_active += state.active_count;
+                states.push(state);
+                outgoing.push(out.outgoing);
+            }
+
+            // Main loop: one iteration = one synchronous round, mirroring the sequential
+            // executor statement for statement so round and message counts stay identical.
+            while total_active > 0 || round_messages > 0 {
+                if report.rounds >= self.max_rounds {
+                    return Err(RuntimeError::RoundLimitExceeded {
+                        limit: self.max_rounds,
+                        still_active: total_active,
+                    });
+                }
+                report.rounds += 1;
+
+                // Barrier: regroup the outgoing batches by destination shard, keeping the
+                // source-shard order (= global sender order, shards being contiguous).
+                let mut per_dest: Vec<Vec<Batch<_>>> =
+                    (0..shards).map(|_| Vec::with_capacity(shards)).collect();
+                for source_row in outgoing.drain(..) {
+                    for (dest, batch) in source_row.into_iter().enumerate() {
+                        per_dest[dest].push(batch);
+                    }
+                }
+
+                let stepped = scope.map(
+                    states.drain(..).zip(per_dest).collect(),
+                    |_, (mut state, incoming): (ShardState<A::Node>, Vec<Batch<_>>)| {
+                        let out = step_shard(graph, &layout, &mut state, StepMode::Round(incoming));
+                        (state, out)
+                    },
+                );
+
+                total_active = 0;
+                round_messages = 0;
+                for (state, out) in stepped {
+                    report.messages += out.messages;
+                    round_messages += out.messages;
+                    total_active += state.active_count;
+                    states.push(state);
+                    outgoing.push(out.outgoing);
+                }
+                if total_active == 0 {
+                    break;
+                }
+            }
+
+            let outputs = scope
+                .map(states, |_, state| {
+                    state
+                        .nodes
+                        .iter()
+                        .zip(state.contexts.iter())
+                        .map(|(node, ctx)| node.output(ctx))
+                        .collect::<Vec<_>>()
+                })
+                .into_iter()
+                .flatten()
+                .collect();
+            Ok(ExecutionResult { outputs, report })
+        })
+    }
+}
+
+/// Builds the contexts and node programs of one shard.
+fn build_shard<A: Algorithm>(
+    graph: &Graph,
+    algorithm: &A,
+    id_space: u64,
+    range: Range<usize>,
+) -> ShardState<A::Node> {
+    let len = range.len();
+    let contexts: Vec<_> = range.clone().map(|v| node_ctx(graph, v, id_space)).collect();
+    let nodes = contexts.iter().map(|ctx| algorithm.node(ctx)).collect();
+    ShardState {
+        start: range.start,
+        contexts,
+        nodes,
+        active: vec![true; len],
+        active_count: len,
+        pending: (0..len).map(|_| Vec::new()).collect(),
+        inbox: (0..len).map(|_| Vec::new()).collect(),
+    }
+}
+
+/// Whether a shard step runs `init` or `round` (with the delivered batches).
+enum StepMode<M> {
+    Init,
+    Round(Vec<Batch<M>>),
+}
+
+/// Steps every node of one shard, returning the outgoing batches and message count.
+fn step_shard<N: NodeProgram>(
+    graph: &Graph,
+    layout: &ShardLayout,
+    state: &mut ShardState<N>,
+    mode: StepMode<N::Msg>,
+) -> StepOutput<N::Msg> {
+    let round = match mode {
+        StepMode::Init => false,
+        StepMode::Round(incoming) => {
+            // Merge the delivered batches (source-shard order = sender order) into the
+            // pending mailboxes, then flip the double buffer.
+            for batch in incoming {
+                for (receiver, port, message) in batch {
+                    state.pending[receiver - state.start].push((port, message));
+                }
+            }
+            swap_mailboxes(&mut state.pending, &mut state.inbox);
+            true
+        }
+    };
+
+    let mut out =
+        StepOutput { outgoing: (0..layout.shards()).map(|_| Vec::new()).collect(), messages: 0 };
+    for local in 0..state.nodes.len() {
+        if !state.active[local] {
+            continue;
+        }
+        let mut outbox = Outbox::new(state.contexts[local].degree);
+        let status = if round {
+            state.nodes[local].round(
+                &state.contexts[local],
+                &Inbox::new(&state.inbox[local]),
+                &mut outbox,
+            )
+        } else {
+            state.nodes[local].init(&state.contexts[local], &mut outbox)
+        };
+        if status == Status::Halted {
+            state.active[local] = false;
+            state.active_count -= 1;
+        }
+        route_outbox(graph, layout, state.start + local, outbox, &mut out);
+    }
+    out
+}
+
+/// Routes the outbox of `sender` into per-destination-shard batches.
+fn route_outbox<M: Clone>(
+    graph: &Graph,
+    layout: &ShardLayout,
+    sender: Vertex,
+    outbox: Outbox<M>,
+    out: &mut StepOutput<M>,
+) {
+    let neighbors = graph.neighbors(sender);
+    for (port, message) in outbox.into_messages() {
+        let receiver = neighbors[port];
+        let receiver_port = graph.port_of(receiver, sender).expect("graph adjacency is symmetric");
+        out.outgoing[layout.shard_of(receiver)].push((receiver, receiver_port, message));
+        out.messages += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::{FloodMaxId, ProposeMaxId};
+    use arbcolor_graph::generators;
+
+    #[test]
+    fn pool_map_returns_results_in_item_order() {
+        for threads in [1usize, 2, 4, 7] {
+            let pool = WorkPool::new(threads);
+            assert_eq!(pool.threads(), threads);
+            let squares = pool.map((0..40usize).collect(), |i, x| {
+                assert_eq!(i, x);
+                x * x
+            });
+            assert_eq!(squares, (0..40usize).map(|x| x * x).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn pool_scope_reuses_workers_across_batches() {
+        let pool = WorkPool::new(3);
+        let data: Vec<usize> = (0..10).collect();
+        let total = pool.scope(|scope| {
+            let doubled = scope.map(data.clone(), |_, x| 2 * x);
+            let tripled = scope.map(doubled, |_, x| x + data[0]);
+            tripled.into_iter().sum::<usize>()
+        });
+        assert_eq!(total, (0..10).map(|x| 2 * x).sum::<usize>());
+    }
+
+    #[test]
+    fn pool_map_on_empty_input_is_empty() {
+        let pool = WorkPool::new(4);
+        let out: Vec<usize> = pool.map(Vec::<usize>::new(), |_, x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn zero_threads_clamp_to_one() {
+        assert_eq!(WorkPool::new(0).threads(), 1);
+        assert_eq!(ExecutorKind::sharded(0).threads(), 1);
+    }
+
+    #[test]
+    fn shard_layout_is_a_balanced_contiguous_partition() {
+        for (n, shards) in [(10usize, 3usize), (7, 7), (5, 8), (0, 4), (1, 1), (1000, 7)] {
+            let layout = ShardLayout::new(n, shards);
+            let mut covered = 0usize;
+            for s in 0..layout.shards() {
+                let range = layout.range(s);
+                assert_eq!(range.start, covered, "ranges must be contiguous");
+                for v in range.clone() {
+                    assert_eq!(layout.shard_of(v), s, "shard_of({v}) for n={n}, shards={shards}");
+                }
+                covered = range.end;
+            }
+            assert_eq!(covered, n, "ranges must cover 0..n");
+        }
+    }
+
+    #[test]
+    fn sharded_executor_matches_sequential_on_a_cycle() {
+        let g = generators::cycle(30).unwrap().with_shuffled_ids(7);
+        let sequential = Executor::new(&g).run(&ProposeMaxId).unwrap();
+        for shards in [1usize, 2, 3, 7] {
+            for threads in [1usize, 2, 4] {
+                let sharded = ShardedExecutor::new(&g)
+                    .with_threads(threads)
+                    .with_shards(shards)
+                    .with_sequential_cutoff(0)
+                    .run(&ProposeMaxId)
+                    .unwrap();
+                assert_eq!(sharded.outputs, sequential.outputs);
+                assert_eq!(sharded.report, sequential.report);
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_round_limit_matches_sequential() {
+        let g = generators::path(9).unwrap();
+        let sequential =
+            Executor::new(&g).with_max_rounds(3).run(&FloodMaxId { rounds: 100 }).unwrap_err();
+        let sharded = ShardedExecutor::new(&g)
+            .with_threads(2)
+            .with_shards(3)
+            .with_sequential_cutoff(0)
+            .with_max_rounds(3)
+            .run(&FloodMaxId { rounds: 100 })
+            .unwrap_err();
+        assert_eq!(sharded, sequential);
+    }
+
+    #[test]
+    fn sharded_executor_handles_isolated_vertices_and_empty_graphs() {
+        for n in [0usize, 5] {
+            let g = Graph::empty(n);
+            let result = ShardedExecutor::new(&g)
+                .with_threads(2)
+                .with_shards(3)
+                .with_sequential_cutoff(0)
+                .run(&ProposeMaxId)
+                .unwrap();
+            assert_eq!(result.report, RoundReport::zero());
+            assert_eq!(result.outputs.len(), n);
+        }
+    }
+
+    #[test]
+    fn default_executor_round_trips() {
+        let before = default_executor();
+        set_default_executor(ExecutorKind::sharded(3));
+        assert_eq!(default_executor().threads(), 3);
+        set_default_executor(before);
+    }
+
+    #[test]
+    fn executor_kind_dispatch_agrees_across_kinds() {
+        let g = generators::grid(5, 6).unwrap().with_shuffled_ids(3);
+        let sequential = ExecutorKind::Sequential.run(&g, &FloodMaxId { rounds: 4 }).unwrap();
+        let sharded = ExecutorKind::Sharded { threads: 2, shards: 5 }
+            .run(&g, &FloodMaxId { rounds: 4 })
+            .unwrap();
+        assert_eq!(sequential.outputs, sharded.outputs);
+        assert_eq!(sequential.report, sharded.report);
+    }
+}

@@ -1,0 +1,146 @@
+//! Cross-crate equivalence suite for the sharded parallel simulator.
+//!
+//! The contract of `arbcolor_runtime::shard` is that the [`ShardedExecutor`] is
+//! **bit-identical** to the sequential [`Executor`] — same per-vertex outputs, same round
+//! count, same message count — for every graph, every shard count, and every thread count.
+//! This suite drives that claim over the full generator suite with randomized sizes and
+//! seeds, and checks it end to end through the headline coloring pipelines dispatched via
+//! the process-wide executor switch.
+
+use arbcolor_baselines::registry::headline_algorithms;
+use arbcolor_graph::{generators, Graph};
+use arbcolor_runtime::algorithms::{FloodMaxId, ProposeMaxId};
+use arbcolor_runtime::{
+    default_executor, set_default_executor, Executor, ExecutorKind, ShardedExecutor,
+};
+use proptest::prelude::*;
+
+/// Shard counts the equivalence is driven over (1 = degenerate, primes, > #vertices of the
+/// smallest graphs).
+const SHARD_COUNTS: [usize; 4] = [1, 2, 3, 7];
+
+/// One seeded representative per generator family.
+fn generator_suite(n: usize, seed: u64) -> Vec<(&'static str, Graph)> {
+    let n = n.max(12);
+    vec![
+        (
+            "forests",
+            generators::union_of_random_forests(n, 3, seed).unwrap().with_shuffled_ids(seed + 1),
+        ),
+        ("gnp", generators::gnp(n, 4.0 / n as f64, seed + 2).unwrap().with_shuffled_ids(seed + 3)),
+        (
+            "star-forests",
+            generators::star_forest_union(n, 2, 3, seed + 4).unwrap().with_shuffled_ids(seed + 5),
+        ),
+        (
+            "preferential-attachment",
+            generators::barabasi_albert(n, 3, seed + 6).unwrap().with_shuffled_ids(seed + 7),
+        ),
+        ("random-tree", generators::random_tree(n, seed + 8).unwrap().with_shuffled_ids(seed + 9)),
+        ("grid", generators::grid(n / 6 + 2, 6).unwrap().with_shuffled_ids(seed + 10)),
+        (
+            "caterpillar",
+            generators::caterpillar(n / 4 + 1, 3).unwrap().with_shuffled_ids(seed + 11),
+        ),
+        ("cycle", generators::cycle(n).unwrap().with_shuffled_ids(seed + 12)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn sharded_executor_is_bit_identical_on_the_generator_suite(
+        n in 16usize..90,
+        seed in 0u64..1_000,
+        rounds in 1usize..8,
+    ) {
+        for (family, g) in generator_suite(n, seed) {
+            let flood = FloodMaxId { rounds };
+            let flood_seq = Executor::new(&g).run(&flood).unwrap();
+            let propose_seq = Executor::new(&g).run(&ProposeMaxId).unwrap();
+            for shards in SHARD_COUNTS {
+                let sharded = ShardedExecutor::new(&g)
+                    .with_threads(2)
+                    .with_shards(shards)
+                    .with_sequential_cutoff(0);
+                let flood_sh = sharded.run(&flood).unwrap();
+                prop_assert_eq!(&flood_sh.outputs, &flood_seq.outputs, "flood on {}", family);
+                prop_assert_eq!(flood_sh.report, flood_seq.report, "flood cost on {}", family);
+                let propose_sh = sharded.run(&ProposeMaxId).unwrap();
+                prop_assert_eq!(&propose_sh.outputs, &propose_seq.outputs, "propose on {}", family);
+                prop_assert_eq!(propose_sh.report, propose_seq.report, "propose cost on {}", family);
+            }
+        }
+    }
+}
+
+#[test]
+fn repeated_sharded_runs_with_different_thread_counts_agree() {
+    let g = generators::union_of_random_forests(300, 4, 9).unwrap().with_shuffled_ids(2);
+    let flood = FloodMaxId { rounds: 12 };
+    let reference = ShardedExecutor::new(&g)
+        .with_threads(1)
+        .with_shards(5)
+        .with_sequential_cutoff(0)
+        .run(&flood)
+        .unwrap();
+    for repetition in 0..3 {
+        for threads in [1usize, 2, 3, 8] {
+            let again = ShardedExecutor::new(&g)
+                .with_threads(threads)
+                .with_shards(5)
+                .with_sequential_cutoff(0)
+                .run(&flood)
+                .unwrap();
+            assert_eq!(
+                again.outputs, reference.outputs,
+                "outputs drifted at threads={threads}, repetition={repetition}"
+            );
+            assert_eq!(again.report, reference.report);
+        }
+    }
+}
+
+#[test]
+fn shard_count_never_changes_results() {
+    let g = generators::gnp(250, 0.02, 41).unwrap().with_shuffled_ids(6);
+    let flood = FloodMaxId { rounds: 9 };
+    let reference = Executor::new(&g).run(&flood).unwrap();
+    for shards in [1usize, 2, 3, 7, 11, 250, 400] {
+        let sharded = ShardedExecutor::new(&g)
+            .with_threads(3)
+            .with_shards(shards)
+            .with_sequential_cutoff(0)
+            .run(&flood)
+            .unwrap();
+        assert_eq!(sharded.outputs, reference.outputs, "shards={shards}");
+        assert_eq!(sharded.report, reference.report, "shards={shards}");
+    }
+}
+
+#[test]
+fn headline_pipelines_are_identical_under_the_sharded_kind() {
+    // End-to-end: the full Barenboim–Elkin and Ghaffari–Kuhn pipelines, dispatched through
+    // the process-wide executor switch the whole stack consults, must produce the same
+    // coloring and the same LOCAL cost under every executor configuration.
+    let g = generators::union_of_random_forests(400, 3, 33).unwrap().with_shuffled_ids(7);
+    let previous = default_executor();
+    for algorithm in headline_algorithms() {
+        set_default_executor(ExecutorKind::Sequential);
+        let sequential = algorithm.run(&g).unwrap();
+        for threads in [2usize, 4] {
+            set_default_executor(ExecutorKind::sharded(threads));
+            let sharded = algorithm.run(&g).unwrap();
+            assert_eq!(sharded.colors, sequential.colors, "{} palette", sequential.name);
+            assert_eq!(sharded.report, sequential.report, "{} cost", sequential.name);
+            assert_eq!(
+                sharded.coloring.colors(),
+                sequential.coloring.colors(),
+                "{} per-vertex colors",
+                sequential.name
+            );
+        }
+    }
+    set_default_executor(previous);
+}
