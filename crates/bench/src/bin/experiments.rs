@@ -23,6 +23,11 @@
 //! sharded paths (default ~2k vertices).  `--par-cutoff 0` forces even tiny graphs through
 //! the sharded executor and the parallel bucket phase — the CI cross-executor gate uses it
 //! so the smoke tier genuinely exercises the parallel code on every experiment.
+//!
+//! `--perf-out FILE` (or `--perf-out=FILE`) additionally writes the performance-tracking
+//! rows (experiments E17 and E18: per-headliner wall-clock, messages, rounds, speedups) as
+//! one machine-readable JSON document.  The CI `bench-smoke` job uses it to produce the
+//! `BENCH_PR4.json` artifact so the perf trajectory is diffable across PRs.
 
 use arbcolor_bench::experiments::{self, SizeClass};
 use arbcolor_bench::Row;
@@ -33,17 +38,20 @@ fn main() {
     let json = args.iter().any(|a| a == "--json");
     let smoke = args.iter().any(|a| a == "--smoke");
 
-    // Collect positionals while pulling out `--par N` and `--par-cutoff N` (with `=` forms).
+    // Collect positionals while pulling out `--flag VALUE` options (with `=` forms).
     let mut par: Option<&str> = None;
     let mut par_cutoff: Option<&str> = None;
+    let mut perf_out: Option<&str> = None;
     let mut positional: Vec<&String> = Vec::new();
     let mut i = 0;
     while i < args.len() {
         let arg = &args[i];
-        for (flag, slot) in [("--par", &mut par), ("--par-cutoff", &mut par_cutoff)] {
+        for (flag, slot) in
+            [("--par", &mut par), ("--par-cutoff", &mut par_cutoff), ("--perf-out", &mut perf_out)]
+        {
             if arg == flag {
                 let Some(value) = args.get(i + 1) else {
-                    eprintln!("{flag} expects a number (e.g. {flag} 4)");
+                    eprintln!("{flag} expects a value (e.g. --par 4, --perf-out perf.json)");
                     std::process::exit(1);
                 };
                 *slot = Some(value.as_str());
@@ -89,9 +97,11 @@ fn main() {
         .filter(|(id, _)| which == "ALL" || which == *id)
         .collect();
     if selected.is_empty() {
-        eprintln!("unknown experiment id {which}; known ids are E1..E17 or 'all'");
+        eprintln!("unknown experiment id {which}; known ids are E1..E18 or 'all'");
         std::process::exit(1);
     }
+    let mut perf_rows: Vec<Row> = Vec::new();
+    let mut perf_ids: Vec<String> = Vec::new();
     for (id, run) in selected {
         let rows = run(sz);
         if json {
@@ -100,5 +110,36 @@ fn main() {
             println!("\n## {id}\n");
             println!("{}", Row::to_markdown(&rows));
         }
+        if perf_out.is_some() && matches!(id, "E17" | "E18") {
+            perf_ids.push(id.to_string());
+            perf_rows.extend(rows);
+        }
+    }
+    if let Some(path) = perf_out {
+        if perf_rows.is_empty() {
+            eprintln!(
+                "--perf-out: no perf rows collected (the selection {which} excludes E17/E18); \
+                 writing an empty document to {path}"
+            );
+        }
+        /// The machine-readable performance-tracking document `--perf-out` writes.
+        #[derive(serde::Serialize)]
+        struct PerfDoc {
+            schema: String,
+            size: String,
+            experiments: Vec<String>,
+            rows: Vec<Row>,
+        }
+        let doc = PerfDoc {
+            schema: "arbcolor-perf-v1".to_string(),
+            size: if smoke { "smoke" } else { "scale" }.to_string(),
+            experiments: perf_ids,
+            rows: perf_rows,
+        };
+        let body = serde_json::to_string_pretty(&doc).expect("perf rows are serializable");
+        std::fs::write(path, body).unwrap_or_else(|e| {
+            eprintln!("cannot write --perf-out file {path}: {e}");
+            std::process::exit(1);
+        });
     }
 }

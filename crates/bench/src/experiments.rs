@@ -480,6 +480,113 @@ pub fn e17_sharded_scale(sz: SizeClass) -> Vec<Row> {
     rows
 }
 
+/// E18 — the message-fabric routing race: old-vs-new delivery on dense, random, and
+/// power-law generators.
+///
+/// "Old" is the preserved [`arbcolor_runtime::ReferenceExecutor`]-style fabric (per-vertex
+/// `Vec` mailboxes, O(deg) `port_of` scan per message); "new" is the arc-indexed flat
+/// fabric (O(1) mirror-table routing, one slot per port, zero per-round allocation).  Two
+/// tiers per graph:
+///
+/// * a raw-executor race on a message-dense flood (`FloodMaxId`), isolating delivery cost —
+///   this is where the `O(Σ deg²)`-per-round term of the old fabric shows directly;
+/// * both headline coloring pipelines dispatched through the process-wide executor switch
+///   (`ExecutorKind::Reference` vs `ExecutorKind::Sequential`), at the *smallest* size of
+///   the sweep (`10⁵` at `Scale(1)`) — racing the quadratic fabric through a whole
+///   pipeline at the 10× size would measure minutes of known-slow baseline, so the larger
+///   sizes keep the flood race only.
+///
+/// Colors, rounds, and message counts are asserted **bit-identical** across fabrics before
+/// a row is emitted; `wall_ms_flat`, `wall_ms_reference`, and `speedup_vs_ref` are the only
+/// columns allowed to vary between runs.  At `Scale(1)` the sweep is `n ∈ {10⁵, 10⁶}`; the
+/// smoke tier shrinks it so CI exercises every path in seconds.
+pub fn e18_routing_fabric(sz: SizeClass) -> Vec<Row> {
+    use arbcolor_runtime::algorithms::FloodMaxId;
+    use arbcolor_runtime::{Executor, ReferenceExecutor};
+
+    let sizes: Vec<usize> = match sz {
+        SizeClass::Smoke => vec![1_500],
+        SizeClass::Scale(factor) => {
+            let factor = factor.max(1);
+            vec![100_000 * factor, 1_000_000 * factor]
+        }
+    };
+    let headliner_n = *sizes.iter().min().expect("the sweep is never empty");
+    let previous = default_executor();
+    let mut rows = Vec::new();
+    type FamilyGen = fn(usize) -> Graph;
+    let families: Vec<(&str, FamilyGen)> = vec![
+        ("dense", |n| generators::random_regular_like(n, 32, 103).unwrap().with_shuffled_ids(17)),
+        ("random", |n| generators::gnp(n, 8.0 / n as f64, 107).unwrap().with_shuffled_ids(18)),
+        ("power-law", |n| generators::barabasi_albert(n, 4, 109).unwrap().with_shuffled_ids(19)),
+    ];
+    for n in sizes {
+        for (family, generate) in &families {
+            // One graph lives at a time: at n = 10⁶ the dense family alone is ~1 GB of
+            // CSR + edge list, so materializing all three up front would triple peak RSS.
+            let g = &generate(n);
+            // Raw-executor race: the flood isolates the delivery path.
+            let flood = FloodMaxId { rounds: 6 };
+            let start = Instant::now();
+            let flat = Executor::new(g).run(&flood).expect("flood terminates");
+            let wall_flat = start.elapsed().as_secs_f64() * 1e3;
+            let start = Instant::now();
+            let reference = ReferenceExecutor::new(g).run(&flood).expect("flood terminates");
+            let wall_ref = start.elapsed().as_secs_f64() * 1e3;
+            assert_eq!(flat.outputs, reference.outputs, "flood diverged on {family} n={n}");
+            assert_eq!(flat.report, reference.report, "flood cost diverged on {family} n={n}");
+            rows.push(
+                Row::new("E18", format!("{family} n={n} · flood"))
+                    .with("n", n as f64)
+                    .with("avg_degree", g.average_degree())
+                    .with("rounds", flat.report.rounds as f64)
+                    .with("messages", flat.report.messages as f64)
+                    .with("wall_ms_flat", wall_flat)
+                    .with("wall_ms_reference", wall_ref)
+                    .with("speedup_vs_ref", wall_ref / wall_flat.max(1e-9)),
+            );
+            if n > headliner_n {
+                continue;
+            }
+            // Full-pipeline race: every run_algorithm call of both headliners lands on one
+            // fabric or the other via the process-wide switch.
+            for algorithm in headline_algorithms() {
+                set_default_executor(ExecutorKind::Sequential);
+                let start = Instant::now();
+                let flat = algorithm.run(g).unwrap_or_else(|e| {
+                    panic!("{} failed on {family} n={n}: {e}", algorithm.name())
+                });
+                let wall_flat = start.elapsed().as_secs_f64() * 1e3;
+                set_default_executor(ExecutorKind::Reference);
+                let start = Instant::now();
+                let reference = algorithm.run(g).unwrap_or_else(|e| {
+                    panic!("{} failed on {family} n={n} (reference): {e}", algorithm.name())
+                });
+                let wall_ref = start.elapsed().as_secs_f64() * 1e3;
+                assert_eq!(
+                    (flat.colors, flat.report, flat.coloring.colors()),
+                    (reference.colors, reference.report, reference.coloring.colors()),
+                    "{} diverged between fabrics on {family} n={n}",
+                    flat.name
+                );
+                rows.push(
+                    Row::new("E18", format!("{family} n={n} · {}", flat.name))
+                        .with("n", n as f64)
+                        .with("avg_degree", g.average_degree())
+                        .with("colors", flat.colors as f64)
+                        .with("rounds", flat.report.rounds as f64)
+                        .with("messages", flat.report.messages as f64)
+                        .with("wall_ms_flat", wall_flat)
+                        .with("wall_ms_reference", wall_ref)
+                        .with("speedup_vs_ref", wall_ref / wall_flat.max(1e-9)),
+                );
+            }
+        }
+    }
+    set_default_executor(previous);
+    rows
+}
+
 /// One experiment of the catalog.
 pub type ExperimentFn = fn(SizeClass) -> Vec<Row>;
 
@@ -504,6 +611,7 @@ pub fn catalog() -> Vec<(&'static str, ExperimentFn)> {
         ("E15", e15_primitives),
         ("E16", e16_headline_head_to_head),
         ("E17", e17_sharded_scale),
+        ("E18", e18_routing_fabric),
     ]
 }
 
@@ -533,13 +641,13 @@ mod tests {
     }
 
     #[test]
-    fn catalog_includes_the_sharded_scale_sweep() {
-        // E17 itself is exercised (and its executors cross-checked) by the CI smoke tier;
-        // here we only pin its catalog identity so `experiments -- E17` keeps resolving.
+    fn catalog_includes_the_scale_and_routing_sweeps() {
+        // E17/E18 are exercised (and their executors cross-checked) by the CI smoke tier;
+        // here we only pin their catalog identities so `experiments -- E17`/`E18` resolve.
         let ids: Vec<&str> = catalog().iter().map(|(id, _)| *id).collect();
         assert_eq!(ids.first(), Some(&"E1"));
-        assert_eq!(ids.last(), Some(&"E17"));
-        assert_eq!(ids.len(), 17);
+        assert_eq!(ids.last(), Some(&"E18"));
+        assert_eq!(ids.len(), 18);
     }
 
     #[test]

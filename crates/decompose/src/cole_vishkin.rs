@@ -182,6 +182,9 @@ pub fn cole_vishkin_forest_coloring(
             reason: "one parent pointer per vertex is required".to_string(),
         });
     }
+    // `port_of` is an O(log deg) binary search over the sorted adjacency list (not the old
+    // linear scan), so embedding every parent port costs O(n log Δ) up front and the node
+    // programs never search for their parent again.
     let mut parent_port = vec![None; graph.n()];
     for (v, &p) in parent.iter().enumerate() {
         if let Some(p) = p {

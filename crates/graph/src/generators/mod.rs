@@ -27,6 +27,38 @@ pub use trees::{
 
 use crate::error::GraphError;
 
+/// One seeded representative per generator family, with shuffled identifiers — **the**
+/// canonical fixture for executor-equivalence and routing-invariant suites across the
+/// workspace (`tests/message_fabric.rs`, `tests/sharded_executor.rs`,
+/// `crates/graph/tests/mirror_ports.rs` all draw from this list, so their coverage cannot
+/// silently drift apart).  `n` is clamped up to a size every family accepts; the dense
+/// families are capped so property tests stay fast.
+///
+/// # Panics
+///
+/// Panics if a generator rejects its parameters (impossible for the clamped sizes).
+pub fn seeded_suite(n: usize, seed: u64) -> Vec<(&'static str, crate::graph::Graph)> {
+    let n = n.max(12);
+    vec![
+        ("forests", union_of_random_forests(n, 3, seed).unwrap().with_shuffled_ids(seed + 1)),
+        ("gnp", gnp(n, 4.0 / n as f64, seed + 2).unwrap().with_shuffled_ids(seed + 3)),
+        ("star-forests", star_forest_union(n, 2, 3, seed + 4).unwrap().with_shuffled_ids(seed + 5)),
+        (
+            "preferential-attachment",
+            barabasi_albert(n, 3, seed + 6).unwrap().with_shuffled_ids(seed + 7),
+        ),
+        ("random-tree", random_tree(n, seed + 8).unwrap().with_shuffled_ids(seed + 9)),
+        ("grid", grid(n / 6 + 2, 6).unwrap().with_shuffled_ids(seed + 10)),
+        ("caterpillar", caterpillar(n / 4 + 1, 3).unwrap().with_shuffled_ids(seed + 11)),
+        ("cycle", cycle(n).unwrap().with_shuffled_ids(seed + 12)),
+        ("complete", complete(n.min(20)).unwrap().with_shuffled_ids(seed + 13)),
+        (
+            "bipartite",
+            random_bipartite(n / 2, n / 2, 0.15, seed + 14).unwrap().with_shuffled_ids(seed + 15),
+        ),
+    ]
+}
+
 /// A named graph family used by the experiment harness to iterate over workloads.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Family {

@@ -13,6 +13,12 @@ fn rng(seed: u64) -> ChaCha8Rng {
 /// Erdős–Rényi `G(n, p)`: each of the `binom(n, 2)` edges is present independently with
 /// probability `p`.
 ///
+/// Runs in `O(n + m)` expected time via Batagelj–Brandes geometric skipping (one RNG draw
+/// per *edge*, not per pair), so sparse million-vertex graphs generate in milliseconds —
+/// the old per-pair Bernoulli loop was `O(n²)` and made `n = 10⁶` workloads (experiment
+/// E18) infeasible.  Still deterministic per seed, though a given seed produces a
+/// *different* graph than the per-pair implementation did.
+///
 /// # Errors
 ///
 /// Returns [`GraphError::InvalidParameter`] if `p` is not in `[0, 1]`.
@@ -22,12 +28,34 @@ pub fn gnp(n: usize, p: f64, seed: u64) -> Result<Graph, GraphError> {
     }
     let mut rng = rng(seed);
     let mut builder = GraphBuilder::new(n);
-    if p > 0.0 {
+    if p >= 1.0 {
         for u in 0..n {
             for v in (u + 1)..n {
-                if rng.gen::<f64>() < p {
-                    builder.add_edge(u, v)?;
-                }
+                builder.add_edge(u, v)?;
+            }
+        }
+    } else if p > 0.0 && (1.0 - p).ln() != 0.0 {
+        // Walk the pair space {(v, w) : w < v} in lexicographic order, jumping a
+        // geometrically distributed number of non-edges between consecutive edges.
+        // (When p is below f64 resolution, `ln(1 - p)` rounds to zero and the skip is
+        // unbounded; the guard above returns the empty graph, which is where the expected
+        // edge count lies for any representable n.)
+        let ln_q = (1.0 - p).ln();
+        let mut v: usize = 1;
+        let mut w: i64 = -1;
+        while v < n {
+            let r: f64 = rng.gen();
+            // (1 - r) is in (0, 1], so the ratio is a non-negative skip; cap it before the
+            // cast so extreme draws stay sound — anything at or beyond n(n-1)/2 walks off
+            // the end of the pair space either way.
+            let skip = ((1.0 - r).ln() / ln_q).min(4.0e18);
+            w += 1 + skip as i64;
+            while v < n && w >= v as i64 {
+                w -= v as i64;
+                v += 1;
+            }
+            if v < n {
+                builder.add_edge(v, w as usize)?;
             }
         }
     }
@@ -130,6 +158,24 @@ mod tests {
         assert_eq!(full.m(), 20 * 19 / 2);
         assert!(gnp(10, 1.5, 1).is_err());
         assert!(gnp(10, f64::NAN, 1).is_err());
+        // p below f64 resolution: ln(1 - p) rounds to 0; must yield the (expected) empty
+        // graph, not an out-of-range edge from an unbounded skip.
+        let tiny = gnp(100, 1e-17, 0).unwrap();
+        assert_eq!(tiny.m(), 0);
+        let denormal = gnp(100, f64::MIN_POSITIVE, 0).unwrap();
+        assert_eq!(denormal.m(), 0);
+    }
+
+    #[test]
+    fn gnp_density_tracks_p() {
+        // The skip sampler must reproduce the Bernoulli density: expected m = p·n(n-1)/2.
+        let n = 4_000usize;
+        for (p, seed) in [(0.002f64, 3u64), (0.01, 4)] {
+            let g = gnp(n, p, seed).unwrap();
+            let expected = p * (n * (n - 1) / 2) as f64;
+            let ratio = g.m() as f64 / expected;
+            assert!((0.9..1.1).contains(&ratio), "m = {} vs expected {expected}", g.m());
+        }
     }
 
     #[test]

@@ -20,16 +20,28 @@ pub type Vertex = usize;
 /// Canonical index of an undirected edge (position in [`Graph::edges`]).
 pub type EdgeIdx = usize;
 
+/// Index of a directed *arc*: a position in the concatenated adjacency lists.  Every
+/// undirected edge `{u, v}` contributes two arcs, `u → v` and `v → u`; the arc `v → u` at
+/// port `p` of `v` has index `arc_range(v).start + p`.
+pub type ArcIdx = usize;
+
 /// An immutable undirected simple graph.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Graph {
     n: usize,
     /// CSR offsets: neighbors of `v` live in `adjacency[offsets[v]..offsets[v + 1]]`.
     offsets: Vec<usize>,
-    /// Concatenated adjacency lists (each undirected edge appears twice).
+    /// Concatenated adjacency lists (each undirected edge appears twice).  Each per-vertex
+    /// list is strictly ascending — `build` places arcs from the sorted edge list, so for a
+    /// vertex `w` the neighbors `u < w` arrive (in `u` order) before the neighbors `x > w`
+    /// (in `x` order).  [`Graph::port_of`] and the message fabric rely on this invariant.
     adjacency: Vec<Vertex>,
     /// For each CSR arc position, the canonical edge index it belongs to.
     arc_edge: Vec<EdgeIdx>,
+    /// For each arc position `a = (v → u)`, the position of the mirror arc `u → v`.  Turns
+    /// message routing (`sender port` → `receiver port`) into a single array read; an
+    /// involution without fixed points (`mirror_arc[mirror_arc[a]] == a`).
+    mirror_arc: Vec<ArcIdx>,
     /// Canonical edge list with endpoints ordered `u < v`.
     edges: Vec<(Vertex, Vertex)>,
     /// Unique LOCAL-model identifiers, a permutation of `1..=n`.
@@ -95,13 +107,73 @@ impl Graph {
         (0..self.n).map(|v| self.degree(v)).max().unwrap_or(0)
     }
 
-    /// The neighbors of `v`, in port order.
+    /// The neighbors of `v`, in port order (strictly ascending vertex index).
     ///
     /// # Panics
     ///
     /// Panics if `v >= n`.
     pub fn neighbors(&self, v: Vertex) -> &[Vertex] {
         &self.adjacency[self.offsets[v]..self.offsets[v + 1]]
+    }
+
+    /// Total number of arcs (`2m`): the length of the concatenated adjacency lists.
+    pub fn num_arcs(&self) -> usize {
+        self.adjacency.len()
+    }
+
+    /// The arc indices owned by `v`: port `p` of `v` is arc `arc_range(v).start + p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v >= n`.
+    pub fn arc_range(&self, v: Vertex) -> std::ops::Range<ArcIdx> {
+        self.offsets[v]..self.offsets[v + 1]
+    }
+
+    /// The arc indices owned by a contiguous vertex range (used by sharded executors to size
+    /// per-shard arc buffers; empty ranges yield empty spans).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vertices.end > n`.
+    pub fn arc_span(&self, vertices: std::ops::Range<Vertex>) -> std::ops::Range<ArcIdx> {
+        assert!(vertices.end <= self.n, "vertex range out of bounds");
+        if vertices.start >= vertices.end {
+            let at = self.offsets[vertices.start.min(self.n)];
+            at..at
+        } else {
+            self.offsets[vertices.start]..self.offsets[vertices.end]
+        }
+    }
+
+    /// The head (target vertex) of arc `a`: `arc_target(arc_range(v).start + p)` is the
+    /// neighbor at port `p` of `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a >= num_arcs()`.
+    pub fn arc_target(&self, a: ArcIdx) -> Vertex {
+        self.adjacency[a]
+    }
+
+    /// The full mirror-arc table: `mirror_arcs()[a]` is the arc position of the reverse of
+    /// arc `a`.  Hot loops index this slice directly; for one-off lookups prefer
+    /// [`Graph::mirror_port`].
+    pub fn mirror_arcs(&self) -> &[ArcIdx] {
+        &self.mirror_arc
+    }
+
+    /// O(1) reverse-port lookup: the port at which `v` appears in the adjacency list of its
+    /// neighbor at `port`.  If `u = neighbors(v)[port]`, then
+    /// `neighbors(u)[mirror_port(v, port)] == v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v >= n` or `port >= degree(v)`.
+    pub fn mirror_port(&self, v: Vertex, port: usize) -> usize {
+        let arc = self.offsets[v] + port;
+        assert!(arc < self.offsets[v + 1], "port {port} out of range for vertex {v}");
+        self.mirror_arc[arc] - self.offsets[self.adjacency[arc]]
     }
 
     /// The canonical edge indices of the edges incident to `v`, aligned with
@@ -130,7 +202,7 @@ impl Graph {
             return None;
         }
         let (a, b) = if self.degree(u) <= self.degree(v) { (u, v) } else { (v, u) };
-        self.neighbors(a).iter().position(|&w| w == b).map(|port| self.incident_edges(a)[port])
+        self.port_of(a, b).map(|port| self.incident_edges(a)[port])
     }
 
     /// Whether `{u, v}` is an edge of the graph.
@@ -182,8 +254,15 @@ impl Graph {
     }
 
     /// The port (position in `neighbors(v)`) at which `u` appears, if `{u, v}` is an edge.
+    ///
+    /// O(log deg(v)): adjacency lists are strictly ascending (see [`Graph::neighbors`]), so
+    /// this is a binary search.  Message *routing* should not use this at all — when the
+    /// sender-side port is known, [`Graph::mirror_port`] answers in O(1).
     pub fn port_of(&self, v: Vertex, u: Vertex) -> Option<usize> {
-        self.neighbors(v).iter().position(|&w| w == u)
+        if v >= self.n {
+            return None;
+        }
+        self.neighbors(v).binary_search(&u).ok()
     }
 
     /// Replaces the identifier vector (crate-internal; used by induced subgraphs to inherit
@@ -276,17 +355,27 @@ impl GraphBuilder {
         }
         let mut adjacency = vec![0 as Vertex; offsets[n]];
         let mut arc_edge = vec![0 as EdgeIdx; offsets[n]];
+        let mut mirror_arc = vec![0 as ArcIdx; offsets[n]];
         let mut cursor = offsets.clone();
         for (e, &(u, v)) in edges.iter().enumerate() {
-            adjacency[cursor[u]] = v;
-            arc_edge[cursor[u]] = e;
+            // Both arc positions of edge e are known right here, so the mirror table costs
+            // nothing extra to build.
+            let (au, av) = (cursor[u], cursor[v]);
+            adjacency[au] = v;
+            arc_edge[au] = e;
+            mirror_arc[au] = av;
             cursor[u] += 1;
-            adjacency[cursor[v]] = u;
-            arc_edge[cursor[v]] = e;
+            adjacency[av] = u;
+            arc_edge[av] = e;
+            mirror_arc[av] = au;
             cursor[v] += 1;
         }
+        debug_assert!(
+            (0..n).all(|v| adjacency[offsets[v]..offsets[v + 1]].windows(2).all(|w| w[0] < w[1])),
+            "adjacency lists must be strictly ascending"
+        );
 
-        Graph { n, offsets, adjacency, arc_edge, edges, ids: (1..=n as u64).collect() }
+        Graph { n, offsets, adjacency, arc_edge, mirror_arc, edges, ids: (1..=n as u64).collect() }
     }
 }
 
@@ -355,6 +444,51 @@ mod tests {
                 assert!((a == v && b == u) || (a == u && b == v));
             }
         }
+    }
+
+    #[test]
+    fn mirror_arcs_are_a_fixed_point_free_involution() {
+        let g = Graph::from_edges(6, [(0, 1), (1, 2), (0, 2), (2, 5), (3, 4), (1, 4)]).unwrap();
+        assert_eq!(g.num_arcs(), 2 * g.m());
+        assert_eq!(g.mirror_arcs().len(), g.num_arcs());
+        for a in 0..g.num_arcs() {
+            let b = g.mirror_arcs()[a];
+            assert_ne!(a, b, "an arc is never its own mirror");
+            assert_eq!(g.mirror_arcs()[b], a, "mirror must be an involution");
+        }
+    }
+
+    #[test]
+    fn mirror_port_round_trips_through_both_endpoints() {
+        let g = Graph::from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4), (0, 4), (1, 3)]).unwrap();
+        for v in g.vertices() {
+            for (port, &u) in g.neighbors(v).iter().enumerate() {
+                let back = g.mirror_port(v, port);
+                assert_eq!(g.neighbors(u)[back], v);
+                assert_eq!(g.mirror_port(u, back), port);
+                assert_eq!(g.port_of(u, v), Some(back));
+                assert_eq!(g.arc_target(g.arc_range(v).start + port), u);
+            }
+        }
+    }
+
+    #[test]
+    fn arc_span_matches_concatenated_ranges() {
+        let g = Graph::from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4), (0, 4)]).unwrap();
+        assert_eq!(g.arc_span(0..g.n()), 0..g.num_arcs());
+        assert_eq!(g.arc_span(1..3).start, g.arc_range(1).start);
+        assert_eq!(g.arc_span(1..3).end, g.arc_range(2).end);
+        assert!(g.arc_span(2..2).is_empty());
+        assert!(g.arc_span(5..5).is_empty());
+    }
+
+    #[test]
+    fn adjacency_lists_are_sorted() {
+        let g = Graph::from_edges(7, [(3, 1), (3, 5), (0, 3), (3, 6), (2, 3), (3, 4)]).unwrap();
+        assert_eq!(g.neighbors(3), &[0, 1, 2, 4, 5, 6]);
+        assert_eq!(g.port_of(3, 4), Some(3));
+        assert_eq!(g.port_of(3, 3), None);
+        assert_eq!(g.port_of(9, 0), None);
     }
 
     #[test]

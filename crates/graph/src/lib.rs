@@ -48,6 +48,6 @@ pub mod subgraph;
 
 pub use coloring::{Color, Coloring};
 pub use error::GraphError;
-pub use graph::{EdgeIdx, Graph, GraphBuilder, Vertex};
+pub use graph::{ArcIdx, EdgeIdx, Graph, GraphBuilder, Vertex};
 pub use orientation::{EdgeDirection, Orientation};
 pub use subgraph::{InducedSubgraph, PartitionScratch, VertexMap};

@@ -10,15 +10,64 @@
 use crate::graph::{Graph, GraphBuilder, Vertex};
 
 /// Bidirectional mapping between parent-graph vertices and subgraph vertices.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// Memory is O(part size) when the parent vertices are in ascending order (the
+/// [`InducedSubgraph::partition`] output always is — child order follows parent order, so
+/// `to_parent` itself is the lookup structure and parent→child queries binary-search it);
+/// otherwise an offset-based dense window spanning only `[min parent, max parent]` is kept.
+#[derive(Debug, Clone)]
 pub struct VertexMap {
     /// `to_parent[child_vertex] = parent_vertex`.
     to_parent: Vec<Vertex>,
-    /// `to_child[parent_vertex] = Some(child_vertex)` if the parent vertex is in the subgraph.
-    to_child: Vec<Option<Vertex>>,
+    /// How parent→child queries are answered (derived from `to_parent`).
+    lookup: ChildLookup,
 }
 
+/// Parent→child lookup strategy of a [`VertexMap`].
+#[derive(Debug, Clone)]
+enum ChildLookup {
+    /// `to_parent` is strictly ascending: `to_child(v)` is a binary search over it, and the
+    /// map owns no memory beyond `to_parent` itself.
+    Sorted,
+    /// Arbitrary child order: dense table over the parent-vertex window starting at
+    /// `offset`, so memory is O(max − min + 1) rather than O(parent n).
+    Dense {
+        /// Smallest parent vertex of the part (the window start).
+        offset: Vertex,
+        /// `table[v - offset] = Some(child)` for included parent vertices `v`.
+        table: Vec<Option<Vertex>>,
+    },
+}
+
+/// The mapping is fully determined by `to_parent`; the lookup strategy is an implementation
+/// detail, so equality ignores it.
+impl PartialEq for VertexMap {
+    fn eq(&self, other: &Self) -> bool {
+        self.to_parent == other.to_parent
+    }
+}
+
+impl Eq for VertexMap {}
+
 impl VertexMap {
+    /// Builds the map from parent vertices listed in child-index order (duplicates must have
+    /// been removed by the caller).  Picks the zero-overhead sorted representation whenever
+    /// the input is ascending.
+    fn from_ordered(to_parent: Vec<Vertex>) -> Self {
+        let sorted = to_parent.windows(2).all(|w| w[0] < w[1]);
+        let lookup = if sorted {
+            ChildLookup::Sorted
+        } else {
+            let offset = to_parent.iter().copied().min().unwrap_or(0);
+            let span = to_parent.iter().copied().max().map_or(0, |max| max - offset + 1);
+            let mut table = vec![None; span];
+            for (child, &v) in to_parent.iter().enumerate() {
+                table[v - offset] = Some(child);
+            }
+            ChildLookup::Dense { offset, table }
+        };
+        VertexMap { to_parent, lookup }
+    }
     /// The parent vertex corresponding to subgraph vertex `v`.
     ///
     /// # Panics
@@ -29,8 +78,15 @@ impl VertexMap {
     }
 
     /// The subgraph vertex corresponding to parent vertex `v`, if it is included.
+    ///
+    /// O(log part size) in the sorted representation, O(1) in the dense one.
     pub fn to_child(&self, v: Vertex) -> Option<Vertex> {
-        self.to_child.get(v).copied().flatten()
+        match &self.lookup {
+            ChildLookup::Sorted => self.to_parent.binary_search(&v).ok(),
+            ChildLookup::Dense { offset, table } => {
+                v.checked_sub(*offset).and_then(|i| table.get(i)).copied().flatten()
+            }
+        }
     }
 
     /// Number of vertices in the subgraph.
@@ -109,7 +165,8 @@ impl InducedSubgraph {
         let ids: Vec<u64> = to_parent.iter().map(|&p| parent.id(p)).collect();
         graph = graph_with_ids(graph, ids);
 
-        InducedSubgraph { graph, map: VertexMap { to_parent, to_child } }
+        // `to_child` was construction scratch; the returned map re-derives a compact lookup.
+        InducedSubgraph { graph, map: VertexMap::from_ordered(to_parent) }
     }
 
     /// Partitions `parent` into the subgraphs induced by each part of `partition`.
@@ -131,9 +188,9 @@ impl InducedSubgraph {
     /// **one** shared parent-to-child table in `O(n + m)`, and recursive drivers (Procedure
     /// Legal-Coloring refines its decomposition every phase) can reuse `scratch` across
     /// calls so the table and the per-part vertex lists are allocated once.  The returned
-    /// [`VertexMap`]s still own a lookup table each, truncated to the largest parent vertex
-    /// of the part — so the *output* remains `O(parts · n)`-sized in the worst case
-    /// (scattered parts); only the construction-time churn is eliminated.
+    /// [`VertexMap`]s are compact too: each part's vertices are ascending, so the map stores
+    /// nothing beyond its `to_parent` list and the *output* is `O(n + m)` overall rather
+    /// than `O(parts · n)` for scattered parts.
     ///
     /// # Panics
     ///
@@ -185,17 +242,9 @@ impl InducedSubgraph {
                 }
                 let ids: Vec<u64> = group.iter().map(|&p| parent.id(p)).collect();
                 let graph = builder.build().with_ids_internal(ids);
-                // The per-part lookup table only needs entries up to the largest parent
-                // vertex of the part; `VertexMap::to_child` treats out-of-range as absent.
-                let table_len = group.iter().max().map_or(0, |&v| v + 1);
-                let mut part_to_child = vec![None; table_len];
-                for (child, &v) in group.iter().enumerate() {
-                    part_to_child[v] = Some(child);
-                }
-                InducedSubgraph {
-                    graph,
-                    map: VertexMap { to_parent: group.clone(), to_child: part_to_child },
-                }
+                // Groups are collected in ascending vertex order, so the map always lands in
+                // the sorted representation: O(part size) output, no per-part table at all.
+                InducedSubgraph { graph, map: VertexMap::from_ordered(group.clone()) }
             })
             .collect()
     }
@@ -308,6 +357,28 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn compact_lookup_agrees_between_sorted_and_dense_representations() {
+        let g = crate::generators::gnp(40, 0.15, 3).unwrap();
+        // Unsorted input → dense window; sorted input → binary search.  Both must answer
+        // every to_child query identically.
+        let scattered: Vec<Vertex> = vec![31, 7, 19, 2, 25];
+        let mut ascending = scattered.clone();
+        ascending.sort_unstable();
+        let dense = InducedSubgraph::new(&g, &scattered);
+        let sorted = InducedSubgraph::new(&g, &ascending);
+        for v in 0..g.n() + 5 {
+            assert_eq!(dense.map.to_child(v).is_some(), sorted.map.to_child(v).is_some(), "{v}");
+            if let Some(child) = dense.map.to_child(v) {
+                assert_eq!(dense.map.to_parent(child), v);
+                assert_eq!(sorted.map.to_parent(sorted.map.to_child(v).unwrap()), v);
+            }
+        }
+        // The dense window starts at the smallest parent vertex, not at 0.
+        assert_eq!(dense.map.to_child(0), None);
+        assert_eq!(dense.map.to_child(2), Some(3));
     }
 
     #[test]

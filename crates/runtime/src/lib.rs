@@ -13,7 +13,11 @@
 //!   identifiers, `n`) and the messages delivered to it, which keeps implementations honest
 //!   about locality.
 //! * [`Executor`] — runs an algorithm on a graph until every node halts, returning the
-//!   per-vertex outputs and a [`RoundReport`] with round and message counts.
+//!   per-vertex outputs and a [`RoundReport`] with round and message counts.  Delivery runs
+//!   on the arc-indexed message fabric (see [`network`]): O(1) mirror-table routing into
+//!   flat one-slot-per-port mailboxes, zero heap allocation per steady-state round.
+//! * [`mod@reference`] — the pre-fabric `Vec<Vec<…>>` executor with linear-scan routing, kept
+//!   as the bit-identity oracle and the baseline the `routing` benches race against.
 //! * [`shard`] — the sharded parallel simulator: a hand-rolled [`WorkPool`], the
 //!   [`ShardedExecutor`] (bit-identical results to [`Executor`] at any thread count), and
 //!   the process-wide [`ExecutorKind`] switch consulted by [`run_algorithm`].
@@ -46,13 +50,15 @@ pub mod composition;
 pub mod metrics;
 pub mod network;
 pub mod node;
+pub mod reference;
 pub mod shard;
 pub mod trace;
 
 pub use composition::{parallel_max, CostLedger, PhaseCost};
 pub use metrics::RoundReport;
 pub use network::{ExecutionResult, Executor, RuntimeError};
-pub use node::{Algorithm, Inbox, NodeCtx, NodeProgram, Outbox, Status};
+pub use node::{Algorithm, Inbox, NeighborIds, NodeCtx, NodeProgram, Outbox, Status};
+pub use reference::ReferenceExecutor;
 pub use shard::{
     default_executor, default_sequential_cutoff, run_algorithm, set_default_executor,
     set_default_sequential_cutoff, ExecutorKind, PoolScope, ShardedExecutor, WorkPool,

@@ -1,10 +1,31 @@
-//! The synchronous executor.
+//! The synchronous executor and the arc-indexed message fabric.
+//!
+//! # The message fabric
+//!
+//! The LOCAL model charges one round for all messages at once, so the simulator's delivery
+//! path is the hot loop of every experiment.  Three structural facts make it allocation- and
+//! scan-free:
+//!
+//! 1. **O(1) routing.**  A message leaving `sender` on `port` arrives at the mirror arc
+//!    `graph.mirror_arcs()[arc_range(sender).start + port]` — a single array read
+//!    precomputed by the CSR build, replacing the per-message `port_of` scan of the
+//!    receiver's adjacency list.
+//! 2. **Flat mailboxes.**  Pending messages live in one arc-indexed slot buffer
+//!    (`ArcMailboxes`): slot `a` holds the first message delivered to arc `a` this round,
+//!    a shared spill vector absorbs the rare second message per port, and a fill list
+//!    remembers which slots to clear — so a round performs no per-vertex `Vec` pushes and,
+//!    on the one-message-per-port fast path, no heap allocation at all.
+//! 3. **Order preservation.**  Adjacency lists are sorted, so reading a vertex's slots in
+//!    port order equals the sender-index order the old `Vec<Vec<(port, msg)>>` mailboxes
+//!    produced; outputs, rounds, and message counts are bit-identical to the
+//!    [`reference`](crate::reference) executor (enforced by `tests/message_fabric.rs`).
 
 use crate::metrics::RoundReport;
-use crate::node::{Algorithm, Inbox, NodeCtx, NodeProgram, Outbox, Status};
+use crate::node::{Algorithm, Inbox, NeighborIds, NodeCtx, NodeProgram, Outbox, Status};
 use arbcolor_graph::Graph;
 use std::error::Error;
 use std::fmt;
+use std::sync::Arc;
 
 /// Errors raised by the executor.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -69,13 +90,6 @@ impl<'g> Executor<'g> {
         self.graph
     }
 
-    /// Builds the [`NodeCtx`] of every vertex.
-    fn contexts(&self) -> Vec<NodeCtx> {
-        let g = self.graph;
-        let id_space = id_space_of(g);
-        g.vertices().map(|v| node_ctx(g, v, id_space)).collect()
-    }
-
     /// Runs `algorithm` until every node halts.
     ///
     /// # Errors
@@ -86,60 +100,73 @@ impl<'g> Executor<'g> {
         &self,
         algorithm: &A,
     ) -> Result<ExecutionResult<<A::Node as NodeProgram>::Output>, RuntimeError> {
-        let n = self.graph.n();
-        let contexts = self.contexts();
+        let graph = self.graph;
+        let n = graph.n();
+        let id_space = id_space_of(graph);
+        let id_table = neighbor_id_table(graph);
+        let contexts: Vec<NodeCtx> =
+            graph.vertices().map(|v| node_ctx(graph, v, id_space, &id_table)).collect();
         let mut nodes: Vec<A::Node> = contexts.iter().map(|ctx| algorithm.node(ctx)).collect();
         let mut active = vec![true; n];
+        let mut active_count = n;
         let mut report = RoundReport::zero();
 
-        // Pending messages for the *next* delivery, stored per receiving vertex as
-        // (receiver_port, message), double-buffered against the inboxes read by the current
-        // round so no per-vertex `Vec` is ever reallocated after this point.
-        let mut pending: Vec<Vec<(usize, <A::Node as NodeProgram>::Msg)>> =
-            (0..n).map(|_| Vec::new()).collect();
-        let mut inboxes: Vec<Vec<(usize, <A::Node as NodeProgram>::Msg)>> =
-            (0..n).map(|_| Vec::new()).collect();
+        // The double-buffered flat mailboxes (one slot per arc) and the single outbox
+        // every vertex reuses: after the warm-up fills below, a round performs no heap
+        // allocation on the one-message-per-port fast path.
+        let mut pending: ArcMailboxes<<A::Node as NodeProgram>::Msg> =
+            ArcMailboxes::new(graph.arc_span(0..n));
+        let mut inboxes: ArcMailboxes<<A::Node as NodeProgram>::Msg> =
+            ArcMailboxes::new(graph.arc_span(0..n));
+        let mut outbox = Outbox::new(0);
 
         // Initialization: local computation plus the sends of the first round.
         let mut any_outgoing = false;
         for v in 0..n {
-            let mut outbox = Outbox::new(contexts[v].degree);
+            outbox.reset(contexts[v].degree);
             let status = nodes[v].init(&contexts[v], &mut outbox);
             if status == Status::Halted {
                 active[v] = false;
+                active_count -= 1;
             }
             any_outgoing |= !outbox.is_empty();
-            deliver(self.graph, v, outbox, &mut pending, &mut report);
+            deliver(graph, v, &mut outbox, &mut pending, &mut report);
         }
 
         // Main loop: one iteration = one synchronous round.
-        while active.iter().any(|&a| a) || any_outgoing {
+        while active_count > 0 || any_outgoing {
             if report.rounds >= self.max_rounds {
                 return Err(RuntimeError::RoundLimitExceeded {
                     limit: self.max_rounds,
-                    still_active: active.iter().filter(|&&a| a).count(),
+                    still_active: active_count,
                 });
             }
             report.rounds += 1;
-            swap_mailboxes(&mut pending, &mut inboxes);
+            std::mem::swap(&mut pending, &mut inboxes);
+            pending.clear();
+            inboxes.seal();
 
             any_outgoing = false;
+            let mut cursor = MailboxCursor::default();
             for v in 0..n {
+                let arcs = graph.arc_range(v);
+                let window = cursor.advance(&inboxes, arcs.end);
                 if !active[v] {
                     continue;
                 }
-                let inbox = Inbox::new(&inboxes[v]);
-                let mut outbox = Outbox::new(contexts[v].degree);
+                let inbox = inboxes.read(window, arcs);
+                outbox.reset(contexts[v].degree);
                 let status = nodes[v].round(&contexts[v], &inbox, &mut outbox);
                 if status == Status::Halted {
                     active[v] = false;
+                    active_count -= 1;
                 }
                 any_outgoing |= !outbox.is_empty();
-                deliver(self.graph, v, outbox, &mut pending, &mut report);
+                deliver(graph, v, &mut outbox, &mut pending, &mut report);
             }
             // Messages addressed to halted nodes are dropped at delivery time by the receiving
             // node simply never reading them; they still count as sent messages.
-            if !active.iter().any(|&a| a) {
+            if active_count == 0 {
                 break;
             }
         }
@@ -155,42 +182,144 @@ pub(crate) fn id_space_of(graph: &Graph) -> u64 {
     graph.ids().iter().copied().max().unwrap_or(0).max(graph.n() as u64)
 }
 
+/// Builds the CSR-shaped neighbor-identifier table shared by every [`NodeCtx`] of an
+/// execution: `table[a] = id(arc_target(a))`.  One allocation per run, borrowed by all
+/// contexts, under both executors.
+pub(crate) fn neighbor_id_table(graph: &Graph) -> Arc<[u64]> {
+    (0..graph.num_arcs()).map(|a| graph.id(graph.arc_target(a))).collect()
+}
+
 /// Builds the [`NodeCtx`] of vertex `v` (shared by the sequential and sharded executors so
 /// node programs observe byte-identical contexts under either).
-pub(crate) fn node_ctx(graph: &Graph, v: usize, id_space: u64) -> NodeCtx {
+pub(crate) fn node_ctx(graph: &Graph, v: usize, id_space: u64, id_table: &Arc<[u64]>) -> NodeCtx {
     NodeCtx {
         vertex: v,
         id: graph.id(v),
         n: graph.n(),
         id_space,
         degree: graph.degree(v),
-        neighbor_ids: graph.neighbors(v).iter().map(|&u| graph.id(u)).collect(),
+        neighbor_ids: NeighborIds::from_table(Arc::clone(id_table), graph.arc_range(v)),
     }
 }
 
-/// Flips a pending/inbox mailbox double buffer: after the call, `inbox` holds what `pending`
-/// accumulated, and `pending` holds the previously read (now cleared) mailboxes with their
-/// capacity retained.  Shared by the sequential and sharded executors.
-pub(crate) fn swap_mailboxes<T>(pending: &mut Vec<Vec<T>>, inbox: &mut Vec<Vec<T>>) {
-    std::mem::swap(pending, inbox);
-    for mailbox in pending.iter_mut() {
-        mailbox.clear();
+/// The flat arc-indexed mailbox buffer of one executor side (pending or inbox).
+///
+/// Covers a contiguous arc span (the whole graph for the sequential executor, one shard's
+/// arcs for the sharded one).  `slots[a - span.start]` holds the first message delivered to
+/// arc `a` in the current round; additional messages to the same arc overflow into `spill`
+/// in arrival order.  `filled` lists the occupied arcs so clearing is O(messages), not
+/// O(arcs).
+pub(crate) struct ArcMailboxes<M> {
+    /// First (usually only) message per arc this round.
+    slots: Vec<Option<M>>,
+    /// Occupied arc indices in fill order; sorted ascending by [`ArcMailboxes::seal`].
+    filled: Vec<usize>,
+    /// Overflow messages as `(arc, message)`, arrival order; stably sorted by arc by
+    /// [`ArcMailboxes::seal`].
+    spill: Vec<(usize, M)>,
+    /// First arc index covered by this buffer.
+    base: usize,
+}
+
+impl<M> ArcMailboxes<M> {
+    /// An empty buffer covering the given arc span.
+    pub(crate) fn new(span: std::ops::Range<usize>) -> Self {
+        ArcMailboxes {
+            slots: (0..span.len()).map(|_| None).collect(),
+            filled: Vec::new(),
+            spill: Vec::new(),
+            base: span.start,
+        }
+    }
+
+    /// Delivers `message` to `arc` (a global arc index inside this buffer's span).
+    #[inline]
+    pub(crate) fn push(&mut self, arc: usize, message: M) {
+        let slot = &mut self.slots[arc - self.base];
+        if slot.is_none() {
+            *slot = Some(message);
+            self.filled.push(arc);
+        } else {
+            self.spill.push((arc, message));
+        }
+    }
+
+    /// Prepares the buffer for reading: sorts the fill list (port order = sender order, see
+    /// the module docs) and stably groups the spill by arc, preserving send order within an
+    /// arc.
+    pub(crate) fn seal(&mut self) {
+        self.filled.sort_unstable();
+        if !self.spill.is_empty() {
+            self.spill.sort_by_key(|&(arc, _)| arc);
+        }
+    }
+
+    /// Empties the buffer in O(messages), retaining all capacity.
+    pub(crate) fn clear(&mut self) {
+        for &arc in &self.filled {
+            self.slots[arc - self.base] = None;
+        }
+        self.filled.clear();
+        self.spill.clear();
+    }
+
+    /// The inbox of the vertex owning `arcs`, given its `window` from a [`MailboxCursor`].
+    pub(crate) fn read(&self, window: MailboxWindow, arcs: std::ops::Range<usize>) -> Inbox<'_, M> {
+        Inbox::from_slots(
+            &self.slots[arcs.start - self.base..arcs.end - self.base],
+            &self.filled[window.filled],
+            &self.spill[window.spill],
+            arcs.start,
+        )
     }
 }
 
-/// Routes the outbox of `sender` into the pending inboxes of its neighbors.
-fn deliver<M: Clone>(
+/// Sub-ranges of a sealed [`ArcMailboxes`]'s fill and spill lists belonging to one vertex.
+pub(crate) struct MailboxWindow {
+    filled: std::ops::Range<usize>,
+    spill: std::ops::Range<usize>,
+}
+
+/// Walks a sealed [`ArcMailboxes`] in ascending vertex order, handing each vertex its
+/// [`MailboxWindow`] in O(messages for that vertex) amortized.
+#[derive(Default)]
+pub(crate) struct MailboxCursor {
+    filled_pos: usize,
+    spill_pos: usize,
+}
+
+impl MailboxCursor {
+    /// Consumes all fill/spill entries with arc `< arc_end` (the current vertex's arcs;
+    /// callers must advance vertices in ascending order).
+    pub(crate) fn advance<M>(&mut self, mail: &ArcMailboxes<M>, arc_end: usize) -> MailboxWindow {
+        let filled_start = self.filled_pos;
+        while self.filled_pos < mail.filled.len() && mail.filled[self.filled_pos] < arc_end {
+            self.filled_pos += 1;
+        }
+        let spill_start = self.spill_pos;
+        while self.spill_pos < mail.spill.len() && mail.spill[self.spill_pos].0 < arc_end {
+            self.spill_pos += 1;
+        }
+        MailboxWindow { filled: filled_start..self.filled_pos, spill: spill_start..self.spill_pos }
+    }
+}
+
+/// Routes the outbox of `sender` into the pending flat mailboxes: one mirror-table read per
+/// message, no `port_of` scan, no allocation (the outbox is drained in place and reused).
+#[inline]
+pub(crate) fn deliver<M>(
     graph: &Graph,
     sender: usize,
-    outbox: Outbox<M>,
-    pending: &mut [Vec<(usize, M)>],
+    outbox: &mut Outbox<M>,
+    pending: &mut ArcMailboxes<M>,
     report: &mut RoundReport,
-) {
-    let neighbors = graph.neighbors(sender);
-    for (port, message) in outbox.into_messages() {
-        let receiver = neighbors[port];
-        let receiver_port = graph.port_of(receiver, sender).expect("graph adjacency is symmetric");
-        pending[receiver].push((receiver_port, message));
+) where
+    M: Clone,
+{
+    let first_arc = graph.arc_range(sender).start;
+    let mirror = graph.mirror_arcs();
+    for (port, message) in outbox.drain() {
+        pending.push(mirror[first_arc + port], message);
         report.messages += 1;
     }
 }
@@ -246,5 +375,63 @@ mod tests {
         for v in g.vertices() {
             assert_eq!(result.outputs[v], g.id(v));
         }
+    }
+
+    /// Sends two messages down the same port in one round: both must arrive, in send order
+    /// (the spill path of the flat mailboxes).
+    #[derive(Debug, Clone, Copy)]
+    struct DoubleSend;
+
+    #[derive(Debug, Clone)]
+    struct DoubleSendNode {
+        received: Vec<(usize, u64)>,
+    }
+
+    impl NodeProgram for DoubleSendNode {
+        type Msg = u64;
+        type Output = Vec<(usize, u64)>;
+
+        fn init(&mut self, ctx: &NodeCtx, outbox: &mut Outbox<u64>) -> Status {
+            for port in 0..ctx.degree {
+                outbox.send(port, ctx.id * 10);
+                outbox.send(port, ctx.id * 10 + 1);
+            }
+            Status::Active
+        }
+
+        fn round(
+            &mut self,
+            _ctx: &NodeCtx,
+            inbox: &Inbox<'_, u64>,
+            _outbox: &mut Outbox<u64>,
+        ) -> Status {
+            self.received = inbox.iter().map(|(p, &m)| (p, m)).collect();
+            Status::Halted
+        }
+
+        fn output(&self, _ctx: &NodeCtx) -> Vec<(usize, u64)> {
+            self.received.clone()
+        }
+    }
+
+    impl Algorithm for DoubleSend {
+        type Node = DoubleSendNode;
+
+        fn node(&self, _ctx: &NodeCtx) -> DoubleSendNode {
+            DoubleSendNode { received: Vec::new() }
+        }
+    }
+
+    #[test]
+    fn multiple_messages_per_port_take_the_spill_path_in_send_order() {
+        let g = generators::path(3).unwrap(); // vertex 1 has ports to 0 and 2
+        let result = Executor::new(&g).run(&DoubleSend).unwrap();
+        assert_eq!(result.report.messages, 2 * 2 * g.m());
+        let id = |v: usize| g.id(v);
+        assert_eq!(
+            result.outputs[1],
+            vec![(0, id(0) * 10), (0, id(0) * 10 + 1), (1, id(2) * 10), (1, id(2) * 10 + 1),]
+        );
+        assert_eq!(result.outputs[0], vec![(0, id(1) * 10), (0, id(1) * 10 + 1)]);
     }
 }

@@ -1,6 +1,66 @@
 //! The node-program interface of the LOCAL-model simulator.
 
 use arbcolor_graph::Vertex;
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// The neighbor identifiers of one vertex, as a view into a graph-wide CSR-shaped table.
+///
+/// The executors build **one** `Arc<[u64]>` holding the identifier of every arc target
+/// (`table[a] = id(arc_target(a))`) per execution; every [`NodeCtx`] then borrows its own
+/// window of it, so constructing `n` contexts costs one allocation instead of `n` owned
+/// `Vec<u64>`s.  Dereferences to `[u64]`, so indexing and iteration work as before.
+#[derive(Clone)]
+pub struct NeighborIds {
+    /// Identifiers of every arc target of the whole graph, shared by all contexts.
+    table: Arc<[u64]>,
+    /// Start of this vertex's window (its first arc index).
+    start: usize,
+    /// Window length (the vertex degree).
+    len: usize,
+}
+
+impl NeighborIds {
+    /// A view over `table[range]`; `range` must be the arc range of the vertex.
+    pub fn from_table(table: Arc<[u64]>, range: std::ops::Range<usize>) -> Self {
+        assert!(range.end <= table.len(), "arc range out of bounds");
+        NeighborIds { start: range.start, len: range.len(), table }
+    }
+
+    /// Builds a standalone view from an owned list (tests and hand-rolled contexts).
+    pub fn from_vec(ids: Vec<u64>) -> Self {
+        let len = ids.len();
+        NeighborIds { table: ids.into(), start: 0, len }
+    }
+}
+
+impl From<Vec<u64>> for NeighborIds {
+    fn from(ids: Vec<u64>) -> Self {
+        NeighborIds::from_vec(ids)
+    }
+}
+
+impl Deref for NeighborIds {
+    type Target = [u64];
+
+    fn deref(&self) -> &[u64] {
+        &self.table[self.start..self.start + self.len]
+    }
+}
+
+impl std::fmt::Debug for NeighborIds {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_list().entries(self.iter()).finish()
+    }
+}
+
+impl PartialEq for NeighborIds {
+    fn eq(&self, other: &Self) -> bool {
+        **self == **other
+    }
+}
+
+impl Eq for NeighborIds {}
 
 /// Everything a vertex is allowed to know at the start of an algorithm.
 ///
@@ -23,7 +83,8 @@ pub struct NodeCtx {
     /// Degree of this vertex.
     pub degree: usize,
     /// Identifiers of the neighbors, indexed by port (position in the adjacency list).
-    pub neighbor_ids: Vec<u64>,
+    /// Backed by one table shared across all contexts of an execution.
+    pub neighbor_ids: NeighborIds,
 }
 
 impl NodeCtx {
@@ -45,37 +106,130 @@ pub enum Status {
 
 /// Messages delivered to a node at the start of a round.
 ///
-/// Each entry is `(port, message)`, where `port` is the receiving vertex's port towards the
-/// sender.
+/// Logically a sequence of `(port, message)` pairs, where `port` is the receiving vertex's
+/// port towards the sender.  Two physical representations exist: a plain pair slice
+/// ([`Inbox::new`], used by the reference executor and tests) and the flat arc-indexed slot
+/// view of the zero-allocation message fabric (`Inbox::from_slots`).  Iteration order is
+/// identical in both: ports ascending — which equals sender-index ascending, because
+/// adjacency lists are sorted — with multiple messages from the same port kept in send
+/// order.
 #[derive(Debug)]
 pub struct Inbox<'a, M> {
-    messages: &'a [(usize, M)],
+    repr: InboxRepr<'a, M>,
+}
+
+/// Physical layout of an [`Inbox`].
+#[derive(Debug)]
+enum InboxRepr<'a, M> {
+    /// `(port, message)` pairs in delivery order.
+    Pairs(&'a [(usize, M)]),
+    /// Arc-indexed slots of the flat message fabric.
+    Slots {
+        /// This vertex's slot window, indexed by port; `Some` holds the first (usually
+        /// only) message delivered to that port this round.
+        slots: &'a [Option<M>],
+        /// Occupied arcs of this vertex, ascending (a sub-slice of the round's sorted
+        /// fill list).
+        filled: &'a [usize],
+        /// Overflow `(arc, message)` pairs for ports that received more than one message,
+        /// sorted by arc with send order preserved within an arc.
+        spill: &'a [(usize, M)],
+        /// The vertex's first arc index; `port = arc - base`.
+        base: usize,
+    },
 }
 
 impl<'a, M> Inbox<'a, M> {
     /// Wraps a slice of `(port, message)` pairs.
     pub fn new(messages: &'a [(usize, M)]) -> Self {
-        Inbox { messages }
+        Inbox { repr: InboxRepr::Pairs(messages) }
     }
 
-    /// Iterates over `(port, &message)` pairs.
+    /// Wraps one vertex's window of the flat arc-indexed fabric (see the type docs).
+    pub(crate) fn from_slots(
+        slots: &'a [Option<M>],
+        filled: &'a [usize],
+        spill: &'a [(usize, M)],
+        base: usize,
+    ) -> Self {
+        Inbox { repr: InboxRepr::Slots { slots, filled, spill, base } }
+    }
+
+    /// Iterates over `(port, &message)` pairs (ports ascending; same-port messages in send
+    /// order).
     pub fn iter(&self) -> impl Iterator<Item = (usize, &'a M)> + '_ {
-        self.messages.iter().map(|(p, m)| (*p, m))
+        match self.repr {
+            InboxRepr::Pairs(messages) => InboxIter::Pairs(messages.iter()),
+            InboxRepr::Slots { slots, filled, spill, base } => {
+                InboxIter::Slots { slots, filled, fpos: 0, spill, spos: 0, base, current: None }
+            }
+        }
     }
 
-    /// The message received from the neighbor at `port`, if any.
+    /// The first message received from the neighbor at `port`, if any.
+    ///
+    /// O(1) on the flat-slot representation (one array read), O(len) on the pair slice.
     pub fn from_port(&self, port: usize) -> Option<&'a M> {
-        self.messages.iter().find(|(p, _)| *p == port).map(|(_, m)| m)
+        match self.repr {
+            InboxRepr::Pairs(messages) => messages.iter().find(|(p, _)| *p == port).map(|(_, m)| m),
+            InboxRepr::Slots { slots, .. } => slots.get(port).and_then(|slot| slot.as_ref()),
+        }
     }
 
     /// Number of messages received this round.
     pub fn len(&self) -> usize {
-        self.messages.len()
+        match self.repr {
+            InboxRepr::Pairs(messages) => messages.len(),
+            InboxRepr::Slots { filled, spill, .. } => filled.len() + spill.len(),
+        }
     }
 
     /// Whether no messages were received this round.
     pub fn is_empty(&self) -> bool {
-        self.messages.is_empty()
+        self.len() == 0
+    }
+}
+
+/// Iterator behind [`Inbox::iter`], merging slots and spill in port order.
+enum InboxIter<'a, M> {
+    Pairs(std::slice::Iter<'a, (usize, M)>),
+    Slots {
+        slots: &'a [Option<M>],
+        filled: &'a [usize],
+        fpos: usize,
+        spill: &'a [(usize, M)],
+        spos: usize,
+        base: usize,
+        /// Arc whose spill entries are being drained (its slot message was already
+        /// yielded).
+        current: Option<usize>,
+    },
+}
+
+impl<'a, M> Iterator for InboxIter<'a, M> {
+    type Item = (usize, &'a M);
+
+    fn next(&mut self) -> Option<(usize, &'a M)> {
+        match self {
+            InboxIter::Pairs(iter) => iter.next().map(|(p, m)| (*p, m)),
+            InboxIter::Slots { slots, filled, fpos, spill, spos, base, current } => {
+                if let Some(arc) = *current {
+                    if let Some((a, m)) = spill.get(*spos) {
+                        if *a == arc {
+                            *spos += 1;
+                            return Some((arc - *base, m));
+                        }
+                    }
+                    *current = None;
+                }
+                let arc = *filled.get(*fpos)?;
+                *fpos += 1;
+                *current = Some(arc);
+                let message =
+                    slots[arc - *base].as_ref().expect("filled arcs have an occupied slot");
+                Some((arc - *base, message))
+            }
+        }
     }
 }
 
@@ -90,6 +244,14 @@ impl<M: Clone> Outbox<M> {
     /// Creates an empty outbox for a vertex of the given degree.
     pub fn new(degree: usize) -> Self {
         Outbox { messages: Vec::new(), degree }
+    }
+
+    /// Re-targets the outbox at a vertex of the given degree, clearing queued messages but
+    /// keeping the buffer's capacity — the executors reuse one outbox across all vertices
+    /// so steady-state rounds allocate nothing.
+    pub fn reset(&mut self, degree: usize) {
+        self.messages.clear();
+        self.degree = degree;
     }
 
     /// Sends `message` to the neighbor at `port`.
@@ -117,6 +279,11 @@ impl<M: Clone> Outbox<M> {
     /// Whether the outbox is empty.
     pub fn is_empty(&self) -> bool {
         self.messages.is_empty()
+    }
+
+    /// Removes and returns the queued `(port, message)` pairs, keeping the buffer capacity.
+    pub fn drain(&mut self) -> impl Iterator<Item = (usize, M)> + '_ {
+        self.messages.drain(..)
     }
 
     /// Consumes the outbox, returning the queued `(port, message)` pairs.
@@ -189,6 +356,17 @@ mod tests {
     }
 
     #[test]
+    fn outbox_reset_retargets_and_clears() {
+        let mut out: Outbox<u32> = Outbox::new(1);
+        out.send(0, 3);
+        out.reset(2);
+        assert!(out.is_empty());
+        out.send(1, 4); // port 1 is valid after the reset to degree 2
+        assert_eq!(out.drain().collect::<Vec<_>>(), vec![(1, 4)]);
+        assert!(out.is_empty());
+    }
+
+    #[test]
     #[should_panic(expected = "out of range")]
     fn outbox_rejects_bad_port() {
         let mut out: Outbox<u32> = Outbox::new(2);
@@ -208,9 +386,46 @@ mod tests {
     }
 
     #[test]
+    fn slot_inbox_matches_pair_inbox() {
+        // A degree-4 vertex whose arcs are 10..14; ports 0 and 2 received one message each,
+        // port 3 received three (one slotted + two spilled).
+        let slots = vec![Some(5u32), None, Some(7), Some(9)];
+        let filled = vec![10usize, 12, 13];
+        let spill = vec![(13usize, 11u32), (13, 13)];
+        let inbox = Inbox::from_slots(&slots, &filled, &spill, 10);
+        assert_eq!(inbox.len(), 5);
+        assert!(!inbox.is_empty());
+        assert_eq!(inbox.from_port(0), Some(&5));
+        assert_eq!(inbox.from_port(1), None);
+        assert_eq!(inbox.from_port(3), Some(&9));
+        assert_eq!(inbox.from_port(9), None);
+        let collected: Vec<_> = inbox.iter().collect();
+        assert_eq!(collected, vec![(0, &5), (2, &7), (3, &9), (3, &11), (3, &13)]);
+
+        let empty: Inbox<'_, u32> = Inbox::from_slots(&slots[1..2], &[], &[], 11);
+        assert!(empty.is_empty());
+        assert_eq!(empty.iter().count(), 0);
+    }
+
+    #[test]
+    fn neighbor_ids_window_views_the_shared_table() {
+        let table: Arc<[u64]> = vec![9, 4, 7, 2].into();
+        let view = NeighborIds::from_table(Arc::clone(&table), 1..3);
+        assert_eq!(&*view, &[4, 7]);
+        assert_eq!(view, NeighborIds::from_vec(vec![4, 7]));
+        assert_eq!(format!("{view:?}"), "[4, 7]");
+    }
+
+    #[test]
     fn ctx_port_lookup() {
-        let ctx =
-            NodeCtx { vertex: 0, id: 3, n: 4, id_space: 4, degree: 2, neighbor_ids: vec![9, 4] };
+        let ctx = NodeCtx {
+            vertex: 0,
+            id: 3,
+            n: 4,
+            id_space: 4,
+            degree: 2,
+            neighbor_ids: NeighborIds::from_vec(vec![9, 4]),
+        };
         assert_eq!(ctx.port_of_neighbor_id(4), Some(1));
         assert_eq!(ctx.port_of_neighbor_id(8), None);
     }

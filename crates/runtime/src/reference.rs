@@ -1,0 +1,192 @@
+//! The reference executor: the pre-fabric `Vec<Vec<(port, message)>>` implementation.
+//!
+//! This is the simulator exactly as it worked before the arc-indexed message fabric: pending
+//! messages are pushed into per-vertex mailboxes in sender order, and every delivery derives
+//! the receiver's port with a linear scan of the receiver's adjacency list (the old
+//! `port_of` behaviour — deliberately *not* the mirror table, so the two implementations
+//! share no routing code).  It is kept for two jobs:
+//!
+//! * **Oracle.**  `tests/message_fabric.rs` pins the flat-mailbox executors to this one:
+//!   outputs, rounds, and message counts must stay bit-identical on the generator suite and
+//!   the headline pipelines.
+//! * **Baseline.**  Experiment E18 and the `routing` Criterion group race old-vs-new
+//!   delivery; [`ExecutorKind::Reference`](crate::ExecutorKind) dispatches whole pipelines
+//!   onto it.
+//!
+//! It is not optimized, and should not be used outside tests and benches.
+
+use crate::metrics::RoundReport;
+use crate::network::{id_space_of, neighbor_id_table, node_ctx, ExecutionResult, RuntimeError};
+use crate::node::{Algorithm, Inbox, NodeProgram, Outbox, Status};
+use arbcolor_graph::Graph;
+
+/// Runs [`Algorithm`]s with per-vertex `Vec` mailboxes and linear-scan routing (see the
+/// module docs).  API mirrors [`Executor`](crate::Executor).
+#[derive(Debug, Clone)]
+pub struct ReferenceExecutor<'g> {
+    graph: &'g Graph,
+    max_rounds: usize,
+}
+
+impl<'g> ReferenceExecutor<'g> {
+    /// Creates a reference executor for `graph` with the default round limit.
+    pub fn new(graph: &'g Graph) -> Self {
+        ReferenceExecutor { graph, max_rounds: crate::Executor::DEFAULT_MAX_ROUNDS }
+    }
+
+    /// Overrides the round limit.
+    #[must_use]
+    pub fn with_max_rounds(mut self, max_rounds: usize) -> Self {
+        self.max_rounds = max_rounds;
+        self
+    }
+
+    /// The graph this executor runs on.
+    pub fn graph(&self) -> &Graph {
+        self.graph
+    }
+
+    /// Runs `algorithm` until every node halts.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::RoundLimitExceeded`] if the algorithm does not terminate
+    /// within the configured round limit.
+    pub fn run<A: Algorithm>(
+        &self,
+        algorithm: &A,
+    ) -> Result<ExecutionResult<<A::Node as NodeProgram>::Output>, RuntimeError> {
+        let graph = self.graph;
+        let n = graph.n();
+        let id_space = id_space_of(graph);
+        let id_table = neighbor_id_table(graph);
+        let contexts: Vec<_> =
+            graph.vertices().map(|v| node_ctx(graph, v, id_space, &id_table)).collect();
+        let mut nodes: Vec<A::Node> = contexts.iter().map(|ctx| algorithm.node(ctx)).collect();
+        let mut active = vec![true; n];
+        let mut report = RoundReport::zero();
+
+        // Pending messages for the *next* delivery, stored per receiving vertex as
+        // (receiver_port, message), double-buffered against the inboxes read by the current
+        // round.
+        let mut pending: Vec<Vec<(usize, <A::Node as NodeProgram>::Msg)>> =
+            (0..n).map(|_| Vec::new()).collect();
+        let mut inboxes: Vec<Vec<(usize, <A::Node as NodeProgram>::Msg)>> =
+            (0..n).map(|_| Vec::new()).collect();
+
+        // Initialization: local computation plus the sends of the first round.
+        let mut any_outgoing = false;
+        for v in 0..n {
+            let mut outbox = Outbox::new(contexts[v].degree);
+            let status = nodes[v].init(&contexts[v], &mut outbox);
+            if status == Status::Halted {
+                active[v] = false;
+            }
+            any_outgoing |= !outbox.is_empty();
+            deliver_by_scan(graph, v, outbox, &mut pending, &mut report);
+        }
+
+        // Main loop: one iteration = one synchronous round.
+        while active.iter().any(|&a| a) || any_outgoing {
+            if report.rounds >= self.max_rounds {
+                return Err(RuntimeError::RoundLimitExceeded {
+                    limit: self.max_rounds,
+                    still_active: active.iter().filter(|&&a| a).count(),
+                });
+            }
+            report.rounds += 1;
+            swap_mailboxes(&mut pending, &mut inboxes);
+
+            any_outgoing = false;
+            for v in 0..n {
+                if !active[v] {
+                    continue;
+                }
+                let inbox = Inbox::new(&inboxes[v]);
+                let mut outbox = Outbox::new(contexts[v].degree);
+                let status = nodes[v].round(&contexts[v], &inbox, &mut outbox);
+                if status == Status::Halted {
+                    active[v] = false;
+                }
+                any_outgoing |= !outbox.is_empty();
+                deliver_by_scan(graph, v, outbox, &mut pending, &mut report);
+            }
+            if !active.iter().any(|&a| a) {
+                break;
+            }
+        }
+
+        let outputs =
+            nodes.iter().zip(contexts.iter()).map(|(node, ctx)| node.output(ctx)).collect();
+        Ok(ExecutionResult { outputs, report })
+    }
+}
+
+/// Flips a pending/inbox mailbox double buffer: after the call, `inbox` holds what `pending`
+/// accumulated, and `pending` holds the previously read (now cleared) mailboxes with their
+/// capacity retained.
+fn swap_mailboxes<T>(pending: &mut Vec<Vec<T>>, inbox: &mut Vec<Vec<T>>) {
+    std::mem::swap(pending, inbox);
+    for mailbox in pending.iter_mut() {
+        mailbox.clear();
+    }
+}
+
+/// Routes the outbox of `sender` into the pending per-vertex inboxes, deriving each
+/// receiver's port with a linear scan of its adjacency list — the O(deg)-per-message
+/// delivery the mirror table replaced.
+fn deliver_by_scan<M: Clone>(
+    graph: &Graph,
+    sender: usize,
+    outbox: Outbox<M>,
+    pending: &mut [Vec<(usize, M)>],
+    report: &mut RoundReport,
+) {
+    let neighbors = graph.neighbors(sender);
+    for (port, message) in outbox.into_messages() {
+        let receiver = neighbors[port];
+        let receiver_port = graph
+            .neighbors(receiver)
+            .iter()
+            .position(|&w| w == sender)
+            .expect("graph adjacency is symmetric");
+        pending[receiver].push((receiver_port, message));
+        report.messages += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::{FloodMaxId, ProposeMaxId};
+    use crate::Executor;
+    use arbcolor_graph::generators;
+
+    #[test]
+    fn reference_and_flat_executor_agree_on_a_small_graph() {
+        let g = generators::gnp(60, 0.1, 5).unwrap().with_shuffled_ids(6);
+        for rounds in [1usize, 3, 7] {
+            let flood = FloodMaxId { rounds };
+            let reference = ReferenceExecutor::new(&g).run(&flood).unwrap();
+            let flat = Executor::new(&g).run(&flood).unwrap();
+            assert_eq!(reference.outputs, flat.outputs);
+            assert_eq!(reference.report, flat.report);
+        }
+        let reference = ReferenceExecutor::new(&g).run(&ProposeMaxId).unwrap();
+        let flat = Executor::new(&g).run(&ProposeMaxId).unwrap();
+        assert_eq!(reference.outputs, flat.outputs);
+        assert_eq!(reference.report, flat.report);
+    }
+
+    #[test]
+    fn reference_round_limit_matches_flat() {
+        let g = generators::path(6).unwrap();
+        let reference = ReferenceExecutor::new(&g)
+            .with_max_rounds(2)
+            .run(&FloodMaxId { rounds: 50 })
+            .unwrap_err();
+        let flat =
+            Executor::new(&g).with_max_rounds(2).run(&FloodMaxId { rounds: 50 }).unwrap_err();
+        assert_eq!(reference, flat);
+    }
+}

@@ -10,11 +10,14 @@
 //!   cheap to construct; [`WorkPool::scope`] spawns the workers, runs a closure that may
 //!   submit any number of fork/join batches through [`PoolScope::map`], and joins all
 //!   workers before returning.
-//! * [`ShardedExecutor`] — partitions the vertex set into contiguous shards, keeps
-//!   double-buffered per-vertex mailboxes inside each shard (swap + clear instead of
-//!   reallocating `n` fresh `Vec`s per round), runs `init`/`round` for each shard's nodes on
-//!   the pool, and exchanges cross-shard message batches at a deterministic per-round
-//!   barrier.
+//! * [`ShardedExecutor`] — partitions the vertex set into contiguous shards, keeps one flat
+//!   arc-indexed mailbox buffer per shard (the message fabric of
+//!   [`network`](crate::network): one slot per port, cleared in O(messages) and refilled
+//!   from the merged batches), runs `init`/`round` for each shard's nodes on the pool, and
+//!   exchanges cross-shard message batches at a deterministic per-round barrier.  Routing a
+//!   message is pure index arithmetic: one mirror-arc read picks the receiver's slot, one
+//!   O(1) shard-of division picks the destination batch, and drained batch
+//!   vectors are recycled so steady-state rounds allocate nothing.
 //! * [`ExecutorKind`] — a value describing which executor to use, plus a process-wide
 //!   default ([`set_default_executor`]/[`default_executor`]) consulted by
 //!   [`run_algorithm`], the entry point the algorithm drivers across the workspace go
@@ -63,10 +66,12 @@
 
 use crate::metrics::RoundReport;
 use crate::network::{
-    id_space_of, node_ctx, swap_mailboxes, ExecutionResult, Executor, RuntimeError,
+    id_space_of, neighbor_id_table, node_ctx, ArcMailboxes, ExecutionResult, Executor,
+    MailboxCursor, RuntimeError,
 };
-use crate::node::{Algorithm, Inbox, NodeProgram, Outbox, Status};
-use arbcolor_graph::{Graph, Vertex};
+use crate::node::{Algorithm, NodeProgram, Outbox, Status};
+use crate::reference::ReferenceExecutor;
+use arbcolor_graph::{ArcIdx, Graph, Vertex};
 use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
@@ -199,7 +204,7 @@ impl<'env> PoolScope<'env> {
 /// Which simulator implementation to run an algorithm on.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ExecutorKind {
-    /// The single-threaded reference [`Executor`].
+    /// The single-threaded [`Executor`] on the flat message fabric.
     Sequential,
     /// The [`ShardedExecutor`] with explicit thread and shard counts.
     Sharded {
@@ -208,6 +213,10 @@ pub enum ExecutorKind {
         /// Number of contiguous vertex shards.
         shards: usize,
     },
+    /// The pre-fabric `Vec<Vec<…>>` [`ReferenceExecutor`] with linear-scan routing.  A test
+    /// and bench oracle (the equivalence suites and experiment E18 race it against the flat
+    /// executors); never faster, so not a production choice.
+    Reference,
 }
 
 impl ExecutorKind {
@@ -223,7 +232,7 @@ impl ExecutorKind {
     /// vertices of one execution) use this as their pool size.
     pub fn threads(&self) -> usize {
         match self {
-            ExecutorKind::Sequential => 1,
+            ExecutorKind::Sequential | ExecutorKind::Reference => 1,
             ExecutorKind::Sharded { threads, .. } => (*threads).max(1),
         }
     }
@@ -252,6 +261,7 @@ impl ExecutorKind {
             ExecutorKind::Sharded { threads, shards } => {
                 ShardedExecutor::new(graph).with_threads(threads).with_shards(shards).run(algorithm)
             }
+            ExecutorKind::Reference => ReferenceExecutor::new(graph).run(algorithm),
         }
     }
 }
@@ -371,8 +381,9 @@ impl ShardLayout {
 // ---------------------------------------------------------------------------
 
 /// A message batch from one source shard to one destination shard:
-/// `(receiver vertex, receiver port, message)` triples in sender order.
-type Batch<M> = Vec<(Vertex, usize, M)>;
+/// `(receiver arc, message)` pairs in sender order.  The arc index *is* the routing
+/// information — it pins both the receiving vertex and its port.
+type Batch<M> = Vec<(ArcIdx, M)>;
 
 /// Everything one shard owns between rounds.
 struct ShardState<N: NodeProgram> {
@@ -382,10 +393,13 @@ struct ShardState<N: NodeProgram> {
     nodes: Vec<N>,
     active: Vec<bool>,
     active_count: usize,
-    /// Mailboxes being filled for the next delivery (per local vertex).
-    pending: Vec<Vec<(usize, N::Msg)>>,
-    /// Mailboxes read by the current round (double buffer of `pending`).
-    inbox: Vec<Vec<(usize, N::Msg)>>,
+    /// Flat arc-indexed mailboxes covering this shard's arc span; refilled from the merged
+    /// incoming batches at every barrier (cleared in O(messages), capacity retained).
+    mail: ArcMailboxes<N::Msg>,
+    /// The one outbox every node of the shard reuses.
+    outbox: Outbox<N::Msg>,
+    /// Drained batch vectors recycled into the next round's outgoing batches.
+    batch_pool: Vec<Batch<N::Msg>>,
 }
 
 /// What one shard reports back to the barrier after stepping its nodes.
@@ -494,13 +508,15 @@ impl<'g> ShardedExecutor<'g> {
         let graph = self.graph;
         let layout = ShardLayout::new(n, shards);
         let id_space = id_space_of(graph);
+        let id_table = neighbor_id_table(graph);
         let pool = WorkPool::new(self.threads);
 
         pool.scope(|scope| {
-            // Build every shard's contexts and nodes, and run the initialization step
-            // (local computation plus the sends of the first round), in parallel.
+            // Build every shard's contexts and nodes (all borrowing the one shared
+            // neighbor-id table), and run the initialization step (local computation plus
+            // the sends of the first round), in parallel.
             let built = scope.map(layout.ranges(), |_, range| {
-                let mut state = build_shard(graph, algorithm, id_space, range);
+                let mut state = build_shard(graph, algorithm, id_space, &id_table, range);
                 let out = step_shard(graph, &layout, &mut state, StepMode::Init);
                 (state, out)
             });
@@ -583,10 +599,11 @@ fn build_shard<A: Algorithm>(
     graph: &Graph,
     algorithm: &A,
     id_space: u64,
+    id_table: &Arc<[u64]>,
     range: Range<usize>,
 ) -> ShardState<A::Node> {
     let len = range.len();
-    let contexts: Vec<_> = range.clone().map(|v| node_ctx(graph, v, id_space)).collect();
+    let contexts: Vec<_> = range.clone().map(|v| node_ctx(graph, v, id_space, id_table)).collect();
     let nodes = contexts.iter().map(|ctx| algorithm.node(ctx)).collect();
     ShardState {
         start: range.start,
@@ -594,8 +611,9 @@ fn build_shard<A: Algorithm>(
         nodes,
         active: vec![true; len],
         active_count: len,
-        pending: (0..len).map(|_| Vec::new()).collect(),
-        inbox: (0..len).map(|_| Vec::new()).collect(),
+        mail: ArcMailboxes::new(graph.arc_span(range)),
+        outbox: Outbox::new(0),
+        batch_pool: Vec::new(),
     }
 }
 
@@ -615,56 +633,64 @@ fn step_shard<N: NodeProgram>(
     let round = match mode {
         StepMode::Init => false,
         StepMode::Round(incoming) => {
-            // Merge the delivered batches (source-shard order = sender order) into the
-            // pending mailboxes, then flip the double buffer.
-            for batch in incoming {
-                for (receiver, port, message) in batch {
-                    state.pending[receiver - state.start].push((port, message));
+            // Merge the delivered batches (source-shard order = sender order) into the flat
+            // mailboxes, recycling the drained batch vectors, then seal for port-order
+            // reads.
+            state.mail.clear();
+            for mut batch in incoming {
+                for (arc, message) in batch.drain(..) {
+                    state.mail.push(arc, message);
                 }
+                state.batch_pool.push(batch);
             }
-            swap_mailboxes(&mut state.pending, &mut state.inbox);
+            state.mail.seal();
             true
         }
     };
 
-    let mut out =
-        StepOutput { outgoing: (0..layout.shards()).map(|_| Vec::new()).collect(), messages: 0 };
+    let mut out = StepOutput {
+        outgoing: (0..layout.shards())
+            .map(|_| state.batch_pool.pop().unwrap_or_default())
+            .collect(),
+        messages: 0,
+    };
+    let mut cursor = MailboxCursor::default();
     for local in 0..state.nodes.len() {
+        let arcs = graph.arc_range(state.start + local);
+        let window = cursor.advance(&state.mail, arcs.end);
         if !state.active[local] {
             continue;
         }
-        let mut outbox = Outbox::new(state.contexts[local].degree);
+        state.outbox.reset(state.contexts[local].degree);
         let status = if round {
-            state.nodes[local].round(
-                &state.contexts[local],
-                &Inbox::new(&state.inbox[local]),
-                &mut outbox,
-            )
+            let inbox = state.mail.read(window, arcs);
+            state.nodes[local].round(&state.contexts[local], &inbox, &mut state.outbox)
         } else {
-            state.nodes[local].init(&state.contexts[local], &mut outbox)
+            state.nodes[local].init(&state.contexts[local], &mut state.outbox)
         };
         if status == Status::Halted {
             state.active[local] = false;
             state.active_count -= 1;
         }
-        route_outbox(graph, layout, state.start + local, outbox, &mut out);
+        route_outbox(graph, layout, state.start + local, &mut state.outbox, &mut out);
     }
     out
 }
 
-/// Routes the outbox of `sender` into per-destination-shard batches.
+/// Routes the outbox of `sender` into per-destination-shard batches: one mirror-arc read
+/// per message plus an O(1) shard-of division — pure index arithmetic, no adjacency scan.
 fn route_outbox<M: Clone>(
     graph: &Graph,
     layout: &ShardLayout,
     sender: Vertex,
-    outbox: Outbox<M>,
+    outbox: &mut Outbox<M>,
     out: &mut StepOutput<M>,
 ) {
-    let neighbors = graph.neighbors(sender);
-    for (port, message) in outbox.into_messages() {
-        let receiver = neighbors[port];
-        let receiver_port = graph.port_of(receiver, sender).expect("graph adjacency is symmetric");
-        out.outgoing[layout.shard_of(receiver)].push((receiver, receiver_port, message));
+    let first_arc = graph.arc_range(sender).start;
+    let mirror = graph.mirror_arcs();
+    for (port, message) in outbox.drain() {
+        let arc = first_arc + port;
+        out.outgoing[layout.shard_of(graph.arc_target(arc))].push((mirror[arc], message));
         out.messages += 1;
     }
 }

@@ -1,0 +1,14 @@
+//! Shared fixtures for the root-package integration suites.
+//!
+//! This module is included via `mod common;` (cargo does not treat `tests/` subdirectories
+//! as test targets).  The generator list itself lives in
+//! [`arbcolor_graph::generators::seeded_suite`] so every equivalence suite across the
+//! workspace — including `crates/graph/tests/mirror_ports.rs`, which cannot see this
+//! module — draws from one list and coverage cannot silently drift apart.
+
+use arbcolor_graph::{generators, Graph};
+
+/// One seeded representative per generator family (see `generators::seeded_suite`).
+pub fn generator_suite(n: usize, seed: u64) -> Vec<(&'static str, Graph)> {
+    generators::seeded_suite(n, seed)
+}

@@ -1,0 +1,99 @@
+//! Equivalence suite for the arc-indexed message fabric.
+//!
+//! The flat-mailbox executors ([`Executor`] and [`ShardedExecutor`]) must stay
+//! **bit-identical** — same per-vertex outputs, same round count, same message count — to
+//! the [`ReferenceExecutor`], the preserved pre-fabric implementation with per-vertex
+//! `Vec<Vec<(port, message)>>` mailboxes and linear-scan routing.  The reference shares no
+//! routing or mailbox code with the fabric, so agreement here pins the whole delivery
+//! rewrite: mirror-table routing, slot/spill mailboxes, and inbox iteration order.
+
+use arbcolor_baselines::registry::headline_algorithms;
+use arbcolor_graph::generators;
+use arbcolor_runtime::algorithms::{FloodMaxId, ProposeMaxId};
+use arbcolor_runtime::{
+    default_executor, set_default_executor, Executor, ExecutorKind, ReferenceExecutor,
+    ShardedExecutor,
+};
+use proptest::prelude::*;
+
+mod common;
+use common::generator_suite;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn flat_executors_match_the_reference_on_the_generator_suite(
+        n in 16usize..90,
+        seed in 0u64..1_000,
+        rounds in 1usize..8,
+    ) {
+        for (family, g) in generator_suite(n, seed) {
+            let flood = FloodMaxId { rounds };
+            let flood_ref = ReferenceExecutor::new(&g).run(&flood).unwrap();
+            let propose_ref = ReferenceExecutor::new(&g).run(&ProposeMaxId).unwrap();
+
+            let flood_flat = Executor::new(&g).run(&flood).unwrap();
+            prop_assert_eq!(&flood_flat.outputs, &flood_ref.outputs, "flood on {}", family);
+            prop_assert_eq!(flood_flat.report, flood_ref.report, "flood cost on {}", family);
+            let propose_flat = Executor::new(&g).run(&ProposeMaxId).unwrap();
+            prop_assert_eq!(&propose_flat.outputs, &propose_ref.outputs, "propose on {}", family);
+            prop_assert_eq!(propose_flat.report, propose_ref.report, "propose cost on {}", family);
+
+            for shards in [1usize, 2, 3, 7] {
+                let sharded = ShardedExecutor::new(&g)
+                    .with_threads(2)
+                    .with_shards(shards)
+                    .with_sequential_cutoff(0);
+                let flood_sh = sharded.run(&flood).unwrap();
+                prop_assert_eq!(
+                    &flood_sh.outputs, &flood_ref.outputs,
+                    "sharded flood on {} ({} shards)", family, shards
+                );
+                prop_assert_eq!(flood_sh.report, flood_ref.report, "flood cost on {}", family);
+                let propose_sh = sharded.run(&ProposeMaxId).unwrap();
+                prop_assert_eq!(
+                    &propose_sh.outputs, &propose_ref.outputs,
+                    "sharded propose on {} ({} shards)", family, shards
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn headline_pipelines_are_identical_under_the_reference_kind() {
+    // End-to-end: both headline coloring pipelines, dispatched through the process-wide
+    // executor switch, must produce the same palette, per-vertex colors, and LOCAL cost
+    // whether every `run_algorithm` call lands on the old Vec-of-Vecs simulator or the flat
+    // message fabric (sequential and sharded).
+    let g = generators::union_of_random_forests(400, 3, 33).unwrap().with_shuffled_ids(7);
+    let previous = default_executor();
+    for algorithm in headline_algorithms() {
+        set_default_executor(ExecutorKind::Reference);
+        let reference = algorithm.run(&g).unwrap();
+        for kind in [ExecutorKind::Sequential, ExecutorKind::sharded(3)] {
+            set_default_executor(kind);
+            let flat = algorithm.run(&g).unwrap();
+            assert_eq!(flat.colors, reference.colors, "{} palette under {kind:?}", flat.name);
+            assert_eq!(flat.report, reference.report, "{} cost under {kind:?}", flat.name);
+            assert_eq!(
+                flat.coloring.colors(),
+                reference.coloring.colors(),
+                "{} per-vertex colors under {kind:?}",
+                flat.name
+            );
+        }
+    }
+    set_default_executor(previous);
+}
+
+#[test]
+fn reference_kind_dispatches_and_reports_one_thread() {
+    let g = generators::grid(5, 6).unwrap().with_shuffled_ids(3);
+    assert_eq!(ExecutorKind::Reference.threads(), 1);
+    let reference = ExecutorKind::Reference.run(&g, &FloodMaxId { rounds: 4 }).unwrap();
+    let flat = ExecutorKind::Sequential.run(&g, &FloodMaxId { rounds: 4 }).unwrap();
+    assert_eq!(reference.outputs, flat.outputs);
+    assert_eq!(reference.report, flat.report);
+}

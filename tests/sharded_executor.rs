@@ -8,7 +8,7 @@
 //! the process-wide executor switch.
 
 use arbcolor_baselines::registry::headline_algorithms;
-use arbcolor_graph::{generators, Graph};
+use arbcolor_graph::generators;
 use arbcolor_runtime::algorithms::{FloodMaxId, ProposeMaxId};
 use arbcolor_runtime::{
     default_executor, set_default_executor, Executor, ExecutorKind, ShardedExecutor,
@@ -19,32 +19,8 @@ use proptest::prelude::*;
 /// smallest graphs).
 const SHARD_COUNTS: [usize; 4] = [1, 2, 3, 7];
 
-/// One seeded representative per generator family.
-fn generator_suite(n: usize, seed: u64) -> Vec<(&'static str, Graph)> {
-    let n = n.max(12);
-    vec![
-        (
-            "forests",
-            generators::union_of_random_forests(n, 3, seed).unwrap().with_shuffled_ids(seed + 1),
-        ),
-        ("gnp", generators::gnp(n, 4.0 / n as f64, seed + 2).unwrap().with_shuffled_ids(seed + 3)),
-        (
-            "star-forests",
-            generators::star_forest_union(n, 2, 3, seed + 4).unwrap().with_shuffled_ids(seed + 5),
-        ),
-        (
-            "preferential-attachment",
-            generators::barabasi_albert(n, 3, seed + 6).unwrap().with_shuffled_ids(seed + 7),
-        ),
-        ("random-tree", generators::random_tree(n, seed + 8).unwrap().with_shuffled_ids(seed + 9)),
-        ("grid", generators::grid(n / 6 + 2, 6).unwrap().with_shuffled_ids(seed + 10)),
-        (
-            "caterpillar",
-            generators::caterpillar(n / 4 + 1, 3).unwrap().with_shuffled_ids(seed + 11),
-        ),
-        ("cycle", generators::cycle(n).unwrap().with_shuffled_ids(seed + 12)),
-    ]
-}
+mod common;
+use common::generator_suite;
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(8))]
