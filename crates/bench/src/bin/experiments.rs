@@ -3,6 +3,7 @@
 //! Usage:
 //!   cargo run --release -p arbcolor_bench --bin experiments             # all experiments, scale 1
 //!   cargo run --release -p arbcolor_bench --bin experiments -- E8       # one experiment
+//!   cargo run --release -p arbcolor_bench --bin experiments -- E19,E20  # a comma-separated list
 //!   cargo run --release -p arbcolor_bench --bin experiments -- all 2    # all, scale 2
 //!   cargo run --release -p arbcolor_bench --bin experiments -- E8 1 --json
 //!   cargo run --release -p arbcolor_bench --bin experiments -- --smoke  # CI tier: tiny graphs
@@ -25,11 +26,15 @@
 //! so the smoke tier genuinely exercises the parallel code on every experiment.
 //!
 //! `--perf-out FILE` (or `--perf-out=FILE`) additionally writes the performance-tracking
-//! rows (experiments E17 and E18: per-headliner wall-clock, messages, rounds, speedups) as
-//! one machine-readable JSON document.  The CI `bench-smoke` job uses it to produce the
-//! `BENCH_PR4.json` artifact so the perf trajectory is diffable across PRs.
+//! rows (the experiments in `arbcolor_bench::perf::PERF_EXPERIMENTS` — currently the
+//! E17/E18 scale and routing races plus the E19/E20 ingestion and dynamic-recoloring
+//! workloads) as one machine-readable JSON document (schema `arbcolor-perf-v1`).  The CI
+//! `bench-smoke` job archives one per PR under the `BENCH_PR<N>.json` naming scheme and the
+//! `perf_gate` binary diffs its deterministic columns against the committed baseline of the
+//! previous PR, failing the build on regressions (wall-clock columns stay advisory).
 
 use arbcolor_bench::experiments::{self, SizeClass};
+use arbcolor_bench::perf::{PerfDoc, PERF_EXPERIMENTS};
 use arbcolor_bench::Row;
 use arbcolor_runtime::{set_default_executor, set_default_sequential_cutoff, ExecutorKind};
 
@@ -84,7 +89,19 @@ fn main() {
         });
     }
 
-    let which = positional.first().map(|s| s.as_str()).unwrap_or("all").to_uppercase();
+    // The experiment selection: `all`, one id, or a comma-separated list (`E17,E18`;
+    // empty segments from trailing commas are ignored).
+    let which: Vec<String> = positional
+        .first()
+        .map(|s| {
+            s.split(',').map(|id| id.trim().to_uppercase()).filter(|id| !id.is_empty()).collect()
+        })
+        .unwrap_or_else(|| vec!["ALL".to_string()]);
+    if which.is_empty() {
+        eprintln!("empty experiment selection; known ids are E1..E20 or 'all'");
+        std::process::exit(1);
+    }
+    let all = which.iter().any(|id| id == "ALL");
     let sz = if smoke {
         SizeClass::Smoke
     } else {
@@ -92,14 +109,15 @@ fn main() {
     };
 
     // Filter the lazy catalog first so selecting one experiment runs only that experiment.
-    let selected: Vec<_> = experiments::catalog()
-        .into_iter()
-        .filter(|(id, _)| which == "ALL" || which == *id)
-        .collect();
-    if selected.is_empty() {
-        eprintln!("unknown experiment id {which}; known ids are E1..E18 or 'all'");
+    let catalog = experiments::catalog();
+    let unknown: Vec<&String> =
+        which.iter().filter(|w| *w != "ALL" && !catalog.iter().any(|(id, _)| id == w)).collect();
+    if !unknown.is_empty() {
+        eprintln!("unknown experiment id(s) {unknown:?}; known ids are E1..E20 or 'all'");
         std::process::exit(1);
     }
+    let selected: Vec<_> =
+        catalog.into_iter().filter(|(id, _)| all || which.iter().any(|w| w == id)).collect();
     let mut perf_rows: Vec<Row> = Vec::new();
     let mut perf_ids: Vec<String> = Vec::new();
     for (id, run) in selected {
@@ -110,7 +128,7 @@ fn main() {
             println!("\n## {id}\n");
             println!("{}", Row::to_markdown(&rows));
         }
-        if perf_out.is_some() && matches!(id, "E17" | "E18") {
+        if perf_out.is_some() && PERF_EXPERIMENTS.contains(&id) {
             perf_ids.push(id.to_string());
             perf_rows.extend(rows);
         }
@@ -118,24 +136,11 @@ fn main() {
     if let Some(path) = perf_out {
         if perf_rows.is_empty() {
             eprintln!(
-                "--perf-out: no perf rows collected (the selection {which} excludes E17/E18); \
-                 writing an empty document to {path}"
+                "--perf-out: no perf rows collected (the selection {which:?} excludes \
+                 {PERF_EXPERIMENTS:?}); writing an empty document to {path}"
             );
         }
-        /// The machine-readable performance-tracking document `--perf-out` writes.
-        #[derive(serde::Serialize)]
-        struct PerfDoc {
-            schema: String,
-            size: String,
-            experiments: Vec<String>,
-            rows: Vec<Row>,
-        }
-        let doc = PerfDoc {
-            schema: "arbcolor-perf-v1".to_string(),
-            size: if smoke { "smoke" } else { "scale" }.to_string(),
-            experiments: perf_ids,
-            rows: perf_rows,
-        };
+        let doc = PerfDoc::new(if smoke { "smoke" } else { "scale" }, perf_ids, perf_rows);
         let body = serde_json::to_string_pretty(&doc).expect("perf rows are serializable");
         std::fs::write(path, body).unwrap_or_else(|e| {
             eprintln!("cannot write --perf-out file {path}: {e}");

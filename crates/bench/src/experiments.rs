@@ -587,6 +587,214 @@ pub fn e18_routing_fabric(sz: SizeClass) -> Vec<Row> {
     rows
 }
 
+/// E19 — real-graph ingestion: both headliners on every checked-in fixture dataset (see
+/// [`crate::datasets`]), parsed from their on-disk formats through `arbcolor_graph::io`.
+///
+/// Every coloring is re-verified legal and within `Δ + 1` before its row is emitted, so a
+/// parser that silently corrupts a graph (or an algorithm that mishandles real-shaped
+/// degree distributions) fails the experiment rather than producing a quiet bad row.
+///
+/// The fixtures have fixed sizes, so the [`SizeClass`] is ignored — the smoke tier and the
+/// full tier run identical workloads (they are already CI-sized).
+pub fn e19_real_graph_ingestion(_sz: SizeClass) -> Vec<Row> {
+    let mut rows = Vec::new();
+    for (i, ds) in crate::datasets::fixture_datasets().iter().enumerate() {
+        let g = ds
+            .load()
+            .unwrap_or_else(|e| panic!("fixture {} failed to parse: {e}", ds.name))
+            .with_shuffled_ids(113 + i as u64);
+        let delta_plus_one = g.max_degree() + 1;
+        for algorithm in headline_algorithms() {
+            let start = Instant::now();
+            let outcome = algorithm
+                .run(&g)
+                .unwrap_or_else(|e| panic!("{} failed on {}: {e}", algorithm.name(), ds.name));
+            let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+            assert!(
+                outcome.coloring.is_legal(&g),
+                "{} produced an illegal coloring on {}",
+                outcome.name,
+                ds.name
+            );
+            assert!(
+                outcome.colors <= delta_plus_one,
+                "{} used {} colors on {} but Δ + 1 = {delta_plus_one}",
+                outcome.name,
+                outcome.colors,
+                ds.name
+            );
+            rows.push(
+                Row::new(
+                    "E19",
+                    format!("{} ({}) n={} · {}", ds.name, ds.format.name(), g.n(), outcome.name),
+                )
+                .with("n", g.n() as f64)
+                .with("m", g.m() as f64)
+                .with("max_degree", g.max_degree() as f64)
+                .with("degeneracy", degeneracy::degeneracy(&g) as f64)
+                .with("colors", outcome.colors as f64)
+                .with("delta_plus_one", delta_plus_one as f64)
+                .with("rounds", outcome.report.rounds as f64)
+                .with("messages", outcome.report.messages as f64)
+                .with("legal", 1.0)
+                .with("wall_ms", wall_ms),
+            );
+        }
+    }
+    rows
+}
+
+/// E20 — dynamic recoloring: edge-insertion batches on every fixture dataset, localized
+/// repair versus the full-recolor baseline.
+///
+/// Per dataset, every 8th edge (by canonical index) is held out of the initial graph and
+/// re-inserted in three round-robin batches through
+/// [`arbcolor::dynamic::DynamicColoring`].  Each row compares the vertices the localized
+/// repair touched (`repaired_vertices`) against the full-recolor baseline
+/// (`full_recolor_vertices = n`, with its rounds and wall-clock measured by actually
+/// re-coloring the post-batch graph); the experiment asserts that at least one batch per
+/// dataset repairs strictly fewer vertices than the baseline would touch.
+///
+/// The entire batch sequence is replayed under the sequential, sharded, and reference
+/// executors and the final colorings (plus all per-batch frontier/repair counts) are
+/// asserted **bit-identical** — only the `wall_ms_*` columns may differ between runs.  The
+/// fixtures have fixed sizes, so the [`SizeClass`] is ignored.
+pub fn e20_dynamic_recoloring(_sz: SizeClass) -> Vec<Row> {
+    use arbcolor::dynamic::{BatchOutcome, DynamicColoring, RepairStrategy};
+    use arbcolor::ghaffari_kuhn::ghaffari_kuhn_coloring;
+    use arbcolor_graph::Coloring;
+
+    const BATCHES: usize = 3;
+
+    /// Replays the whole insertion sequence under `kind`, returning the final coloring,
+    /// the per-batch outcomes, and the per-batch repair wall-clock.
+    fn run_sequence(
+        kind: ExecutorKind,
+        base: &Graph,
+        batches: &[Vec<(usize, usize)>],
+    ) -> (Coloring, Vec<BatchOutcome>, Vec<f64>) {
+        let previous = default_executor();
+        set_default_executor(kind);
+        let mut dynamic = DynamicColoring::new(base.clone()).expect("initial coloring");
+        let mut outcomes = Vec::new();
+        let mut walls = Vec::new();
+        for batch in batches {
+            let start = Instant::now();
+            let outcome = dynamic.insert_edges(batch).expect("batch repair");
+            walls.push(start.elapsed().as_secs_f64() * 1e3);
+            outcomes.push(outcome);
+        }
+        set_default_executor(previous);
+        (dynamic.coloring().clone(), outcomes, walls)
+    }
+
+    let mut rows = Vec::new();
+    for (i, ds) in crate::datasets::fixture_datasets().iter().enumerate() {
+        let full = ds
+            .load()
+            .unwrap_or_else(|e| panic!("fixture {} failed to parse: {e}", ds.name))
+            .with_shuffled_ids(127 + i as u64);
+        // Hold out every 8th edge; re-insert round-robin across the batches.
+        let mut kept = Vec::new();
+        let mut batches: Vec<Vec<(usize, usize)>> = vec![Vec::new(); BATCHES];
+        for (e, &edge) in full.edges().iter().enumerate() {
+            if e % 8 == 0 {
+                batches[(e / 8) % BATCHES].push(edge);
+            } else {
+                kept.push(edge);
+            }
+        }
+        let base = Graph::from_edges(full.n(), kept)
+            .expect("held-out subgraph")
+            .with_vertex_ids(full.ids().to_vec())
+            .expect("ids are inherited");
+
+        // Primary run under the ambient (CLI-selected) executor; replays under every
+        // other kind must be bit-identical in everything but wall-clock.
+        let ambient = default_executor();
+        let (final_coloring, outcomes, walls) = run_sequence(ambient, &base, &batches);
+        for kind in [ExecutorKind::Sequential, ExecutorKind::sharded(4), ExecutorKind::Reference] {
+            if kind == ambient {
+                continue;
+            }
+            let (coloring, replay, _) = run_sequence(kind, &base, &batches);
+            assert_eq!(
+                coloring.colors(),
+                final_coloring.colors(),
+                "dynamic repair diverged between executors on {}",
+                ds.name
+            );
+            for (a, b) in outcomes.iter().zip(&replay) {
+                assert_eq!(
+                    (a.frontier, a.repaired_vertices, a.strategy, a.report),
+                    (b.frontier, b.repaired_vertices, b.strategy, b.report),
+                    "batch outcome diverged between executors on {}",
+                    ds.name
+                );
+            }
+        }
+        assert!(final_coloring.is_legal(rebuilt(&base, &batches).as_ref().unwrap_or(&base)));
+        assert!(
+            outcomes.iter().any(|o| o.repaired_vertices < full.n()),
+            "{}: no batch repaired fewer vertices than a full recolor would touch",
+            ds.name
+        );
+
+        // Full-recolor baseline: re-color the post-batch graph from scratch.
+        let mut post = base.clone();
+        for (b, (outcome, batch)) in outcomes.iter().zip(&batches).enumerate() {
+            post = grow(&post, batch);
+            let start = Instant::now();
+            let full_run = ghaffari_kuhn_coloring(&post).expect("full recolor baseline");
+            let wall_full = start.elapsed().as_secs_f64() * 1e3;
+            assert!(full_run.coloring.is_legal(&post));
+            let strategy = match outcome.strategy {
+                RepairStrategy::NoConflict => 0.0,
+                RepairStrategy::LocalRepair => 1.0,
+                RepairStrategy::FullRecolor => 2.0,
+            };
+            rows.push(
+                Row::new("E20", format!("{} n={} · batch {}", ds.name, full.n(), b + 1))
+                    .with("n", full.n() as f64)
+                    .with("inserted", outcome.inserted_edges as f64)
+                    .with("new_edges", outcome.new_edges as f64)
+                    .with("frontier", outcome.frontier as f64)
+                    .with("repaired_vertices", outcome.repaired_vertices as f64)
+                    .with("full_recolor_vertices", full.n() as f64)
+                    .with("strategy", strategy)
+                    .with("rounds", outcome.report.rounds as f64)
+                    .with("messages", outcome.report.messages as f64)
+                    .with("full_rounds", full_run.report.rounds as f64)
+                    .with("legal", 1.0)
+                    .with("wall_ms_repair", walls[b])
+                    .with("wall_ms_full", wall_full),
+            );
+        }
+    }
+    rows
+}
+
+/// The base graph with every batch applied (identifiers preserved); `None` when there is
+/// nothing to add.
+fn rebuilt(base: &Graph, batches: &[Vec<(usize, usize)>]) -> Option<Graph> {
+    if batches.iter().all(Vec::is_empty) {
+        return None;
+    }
+    let mut g = base.clone();
+    for batch in batches {
+        g = grow(&g, batch);
+    }
+    Some(g)
+}
+
+/// `graph` plus one batch of edges, identifiers preserved.
+fn grow(graph: &Graph, batch: &[(usize, usize)]) -> Graph {
+    let mut builder = arbcolor_graph::GraphBuilder::new(graph.n());
+    builder.add_edges(graph.edges().iter().copied()).expect("existing edges are valid");
+    builder.add_edges(batch.iter().copied()).expect("batch edges are valid");
+    builder.build().with_vertex_ids(graph.ids().to_vec()).expect("ids are a permutation")
+}
+
 /// One experiment of the catalog.
 pub type ExperimentFn = fn(SizeClass) -> Vec<Row>;
 
@@ -612,6 +820,8 @@ pub fn catalog() -> Vec<(&'static str, ExperimentFn)> {
         ("E16", e16_headline_head_to_head),
         ("E17", e17_sharded_scale),
         ("E18", e18_routing_fabric),
+        ("E19", e19_real_graph_ingestion),
+        ("E20", e20_dynamic_recoloring),
     ]
 }
 
@@ -646,8 +856,42 @@ mod tests {
         // here we only pin their catalog identities so `experiments -- E17`/`E18` resolve.
         let ids: Vec<&str> = catalog().iter().map(|(id, _)| *id).collect();
         assert_eq!(ids.first(), Some(&"E1"));
-        assert_eq!(ids.last(), Some(&"E18"));
-        assert_eq!(ids.len(), 18);
+        assert_eq!(ids.last(), Some(&"E20"));
+        assert_eq!(ids.len(), 20);
+    }
+
+    #[test]
+    fn e19_reports_both_headliners_on_every_fixture() {
+        let rows = e19_real_graph_ingestion(SizeClass::Smoke);
+        let datasets = crate::datasets::fixture_datasets();
+        assert_eq!(rows.len(), 2 * datasets.len());
+        for (pair, ds) in rows.chunks(2).zip(&datasets) {
+            assert!(pair[0].workload.contains(ds.name), "{}", pair[0].workload);
+            assert!(pair[0].workload.contains("barenboim_elkin"), "{}", pair[0].workload);
+            assert!(pair[1].workload.contains("ghaffari_kuhn"), "{}", pair[1].workload);
+            for row in pair {
+                assert_eq!(row.values["legal"], 1.0);
+                assert!(row.values["colors"] <= row.values["delta_plus_one"]);
+            }
+        }
+    }
+
+    #[test]
+    fn e20_repairs_fewer_vertices_than_a_full_recolor() {
+        let rows = e20_dynamic_recoloring(SizeClass::Smoke);
+        let datasets = crate::datasets::fixture_datasets();
+        assert_eq!(rows.len(), 3 * datasets.len());
+        for per_dataset in rows.chunks(3) {
+            assert!(
+                per_dataset
+                    .iter()
+                    .any(|r| r.values["repaired_vertices"] < r.values["full_recolor_vertices"]),
+                "no batch beat the full-recolor baseline"
+            );
+            for row in per_dataset {
+                assert_eq!(row.values["legal"], 1.0);
+            }
+        }
     }
 
     #[test]

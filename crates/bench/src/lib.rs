@@ -8,8 +8,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod datasets;
 pub mod experiments;
+pub mod perf;
 pub mod row;
 
+pub use datasets::{fixture_datasets, Dataset};
 pub use experiments::SizeClass;
+pub use perf::PerfDoc;
 pub use row::Row;

@@ -1,0 +1,353 @@
+//! Dynamic graphs: batched edge insertions with localized recoloring.
+//!
+//! A production coloring service rarely gets to re-color the world on every topology
+//! change.  [`DynamicColoring`] maintains a legal `(deg+1)`-bounded coloring across batches
+//! of edge insertions by repairing only the **conflict frontier** — the vertices incident
+//! to a newly monochromatic edge:
+//!
+//! 1. the CSR graph is rebuilt with the batch applied (identifiers are preserved, so the
+//!    LOCAL model's view of every untouched vertex is unchanged);
+//! 2. the frontier is collected by checking exactly the inserted edges;
+//! 3. if the frontier is small, the induced subgraph on the frontier is re-colored with the
+//!    Ghaffari–Kuhn `(deg+1)`-list driver under
+//!    [`run_algorithm`](arbcolor_runtime::run_algorithm), where each frontier
+//!    vertex lists `{0, …, deg(v)}` minus the colors held by its non-frontier neighbors —
+//!    the list sizes stay ≥ subgraph-degree + 1, so the instance always has greedy slack,
+//!    and any solution is legal against both repaired and untouched neighbors;
+//! 4. if the frontier exceeds the configured threshold, the driver falls back to a full
+//!    re-coloring of the new graph (the localized instance would contend with most of the
+//!    graph anyway);
+//! 5. legality of the *entire* coloring is independently re-verified after every batch.
+//!
+//! Every step is deterministic and runs on whatever executor the process-wide
+//! [`ExecutorKind`](arbcolor_runtime::ExecutorKind) switch selects, so repair sequences are
+//! bit-identical across the sequential, sharded, and reference simulators — experiment E20
+//! asserts exactly that.
+//!
+//! ```
+//! use arbcolor::dynamic::DynamicColoring;
+//! use arbcolor_graph::Graph;
+//!
+//! # fn main() -> Result<(), arbcolor::CoreError> {
+//! let g = Graph::from_edges(5, [(0, 1), (1, 2), (2, 3)])?;
+//! let mut dynamic = DynamicColoring::new(g)?;
+//! let batch = dynamic.insert_edges(&[(3, 4), (0, 4)])?;
+//! assert!(batch.repaired_vertices <= dynamic.graph().n());
+//! assert!(dynamic.coloring().is_legal(dynamic.graph()));
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::error::CoreError;
+use crate::ghaffari_kuhn::{ghaffari_kuhn_coloring, ghaffari_kuhn_list_coloring};
+use crate::list_coloring::ColorLists;
+use arbcolor_graph::{Color, Coloring, Graph, GraphBuilder, InducedSubgraph, Vertex};
+use arbcolor_runtime::RoundReport;
+
+/// How a batch of insertions was absorbed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RepairStrategy {
+    /// No inserted edge was monochromatic; the old coloring is still legal.
+    NoConflict,
+    /// Only the conflict frontier was re-colored (list coloring on the induced subgraph).
+    LocalRepair,
+    /// The frontier exceeded the threshold; the whole graph was re-colored.
+    FullRecolor,
+}
+
+/// Per-batch summary returned by [`DynamicColoring::insert_edges`].
+#[derive(Debug, Clone)]
+pub struct BatchOutcome {
+    /// Edges submitted in the batch (before de-duplication).
+    pub inserted_edges: usize,
+    /// Edges of the batch that were genuinely new to the graph.
+    pub new_edges: usize,
+    /// Vertices on the conflict frontier (incident to a newly monochromatic edge).
+    pub frontier: usize,
+    /// Vertices whose color actually changed.
+    pub repaired_vertices: usize,
+    /// The strategy the driver chose.
+    pub strategy: RepairStrategy,
+    /// Simulated LOCAL cost of the repair (zero for [`RepairStrategy::NoConflict`]).
+    pub report: RoundReport,
+}
+
+/// A legal coloring maintained across batched edge insertions.
+#[derive(Debug, Clone)]
+pub struct DynamicColoring {
+    graph: Graph,
+    coloring: Coloring,
+    /// Frontiers larger than this fall back to a full re-coloring.
+    frontier_threshold: usize,
+}
+
+impl DynamicColoring {
+    /// The default frontier threshold, as a fraction of `n`: above `n/4` frontier vertices
+    /// the localized instance saves little over a full re-coloring.
+    pub fn default_threshold(n: usize) -> usize {
+        (n / 4).max(8)
+    }
+
+    /// Colors `graph` from scratch (Ghaffari–Kuhn `(deg+1)`-list coloring) and starts
+    /// maintaining it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the initial coloring's errors.
+    pub fn new(graph: Graph) -> Result<Self, CoreError> {
+        let run = ghaffari_kuhn_coloring(&graph)?;
+        Self::from_parts(graph, run.coloring)
+    }
+
+    /// Starts maintaining an existing coloring (e.g. one loaded alongside an ingested
+    /// dataset).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvariantViolated`] if `coloring` is not legal on `graph`.
+    pub fn from_parts(graph: Graph, coloring: Coloring) -> Result<Self, CoreError> {
+        if !coloring.is_legal(&graph) {
+            return Err(CoreError::InvariantViolated {
+                reason: "dynamic driver seeded with an illegal coloring".to_string(),
+            });
+        }
+        let threshold = Self::default_threshold(graph.n());
+        Ok(DynamicColoring { graph, coloring, frontier_threshold: threshold })
+    }
+
+    /// Overrides the frontier threshold above which a batch triggers a full re-coloring.
+    #[must_use]
+    pub fn with_frontier_threshold(mut self, threshold: usize) -> Self {
+        self.frontier_threshold = threshold;
+        self
+    }
+
+    /// The current graph.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// The maintained coloring (always legal on [`DynamicColoring::graph`]).
+    pub fn coloring(&self) -> &Coloring {
+        &self.coloring
+    }
+
+    /// Applies one batch of edge insertions and repairs the coloring.
+    ///
+    /// # Errors
+    ///
+    /// Returns the graph layer's typed errors for invalid edges (out-of-range endpoints,
+    /// self-loops), propagates the repair coloring's errors, and returns
+    /// [`CoreError::InvariantViolated`] if the post-repair legality check fails (a driver
+    /// bug by construction).
+    pub fn insert_edges(&mut self, edges: &[(Vertex, Vertex)]) -> Result<BatchOutcome, CoreError> {
+        // Rebuild the CSR with the batch applied, keeping identifiers stable.
+        let mut builder = GraphBuilder::new(self.graph.n());
+        builder.add_edges(self.graph.edges().iter().copied())?;
+        let old_m = self.graph.m();
+        builder.add_edges(edges.iter().copied())?;
+        let new_graph = builder.build().with_vertex_ids(self.graph.ids().to_vec())?;
+        let new_edges = new_graph.m() - old_m;
+
+        // The conflict frontier: endpoints of newly monochromatic edges.  Checking the
+        // batch (not the whole graph) is what makes small batches cheap.
+        let mut frontier: Vec<Vertex> = edges
+            .iter()
+            .filter(|&&(u, v)| u != v && self.coloring.color(u) == self.coloring.color(v))
+            .flat_map(|&(u, v)| [u, v])
+            .collect();
+        frontier.sort_unstable();
+        frontier.dedup();
+
+        let outcome = if frontier.is_empty() {
+            self.graph = new_graph;
+            BatchOutcome {
+                inserted_edges: edges.len(),
+                new_edges,
+                frontier: 0,
+                repaired_vertices: 0,
+                strategy: RepairStrategy::NoConflict,
+                report: RoundReport::zero(),
+            }
+        } else if frontier.len() > self.frontier_threshold {
+            let run = ghaffari_kuhn_coloring(&new_graph)?;
+            let repaired = self
+                .coloring
+                .colors()
+                .iter()
+                .zip(run.coloring.colors())
+                .filter(|(old, new)| old != new)
+                .count();
+            self.graph = new_graph;
+            self.coloring = run.coloring;
+            BatchOutcome {
+                inserted_edges: edges.len(),
+                new_edges,
+                frontier: frontier.len(),
+                repaired_vertices: repaired,
+                strategy: RepairStrategy::FullRecolor,
+                report: run.report,
+            }
+        } else {
+            let (repaired, report) = self.repair_frontier(&new_graph, &frontier)?;
+            self.graph = new_graph;
+            BatchOutcome {
+                inserted_edges: edges.len(),
+                new_edges,
+                frontier: frontier.len(),
+                repaired_vertices: repaired,
+                strategy: RepairStrategy::LocalRepair,
+                report,
+            }
+        };
+
+        // Independent post-condition: the maintained coloring is legal on the new graph.
+        if !self.coloring.is_legal(&self.graph) {
+            return Err(CoreError::InvariantViolated {
+                reason: format!(
+                    "repair left {} monochromatic edges",
+                    self.coloring.conflicts(&self.graph).len()
+                ),
+            });
+        }
+        Ok(outcome)
+    }
+
+    /// Re-colors the induced subgraph on `frontier` with a list-coloring instance that is
+    /// compatible with every non-frontier neighbor.  Returns how many vertices changed
+    /// color and the simulated cost.
+    fn repair_frontier(
+        &mut self,
+        new_graph: &Graph,
+        frontier: &[Vertex],
+    ) -> Result<(usize, RoundReport), CoreError> {
+        let sub = InducedSubgraph::new(new_graph, frontier);
+        let lists: Vec<Vec<Color>> = frontier
+            .iter()
+            .map(|&v| {
+                // {0, …, deg(v)} minus the colors of v's neighbors outside the frontier.
+                // At most deg(v) − deg_sub(v) removals hit the base list, so at least
+                // deg_sub(v) + 1 colors survive: the instance always has greedy slack.
+                let mut list: Vec<Color> = (0..=new_graph.degree(v) as Color).collect();
+                let blocked: Vec<Color> = new_graph
+                    .neighbors(v)
+                    .iter()
+                    .filter(|&&u| sub.map.to_child(u).is_none())
+                    .map(|&u| self.coloring.color(u))
+                    .collect();
+                list.retain(|c| !blocked.contains(c));
+                list
+            })
+            .collect();
+        let instance = ColorLists::new(&sub.graph, lists)?;
+        let run = ghaffari_kuhn_list_coloring(&sub.graph, &instance)?;
+        let mut repaired = 0usize;
+        for (child, &parent) in frontier.iter().enumerate() {
+            let new_color = run.coloring.color(child);
+            if self.coloring.color(parent) != new_color {
+                self.coloring.set(parent, new_color);
+                repaired += 1;
+            }
+        }
+        Ok((repaired, run.report))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arbcolor_graph::generators;
+
+    #[test]
+    fn no_conflict_batches_change_nothing() {
+        let g = generators::cycle(8).unwrap();
+        let mut dynamic = DynamicColoring::new(g).unwrap();
+        let before = dynamic.coloring().clone();
+        // Chords between vertices the cycle coloring already separates.
+        let batch: Vec<(Vertex, Vertex)> = (0..4)
+            .flat_map(|i| [(i, i + 3)])
+            .filter(|&(u, v)| dynamic.coloring().color(u) != dynamic.coloring().color(v))
+            .collect();
+        assert!(!batch.is_empty());
+        let outcome = dynamic.insert_edges(&batch).unwrap();
+        assert_eq!(outcome.strategy, RepairStrategy::NoConflict);
+        assert_eq!(outcome.repaired_vertices, 0);
+        assert_eq!(dynamic.coloring(), &before);
+        assert!(dynamic.coloring().is_legal(dynamic.graph()));
+    }
+
+    #[test]
+    fn local_repair_touches_only_the_frontier() {
+        let g = generators::union_of_random_forests(400, 3, 11).unwrap().with_shuffled_ids(5);
+        let mut dynamic = DynamicColoring::new(g).unwrap();
+        let before = dynamic.coloring().clone();
+        // Force conflicts: connect same-colored vertices.
+        let colors = dynamic.coloring().colors().to_vec();
+        let mut batch = Vec::new();
+        for v in 1..dynamic.graph().n() {
+            if batch.len() >= 6 {
+                break;
+            }
+            if colors[v] == colors[0] && !dynamic.graph().has_edge(0, v) {
+                batch.push((0usize, v));
+            }
+        }
+        assert!(!batch.is_empty(), "no same-colored pair found");
+        let outcome = dynamic.insert_edges(&batch).unwrap();
+        assert_eq!(outcome.strategy, RepairStrategy::LocalRepair);
+        assert!(outcome.frontier <= 2 * batch.len());
+        assert!(outcome.repaired_vertices >= 1);
+        assert!(outcome.repaired_vertices <= outcome.frontier);
+        // Non-frontier vertices kept their colors.
+        let unchanged =
+            dynamic.coloring().colors().iter().zip(before.colors()).filter(|(a, b)| a == b).count();
+        assert!(unchanged >= dynamic.graph().n() - outcome.frontier);
+        assert!(dynamic.coloring().is_legal(dynamic.graph()));
+    }
+
+    #[test]
+    fn oversized_frontiers_fall_back_to_full_recolor() {
+        let g = generators::path(40).unwrap();
+        let mut dynamic = DynamicColoring::new(g).unwrap().with_frontier_threshold(1);
+        let colors = dynamic.coloring().colors().to_vec();
+        let mut batch = Vec::new();
+        for u in 0..dynamic.graph().n() {
+            for v in (u + 1)..dynamic.graph().n() {
+                if colors[u] == colors[v] && !dynamic.graph().has_edge(u, v) && batch.len() < 4 {
+                    batch.push((u, v));
+                }
+            }
+        }
+        assert!(batch.len() >= 2);
+        let outcome = dynamic.insert_edges(&batch).unwrap();
+        assert_eq!(outcome.strategy, RepairStrategy::FullRecolor);
+        assert!(dynamic.coloring().is_legal(dynamic.graph()));
+    }
+
+    #[test]
+    fn invalid_batches_surface_typed_errors() {
+        let g = generators::cycle(6).unwrap();
+        let mut dynamic = DynamicColoring::new(g).unwrap();
+        assert!(dynamic.insert_edges(&[(0, 99)]).is_err());
+        assert!(dynamic.insert_edges(&[(2, 2)]).is_err());
+        // The failed batches left the state untouched and legal.
+        assert_eq!(dynamic.graph().n(), 6);
+        assert!(dynamic.coloring().is_legal(dynamic.graph()));
+    }
+
+    #[test]
+    fn identifiers_survive_rebuilds() {
+        let g = generators::cycle(10).unwrap().with_shuffled_ids(3);
+        let ids = g.ids().to_vec();
+        let mut dynamic = DynamicColoring::new(g).unwrap();
+        dynamic.insert_edges(&[(0, 5)]).unwrap();
+        assert_eq!(dynamic.graph().ids(), &ids[..]);
+    }
+
+    #[test]
+    fn seeding_with_an_illegal_coloring_is_rejected() {
+        let g = generators::cycle(4).unwrap();
+        let illegal = Coloring::constant(&g);
+        assert!(DynamicColoring::from_parts(g, illegal).is_err());
+    }
+}

@@ -29,6 +29,8 @@
 //! * [`ghaffari_kuhn`] — the second headline algorithm (Ghaffari–Kuhn, arXiv:2011.04511):
 //!   deterministic `(deg+1)`-list coloring by recursive color-space halving over
 //!   defective-coloring schedules, `O(log² Δ · log n)` rounds without network decomposition.
+//! * [`dynamic`] — batched edge insertions with localized recoloring (conflict-frontier
+//!   repair via the Ghaffari–Kuhn list driver, full-recolor fallback).
 //! * [`tradeoffs`] — Theorems 5.2 and 5.3: trading colors for time.
 //! * [`mis`] — maximal independent set in `O(a + a^µ log n)` rounds via the coloring reduction
 //!   (Section 1.2).
@@ -58,6 +60,7 @@
 
 pub mod arb_kuhn;
 pub mod arbdefective_coloring;
+pub mod dynamic;
 pub mod error;
 pub mod ghaffari_kuhn;
 pub mod goal;

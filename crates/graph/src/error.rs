@@ -40,6 +40,17 @@ pub enum GraphError {
         /// Vertices in the graph.
         expected: usize,
     },
+    /// A text-format graph file (edge list, DIMACS `.col`, METIS) could not be parsed.
+    ///
+    /// Produced by the streaming parsers in [`crate::io`]; `line` is 1-based so it can be
+    /// pasted straight into an editor.
+    Parse {
+        /// 1-based line number of the offending input line (0 when the problem is not tied
+        /// to a specific line, e.g. a truncated file).
+        line: usize,
+        /// Human-readable description of what was wrong.
+        reason: String,
+    },
 }
 
 impl fmt::Display for GraphError {
@@ -54,6 +65,13 @@ impl fmt::Display for GraphError {
             GraphError::InvalidParameter { reason } => write!(f, "invalid parameter: {reason}"),
             GraphError::ColoringSizeMismatch { got, expected } => {
                 write!(f, "coloring has {got} entries but graph has {expected} vertices")
+            }
+            GraphError::Parse { line, reason } => {
+                if *line == 0 {
+                    write!(f, "parse error: {reason}")
+                } else {
+                    write!(f, "parse error on line {line}: {reason}")
+                }
             }
         }
     }
@@ -74,6 +92,8 @@ mod tests {
             GraphError::NotAcyclic,
             GraphError::InvalidParameter { reason: "p out of range".to_string() },
             GraphError::ColoringSizeMismatch { got: 2, expected: 3 },
+            GraphError::Parse { line: 4, reason: "bad header".to_string() },
+            GraphError::Parse { line: 0, reason: "truncated file".to_string() },
         ];
         for e in errors {
             assert!(!e.to_string().is_empty());

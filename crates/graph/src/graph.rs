@@ -239,6 +239,33 @@ impl Graph {
         g
     }
 
+    /// Returns a copy of the graph carrying the given identifier vector, which must be a
+    /// permutation of `1..=n`.
+    ///
+    /// The dynamic-graph driver uses this to preserve LOCAL-model identifiers across CSR
+    /// rebuilds: a vertex keeps its identity when edges are inserted around it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::InvalidParameter`] if `ids` is not a permutation of `1..=n`.
+    pub fn with_vertex_ids(&self, ids: Vec<u64>) -> Result<Self, GraphError> {
+        if ids.len() != self.n {
+            return Err(GraphError::InvalidParameter {
+                reason: format!("got {} identifiers for {} vertices", ids.len(), self.n),
+            });
+        }
+        let mut sorted = ids.clone();
+        sorted.sort_unstable();
+        if sorted.iter().enumerate().any(|(i, &id)| id != i as u64 + 1) {
+            return Err(GraphError::InvalidParameter {
+                reason: format!("identifiers are not a permutation of 1..={}", self.n),
+            });
+        }
+        let mut g = self.clone();
+        g.ids = ids;
+        Ok(g)
+    }
+
     /// Iterates over all vertices `0..n`.
     pub fn vertices(&self) -> impl Iterator<Item = Vertex> + '_ {
         0..self.n

@@ -1,0 +1,638 @@
+//! Streaming parsers and writers for the on-disk graph formats real datasets ship in.
+//!
+//! Three text formats cover the bulk of published graph corpora:
+//!
+//! * **whitespace edge lists** ([`parse_edge_list`]) — one `u v` pair per line, `#`/`%`
+//!   comments, optional SNAP-style `# Nodes: N Edges: M` header, 0- or 1-indexed (detected
+//!   automatically by default);
+//! * **DIMACS `.col`** ([`parse_dimacs_col`]) — the coloring-benchmark format: `c` comments,
+//!   one `p edge N M` problem line, `e u v` edge lines, always 1-indexed;
+//! * **METIS** ([`parse_metis`]) — header `N M [fmt]`, then line `i` lists the neighbors of
+//!   vertex `i` (1-indexed, every edge appearing in both endpoint lines), `%` comments.
+//!
+//! Every parser reads its input line by line and feeds the surviving edges straight into
+//! [`GraphBuilder`] — no intermediate adjacency structure is materialized, so peak memory is
+//! one edge list (exactly what the CSR build itself needs).  Malformed input never panics:
+//! all failures surface as [`GraphError::Parse`] with a 1-based line number, and endpoint
+//! problems reuse the existing typed errors.  Policy knobs ([`ParseOptions`]) decide whether
+//! self-loops and duplicate edges found in the wild are dropped (the default — published
+//! datasets are full of them) or rejected.
+//!
+//! Each parser has a matching writer ([`write_edge_list`], [`write_dimacs_col`],
+//! [`write_metis`]); `parse(write(g))` reproduces `g` bit-identically up to vertex
+//! identifiers (the formats carry structure, not identifiers, so parsed graphs always get
+//! the default `1..=n` assignment).
+//!
+//! ```
+//! use arbcolor_graph::io::{parse_edge_list, write_edge_list, ParseOptions};
+//! use arbcolor_graph::Graph;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let g = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3)])?;
+//! let mut buf = Vec::new();
+//! write_edge_list(&g, &mut buf)?;
+//! let back = parse_edge_list(buf.as_slice(), &ParseOptions::default())?;
+//! assert_eq!(back, g);
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::error::GraphError;
+use crate::graph::{Graph, GraphBuilder, Vertex};
+use std::collections::HashSet;
+use std::io::{BufRead, BufReader, Write};
+use std::path::Path;
+
+/// The on-disk formats the ingestion layer understands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GraphFormat {
+    /// Whitespace-separated edge list (`.edges`, `.txt`, `.el`).
+    EdgeList,
+    /// DIMACS coloring format (`.col`).
+    DimacsCol,
+    /// METIS adjacency format (`.metis`, `.graph`).
+    Metis,
+}
+
+impl GraphFormat {
+    /// Guesses the format from a file extension (`.col` → DIMACS, `.metis`/`.graph` →
+    /// METIS, `.edges`/`.txt`/`.el` → edge list).
+    pub fn from_path(path: &Path) -> Option<GraphFormat> {
+        match path.extension()?.to_str()? {
+            "col" => Some(GraphFormat::DimacsCol),
+            "metis" | "graph" => Some(GraphFormat::Metis),
+            "edges" | "txt" | "el" => Some(GraphFormat::EdgeList),
+            _ => None,
+        }
+    }
+
+    /// A short lowercase name for error messages and experiment rows.
+    pub fn name(&self) -> &'static str {
+        match self {
+            GraphFormat::EdgeList => "edge-list",
+            GraphFormat::DimacsCol => "dimacs-col",
+            GraphFormat::Metis => "metis",
+        }
+    }
+}
+
+/// How edge-list endpoint numbers map to vertex indices.
+///
+/// DIMACS and METIS are 1-indexed by definition; this knob applies to bare edge lists only.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Indexing {
+    /// Infer: any endpoint `0` means the file is 0-indexed, otherwise 1-indexed is assumed
+    /// (the convention of every published 1-indexed corpus).
+    #[default]
+    Auto,
+    /// Endpoints are vertex indices as-is.
+    ZeroBased,
+    /// Endpoints are `index + 1`; an endpoint `0` is a typed error.
+    OneBased,
+}
+
+/// What to do with a self-loop `(v, v)` found in the input.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LoopPolicy {
+    /// Drop it silently (simple graphs have none, but published datasets do).
+    #[default]
+    Skip,
+    /// Fail with [`GraphError::Parse`] naming the line.
+    Reject,
+}
+
+/// What to do with a duplicate of an edge already read.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DuplicatePolicy {
+    /// Merge duplicates (the CSR builder de-duplicates anyway).
+    #[default]
+    Merge,
+    /// Fail with [`GraphError::Parse`] naming the line of the second occurrence.
+    Reject,
+}
+
+/// Policy knobs shared by all three parsers.
+///
+/// The default is lenient (auto-detected indexing, self-loops dropped, duplicates merged) —
+/// the right posture for ingesting published datasets.  [`ParseOptions::strict`] rejects
+/// everything irregular, which the parser test-suite uses to pin the typed error paths.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ParseOptions {
+    /// Endpoint indexing convention (edge lists only).
+    pub indexing: Indexing,
+    /// Self-loop handling.
+    pub self_loops: LoopPolicy,
+    /// Duplicate-edge handling.
+    pub duplicates: DuplicatePolicy,
+}
+
+impl ParseOptions {
+    /// Rejects self-loops and duplicate edges instead of dropping them.
+    pub fn strict() -> Self {
+        ParseOptions {
+            indexing: Indexing::Auto,
+            self_loops: LoopPolicy::Reject,
+            duplicates: DuplicatePolicy::Reject,
+        }
+    }
+
+    /// Same options with a fixed indexing convention.
+    #[must_use]
+    pub fn with_indexing(mut self, indexing: Indexing) -> Self {
+        self.indexing = indexing;
+        self
+    }
+}
+
+fn perr(line: usize, reason: impl Into<String>) -> GraphError {
+    GraphError::Parse { line, reason: reason.into() }
+}
+
+/// Raw (pre-indexing-shift) edges plus the line each came from, accumulated by the
+/// streaming scan of every parser before the single shift into [`GraphBuilder`].
+#[derive(Debug, Default)]
+struct EdgeAccumulator {
+    edges: Vec<(u64, u64, usize)>,
+    /// Normalized `(min, max)` pairs already seen; allocated only under
+    /// [`DuplicatePolicy::Reject`] (shift-invariant, so Auto indexing can stream).
+    seen: Option<HashSet<(u64, u64)>>,
+    max_endpoint: u64,
+    /// First line containing a 0 endpoint — on kept edges *or* dropped self-loops: even a
+    /// skipped `0 0` proves a file is not 1-indexed.
+    zero_line: Option<usize>,
+    /// Whether any endpoint was seen at all (kept edges *and* dropped self-loops).
+    saw_endpoint: bool,
+}
+
+impl EdgeAccumulator {
+    fn new(duplicates: DuplicatePolicy) -> Self {
+        EdgeAccumulator {
+            seen: match duplicates {
+                DuplicatePolicy::Merge => None,
+                DuplicatePolicy::Reject => Some(HashSet::new()),
+            },
+            ..EdgeAccumulator::default()
+        }
+    }
+
+    /// Records one raw endpoint pair, applying the self-loop and duplicate policies.
+    fn push(&mut self, u: u64, v: u64, line: usize, loops: LoopPolicy) -> Result<(), GraphError> {
+        // Even an edge that gets dropped (skipped self-loop) is evidence about the file:
+        // its endpoints exist and witness the indexing convention, so the bookkeeping must
+        // happen before any policy early-out.
+        self.max_endpoint = self.max_endpoint.max(u.max(v));
+        if u == 0 || v == 0 {
+            self.zero_line.get_or_insert(line);
+        }
+        self.saw_endpoint = true;
+        if u == v {
+            return match loops {
+                LoopPolicy::Skip => Ok(()),
+                LoopPolicy::Reject => Err(perr(line, format!("self-loop at vertex {u}"))),
+            };
+        }
+        if let Some(seen) = &mut self.seen {
+            if !seen.insert((u.min(v), u.max(v))) {
+                return Err(perr(line, format!("duplicate edge ({u}, {v})")));
+            }
+        }
+        self.edges.push((u, v, line));
+        Ok(())
+    }
+
+    /// Shifts the accumulated endpoints into `0..n` vertex indices and builds the graph.
+    ///
+    /// `one_based` says how the raw numbers map to indices; `declared_n` is the vertex count
+    /// a header announced (if any) — endpoints beyond it are typed errors, and the built
+    /// graph keeps isolated trailing vertices the edge set alone could not witness.
+    /// Hard cap on the vertex count a parse may imply or declare.  The CSR build allocates
+    /// O(n) vectors up front, so an absurd endpoint label (a corrupted file, or sparse ids
+    /// far beyond anything this stack can host) must become a typed error *before* the
+    /// allocation aborts the process.
+    const MAX_VERTICES: usize = 1 << 30;
+
+    fn build(self, one_based: bool, declared_n: Option<usize>) -> Result<Graph, GraphError> {
+        if one_based {
+            // Checked here (not only per kept edge below) so a 0 endpoint on a *dropped*
+            // self-loop still surfaces: the file is provably not 1-indexed either way.
+            if let Some(line) = self.zero_line {
+                return Err(perr(line, "endpoint 0 in a 1-indexed file"));
+            }
+        }
+        // Checking the raw maximum first also makes the `+ 1` below overflow-safe.
+        if self.max_endpoint > Self::MAX_VERTICES as u64 {
+            return Err(perr(
+                0,
+                format!(
+                    "endpoint {} exceeds the supported maximum of {} vertices",
+                    self.max_endpoint,
+                    Self::MAX_VERTICES
+                ),
+            ));
+        }
+        let shift = u64::from(one_based);
+        let implied_n =
+            if self.saw_endpoint { (self.max_endpoint + 1 - shift) as usize } else { 0 };
+        let n = declared_n.unwrap_or(implied_n);
+        if n > Self::MAX_VERTICES {
+            return Err(perr(
+                0,
+                format!(
+                    "declared vertex count {n} exceeds the supported maximum of {}",
+                    Self::MAX_VERTICES
+                ),
+            ));
+        }
+        let mut builder = GraphBuilder::new(n);
+        for (u, v, line) in self.edges {
+            // 0 endpoints were already rejected above when one_based, so the shift is safe.
+            let (u, v) = ((u - shift) as Vertex, (v - shift) as Vertex);
+            if u >= n || v >= n {
+                return Err(perr(
+                    line,
+                    format!("endpoint {} out of range for {n} vertices", u.max(v) + shift as usize),
+                ));
+            }
+            builder.add_edge(u, v).map_err(|e| perr(line, e.to_string()))?;
+        }
+        Ok(builder.build())
+    }
+}
+
+/// Splits a data line into whitespace tokens, stripping trailing `#`/`%` comments.
+fn data_tokens(line: &str) -> impl Iterator<Item = &str> {
+    line.split(['#', '%']).next().unwrap_or("").split_whitespace()
+}
+
+fn parse_endpoint(token: &str, line: usize) -> Result<u64, GraphError> {
+    token.parse::<u64>().map_err(|_| perr(line, format!("expected a vertex number, got {token:?}")))
+}
+
+/// Parses a whitespace edge list: one `u v` pair per line (extra columns, e.g. weights, are
+/// ignored), blank lines and `#`/`%` comments skipped.
+///
+/// A SNAP-style comment `# Nodes: N ...` declares the vertex count, which both pins
+/// isolated trailing vertices and turns out-of-range endpoints into typed errors.  Without
+/// it, `n` is implied by the largest endpoint.  Indexing follows
+/// [`ParseOptions::indexing`].
+///
+/// # Errors
+///
+/// Returns [`GraphError::Parse`] for malformed lines, out-of-range endpoints, `0` endpoints
+/// in 1-indexed mode, and (under [`ParseOptions::strict`]) self-loops or duplicates.
+pub fn parse_edge_list<R: BufRead>(reader: R, options: &ParseOptions) -> Result<Graph, GraphError> {
+    let mut acc = EdgeAccumulator::new(options.duplicates);
+    let mut declared_n: Option<usize> = None;
+    for (idx, line) in reader.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = line.map_err(|e| perr(lineno, format!("read error: {e}")))?;
+        let trimmed = line.trim();
+        if trimmed.starts_with(['#', '%']) {
+            // SNAP headers look like `# Nodes: 34 Edges: 78`.
+            let mut tokens = trimmed.trim_start_matches(['#', '%']).split_whitespace();
+            while let Some(token) = tokens.next() {
+                if token.eq_ignore_ascii_case("nodes:") {
+                    if let Some(n) = tokens.next().and_then(|t| t.parse::<usize>().ok()) {
+                        declared_n = Some(n);
+                    }
+                    break;
+                }
+            }
+            continue;
+        }
+        let mut tokens = data_tokens(trimmed);
+        let Some(first) = tokens.next() else { continue };
+        let Some(second) = tokens.next() else {
+            return Err(perr(lineno, format!("expected `u v`, got a single token {first:?}")));
+        };
+        acc.push(
+            parse_endpoint(first, lineno)?,
+            parse_endpoint(second, lineno)?,
+            lineno,
+            options.self_loops,
+        )?;
+    }
+    let one_based = match options.indexing {
+        Indexing::ZeroBased => false,
+        Indexing::OneBased => true,
+        // Auto: a 0 endpoint proves 0-indexing; otherwise the 1-indexed convention applies.
+        Indexing::Auto => acc.zero_line.is_none() && acc.saw_endpoint,
+    };
+    acc.build(one_based, declared_n)
+}
+
+/// Parses the DIMACS coloring format (`.col`): `c` comment lines, one `p edge N M` problem
+/// line, then `e u v` edge lines with 1-indexed endpoints.
+///
+/// `p col N M` is accepted as a synonym seen in the wild.  The declared edge count `M` is
+/// not enforced (published instances routinely list each edge twice); the declared `N` is —
+/// endpoints beyond it are typed errors.
+///
+/// # Errors
+///
+/// Returns [`GraphError::Parse`] for a missing/duplicate/malformed problem line, unknown
+/// line types, out-of-range or `0` endpoints, and (under [`ParseOptions::strict`])
+/// self-loops or duplicates.
+pub fn parse_dimacs_col<R: BufRead>(
+    reader: R,
+    options: &ParseOptions,
+) -> Result<Graph, GraphError> {
+    let mut acc = EdgeAccumulator::new(options.duplicates);
+    let mut declared_n: Option<usize> = None;
+    for (idx, line) in reader.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = line.map_err(|e| perr(lineno, format!("read error: {e}")))?;
+        let mut tokens = line.split_whitespace();
+        match tokens.next() {
+            None | Some("c") => continue,
+            Some("p") => {
+                if declared_n.is_some() {
+                    return Err(perr(lineno, "second `p` line (only one is allowed)"));
+                }
+                match tokens.next() {
+                    Some("edge" | "edges" | "col") => {}
+                    other => {
+                        return Err(perr(
+                            lineno,
+                            format!("expected `p edge N M`, got problem type {other:?}"),
+                        ))
+                    }
+                }
+                let n = tokens
+                    .next()
+                    .and_then(|t| t.parse::<usize>().ok())
+                    .ok_or_else(|| perr(lineno, "`p` line is missing a numeric vertex count"))?;
+                let _m = tokens
+                    .next()
+                    .and_then(|t| t.parse::<usize>().ok())
+                    .ok_or_else(|| perr(lineno, "`p` line is missing a numeric edge count"))?;
+                declared_n = Some(n);
+            }
+            Some("e") => {
+                if declared_n.is_none() {
+                    return Err(perr(lineno, "`e` line before the `p` problem line"));
+                }
+                let (Some(u), Some(v)) = (tokens.next(), tokens.next()) else {
+                    return Err(perr(lineno, "`e` line needs two endpoints"));
+                };
+                acc.push(
+                    parse_endpoint(u, lineno)?,
+                    parse_endpoint(v, lineno)?,
+                    lineno,
+                    options.self_loops,
+                )?;
+            }
+            Some(other) => {
+                return Err(perr(lineno, format!("unknown DIMACS line type {other:?}")));
+            }
+        }
+    }
+    let Some(n) = declared_n else {
+        return Err(perr(0, "missing `p edge N M` problem line"));
+    };
+    acc.build(true, Some(n))
+}
+
+/// Parses the METIS adjacency format: a header `N M [fmt]`, then `N` data lines where line
+/// `i` lists the (1-indexed) neighbors of vertex `i`; `%` comment lines are skipped.
+///
+/// Only unweighted graphs (`fmt` absent or `0`/`00`/`000`) are supported.  Every edge is
+/// expected in both endpoint lines (duplicates merge under the default policy); the header's
+/// `M` must match the number of distinct undirected edges actually read — a mismatch is the
+/// classic symptom of a malformed or truncated file.
+///
+/// # Errors
+///
+/// Returns [`GraphError::Parse`] for a malformed header, weighted `fmt` codes, a wrong
+/// number of data lines, an edge-count mismatch, out-of-range or `0` endpoints, and (under
+/// [`ParseOptions::strict`]) self-loops or duplicates.
+pub fn parse_metis<R: BufRead>(reader: R, options: &ParseOptions) -> Result<Graph, GraphError> {
+    // Every undirected edge legitimately appears twice in METIS (once per endpoint line),
+    // so the format-agnostic duplicate rejection would flag well-formed files.  Strictness
+    // here means: no *directed* pair `(v, neighbor)` may repeat.
+    let mut acc = EdgeAccumulator::new(DuplicatePolicy::Merge);
+    let mut seen_directed: Option<HashSet<(u64, u64)>> = match options.duplicates {
+        DuplicatePolicy::Merge => None,
+        DuplicatePolicy::Reject => Some(HashSet::new()),
+    };
+    let mut header: Option<(usize, usize)> = None;
+    let mut vertex = 0u64; // 1-indexed vertex of the next data line
+    for (idx, line) in reader.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = line.map_err(|e| perr(lineno, format!("read error: {e}")))?;
+        if line.trim_start().starts_with('%') {
+            continue;
+        }
+        let tokens: Vec<&str> = data_tokens(&line).collect();
+        let Some((n, _m)) = header else {
+            // First non-comment line is the header: `N M [fmt [ncon]]`.
+            if tokens.is_empty() {
+                continue;
+            }
+            if tokens.len() < 2 || tokens.len() > 4 {
+                return Err(perr(
+                    lineno,
+                    format!("METIS header needs `N M [fmt]`, got {tokens:?}"),
+                ));
+            }
+            let n = tokens[0].parse::<usize>().map_err(|_| {
+                perr(lineno, format!("METIS vertex count {:?} is not a number", tokens[0]))
+            })?;
+            let m = tokens[1].parse::<usize>().map_err(|_| {
+                perr(lineno, format!("METIS edge count {:?} is not a number", tokens[1]))
+            })?;
+            if let Some(fmt) = tokens.get(2) {
+                if fmt.chars().any(|c| c != '0') {
+                    return Err(perr(
+                        lineno,
+                        format!("METIS fmt {fmt:?} requests weights, which are not supported"),
+                    ));
+                }
+            }
+            header = Some((n, m));
+            continue;
+        };
+        vertex += 1;
+        if vertex as usize > n {
+            return Err(perr(lineno, format!("more than the declared {n} vertex lines")));
+        }
+        for token in tokens {
+            let neighbor = parse_endpoint(token, lineno)?;
+            if let Some(seen) = &mut seen_directed {
+                if neighbor != vertex && !seen.insert((vertex, neighbor)) {
+                    return Err(perr(
+                        lineno,
+                        format!("duplicate neighbor {neighbor} in the list of vertex {vertex}"),
+                    ));
+                }
+            }
+            acc.push(vertex, neighbor, lineno, options.self_loops)?;
+        }
+    }
+    let Some((n, m)) = header else {
+        return Err(perr(0, "missing METIS header line"));
+    };
+    if (vertex as usize) < n {
+        return Err(perr(0, format!("file ends after {vertex} of {n} declared vertex lines")));
+    }
+    let graph = acc.build(true, Some(n))?;
+    if graph.m() != m {
+        return Err(perr(
+            1,
+            format!("header declares {m} edges but the file contains {} distinct edges", graph.m()),
+        ));
+    }
+    Ok(graph)
+}
+
+/// Reads a graph from `path`, picking the parser by file extension (see
+/// [`GraphFormat::from_path`]) and using default (lenient) options.
+///
+/// # Errors
+///
+/// Returns [`GraphError::Parse`] for unknown extensions, unreadable files, and any parser
+/// failure.
+pub fn read_graph(path: impl AsRef<Path>) -> Result<Graph, GraphError> {
+    let path = path.as_ref();
+    let format = GraphFormat::from_path(path)
+        .ok_or_else(|| perr(0, format!("cannot infer a graph format from path {path:?}")))?;
+    read_graph_as(path, format, &ParseOptions::default())
+}
+
+/// Reads a graph from `path` with an explicit format and options.
+///
+/// # Errors
+///
+/// Returns [`GraphError::Parse`] for unreadable files and any parser failure.
+pub fn read_graph_as(
+    path: impl AsRef<Path>,
+    format: GraphFormat,
+    options: &ParseOptions,
+) -> Result<Graph, GraphError> {
+    let path = path.as_ref();
+    let file = std::fs::File::open(path)
+        .map_err(|e| perr(0, format!("cannot open {}: {e}", path.display())))?;
+    let reader = BufReader::new(file);
+    match format {
+        GraphFormat::EdgeList => parse_edge_list(reader, options),
+        GraphFormat::DimacsCol => parse_dimacs_col(reader, options),
+        GraphFormat::Metis => parse_metis(reader, options),
+    }
+}
+
+/// Writes `graph` as a 1-indexed whitespace edge list with a SNAP-style header comment, the
+/// exact shape [`parse_edge_list`] round-trips (including isolated trailing vertices).
+///
+/// # Errors
+///
+/// Propagates writer errors.
+pub fn write_edge_list<W: Write>(graph: &Graph, mut out: W) -> std::io::Result<()> {
+    writeln!(out, "# Nodes: {} Edges: {}", graph.n(), graph.m())?;
+    for &(u, v) in graph.edges() {
+        writeln!(out, "{} {}", u + 1, v + 1)?;
+    }
+    Ok(())
+}
+
+/// Writes `graph` in DIMACS `.col` format (`p edge N M` plus one `e u v` line per edge).
+///
+/// # Errors
+///
+/// Propagates writer errors.
+pub fn write_dimacs_col<W: Write>(graph: &Graph, mut out: W) -> std::io::Result<()> {
+    writeln!(out, "p edge {} {}", graph.n(), graph.m())?;
+    for &(u, v) in graph.edges() {
+        writeln!(out, "e {} {}", u + 1, v + 1)?;
+    }
+    Ok(())
+}
+
+/// Writes `graph` in METIS adjacency format (header, then one neighbor line per vertex;
+/// isolated vertices produce empty lines, so `n` survives the round-trip).
+///
+/// # Errors
+///
+/// Propagates writer errors.
+pub fn write_metis<W: Write>(graph: &Graph, mut out: W) -> std::io::Result<()> {
+    writeln!(out, "{} {}", graph.n(), graph.m())?;
+    for v in graph.vertices() {
+        let line =
+            graph.neighbors(v).iter().map(|u| (u + 1).to_string()).collect::<Vec<_>>().join(" ");
+        writeln!(out, "{line}")?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edge_list_auto_detects_zero_indexing() {
+        let g = parse_edge_list("0 1\n1 2\n".as_bytes(), &ParseOptions::default()).unwrap();
+        assert_eq!((g.n(), g.m()), (3, 2));
+        assert!(g.has_edge(0, 1) && g.has_edge(1, 2));
+    }
+
+    #[test]
+    fn edge_list_auto_assumes_one_indexing_without_a_zero() {
+        let g = parse_edge_list("1 2\n2 3\n".as_bytes(), &ParseOptions::default()).unwrap();
+        assert_eq!((g.n(), g.m()), (3, 2));
+        assert!(g.has_edge(0, 1) && g.has_edge(1, 2));
+    }
+
+    #[test]
+    fn edge_list_honors_snap_header_and_comments() {
+        let text = "# Nodes: 5 Edges: 2\n% another comment\n1 2\n4 5  # trailing comment\n";
+        let g = parse_edge_list(text.as_bytes(), &ParseOptions::default()).unwrap();
+        assert_eq!((g.n(), g.m()), (5, 2));
+        assert!(g.has_edge(3, 4));
+    }
+
+    #[test]
+    fn dimacs_parses_problem_and_edge_lines() {
+        let text = "c a comment\np edge 4 3\ne 1 2\ne 2 3\ne 3 4\n";
+        let g = parse_dimacs_col(text.as_bytes(), &ParseOptions::default()).unwrap();
+        assert_eq!((g.n(), g.m()), (4, 3));
+        assert!(g.has_edge(2, 3));
+    }
+
+    #[test]
+    fn metis_parses_adjacency_lines() {
+        // Triangle plus a pendant: 4 vertices, 4 edges.
+        let text = "% comment\n4 4\n2 3\n1 3\n1 2 4\n3\n";
+        let g = parse_metis(text.as_bytes(), &ParseOptions::default()).unwrap();
+        assert_eq!((g.n(), g.m()), (4, 4));
+        assert!(g.has_edge(0, 1) && g.has_edge(2, 3));
+    }
+
+    #[test]
+    fn lenient_options_drop_loops_and_merge_duplicates() {
+        let g = parse_edge_list("1 1\n1 2\n2 1\n".as_bytes(), &ParseOptions::default()).unwrap();
+        assert_eq!((g.n(), g.m()), (2, 1));
+    }
+
+    #[test]
+    fn format_is_inferred_from_extensions() {
+        assert_eq!(GraphFormat::from_path(Path::new("a/b.col")), Some(GraphFormat::DimacsCol));
+        assert_eq!(GraphFormat::from_path(Path::new("x.metis")), Some(GraphFormat::Metis));
+        assert_eq!(GraphFormat::from_path(Path::new("x.graph")), Some(GraphFormat::Metis));
+        assert_eq!(GraphFormat::from_path(Path::new("x.edges")), Some(GraphFormat::EdgeList));
+        assert_eq!(GraphFormat::from_path(Path::new("x.unknown")), None);
+        assert_eq!(GraphFormat::from_path(Path::new("noext")), None);
+    }
+
+    #[test]
+    fn writers_produce_parseable_output() {
+        let g = Graph::from_edges(5, [(0, 1), (1, 2), (2, 3)]).unwrap();
+        let mut buf = Vec::new();
+        write_dimacs_col(&g, &mut buf).unwrap();
+        assert_eq!(parse_dimacs_col(buf.as_slice(), &ParseOptions::default()).unwrap(), g);
+        buf.clear();
+        write_metis(&g, &mut buf).unwrap();
+        assert_eq!(parse_metis(buf.as_slice(), &ParseOptions::default()).unwrap(), g);
+        buf.clear();
+        write_edge_list(&g, &mut buf).unwrap();
+        assert_eq!(parse_edge_list(buf.as_slice(), &ParseOptions::default()).unwrap(), g);
+    }
+}

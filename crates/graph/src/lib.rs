@@ -20,6 +20,9 @@
 //! * [`generators`] — deterministic and seeded-random graph families used by the test-suite
 //!   and the experiments (bounded-arboricity unions of forests, star forests with huge `Δ`
 //!   but tiny `a`, grids, rings, preferential attachment, …).
+//! * [`io`] — streaming parsers and writers for the on-disk formats real datasets ship in
+//!   (whitespace edge lists, DIMACS `.col`, METIS), feeding the CSR builder directly with
+//!   typed errors for every malformed input.
 //!
 //! # Example
 //!
@@ -42,6 +45,7 @@ pub mod degeneracy;
 pub mod error;
 pub mod generators;
 pub mod graph;
+pub mod io;
 pub mod orientation;
 pub mod properties;
 pub mod subgraph;

@@ -1,0 +1,247 @@
+//! Error-path and round-trip suite for the `arbcolor_graph::io` parsers.
+//!
+//! Two families of guarantees are pinned here:
+//!
+//! * **typed errors, never panics** — every malformed-input class the parsers document
+//!   (broken headers, out-of-range endpoints, self-loops, duplicates, 0-vs-1 indexing
+//!   ambiguity, truncation) returns [`GraphError::Parse`] with a usable line number;
+//! * **round-trips** — `parse(write(g))` reproduces `g` bit-identically (structure and
+//!   vertex count, with the default identifier assignment) for every generator family, in
+//!   all three formats.
+
+use arbcolor_graph::generators::seeded_suite;
+use arbcolor_graph::io::{
+    parse_dimacs_col, parse_edge_list, parse_metis, write_dimacs_col, write_edge_list, write_metis,
+    Indexing, ParseOptions,
+};
+use arbcolor_graph::GraphError;
+use proptest::prelude::*;
+
+fn assert_parse_error(result: Result<arbcolor_graph::Graph, GraphError>, needle: &str) {
+    match result {
+        Err(GraphError::Parse { reason, .. }) => {
+            assert!(reason.contains(needle), "error {reason:?} does not mention {needle:?}")
+        }
+        Err(other) => panic!("expected a Parse error mentioning {needle:?}, got {other}"),
+        Ok(g) => {
+            panic!("expected a Parse error mentioning {needle:?}, got a graph with n={}", g.n())
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Edge lists
+// ---------------------------------------------------------------------------
+
+#[test]
+fn edge_list_rejects_malformed_lines() {
+    let opts = ParseOptions::default();
+    assert_parse_error(parse_edge_list("1 two\n".as_bytes(), &opts), "vertex number");
+    assert_parse_error(parse_edge_list("17\n".as_bytes(), &opts), "single token");
+}
+
+#[test]
+fn edge_list_rejects_out_of_range_endpoints_against_a_declared_count() {
+    let text = "# Nodes: 3 Edges: 1\n1 9\n";
+    assert_parse_error(parse_edge_list(text.as_bytes(), &ParseOptions::default()), "out of range");
+}
+
+#[test]
+fn absurd_endpoints_are_typed_errors_not_allocation_aborts() {
+    let opts = ParseOptions::default();
+    // A corrupted label implying an ~10^16-vertex CSR must error, not abort the process.
+    assert_parse_error(parse_edge_list("1 10000000000000000\n".as_bytes(), &opts), "maximum");
+    // u64::MAX must not overflow the implied-n arithmetic (debug builds would panic).
+    assert_parse_error(parse_edge_list("1 18446744073709551615\n".as_bytes(), &opts), "maximum");
+    // An absurd declared header is caught the same way, in every format.
+    assert_parse_error(parse_dimacs_col("p edge 99999999999 0\n".as_bytes(), &opts), "maximum");
+}
+
+#[test]
+fn edge_list_zero_endpoint_in_forced_one_based_mode_is_the_ambiguity_error() {
+    // The file says 0 but the caller insisted on 1-based indexing: typed error, not an
+    // underflow or a silently shifted graph.
+    let opts = ParseOptions::default().with_indexing(Indexing::OneBased);
+    assert_parse_error(parse_edge_list("0 1\n".as_bytes(), &opts), "1-indexed");
+    // Even when the only 0 endpoint sits on a self-loop the lenient policy would drop:
+    // the file is provably not 1-indexed, so forcing OneBased is still a typed error.
+    assert_parse_error(parse_edge_list("0 0\n1 2\n".as_bytes(), &opts), "1-indexed");
+}
+
+#[test]
+fn edge_list_forced_zero_based_keeps_raw_indices() {
+    let opts = ParseOptions::default().with_indexing(Indexing::ZeroBased);
+    let g = parse_edge_list("1 2\n".as_bytes(), &opts).unwrap();
+    assert_eq!(g.n(), 3);
+    assert!(g.has_edge(1, 2));
+}
+
+#[test]
+fn dropped_self_loops_still_witness_indexing_and_vertex_count() {
+    let opts = ParseOptions::default();
+    // The skipped loop at vertex 0 proves the file is 0-indexed: (1, 2) must stay (1, 2).
+    let g = parse_edge_list("0 0\n1 2\n".as_bytes(), &opts).unwrap();
+    assert_eq!((g.n(), g.m()), (3, 1));
+    assert!(g.has_edge(1, 2));
+    // The skipped loop at vertex 5 proves vertex 5 exists (1-indexed here): n = 5, not 2.
+    let g = parse_edge_list("5 5\n1 2\n".as_bytes(), &opts).unwrap();
+    assert_eq!((g.n(), g.m()), (5, 1));
+    assert!(g.has_edge(0, 1));
+    // A file holding only a dropped self-loop still has its vertex.
+    let g = parse_edge_list("1 1\n".as_bytes(), &opts).unwrap();
+    assert_eq!((g.n(), g.m()), (1, 0));
+}
+
+#[test]
+fn strict_mode_rejects_self_loops_and_duplicates_with_line_numbers() {
+    let strict = ParseOptions::strict();
+    match parse_edge_list("1 2\n3 3\n".as_bytes(), &strict) {
+        Err(GraphError::Parse { line, reason }) => {
+            assert_eq!(line, 2);
+            assert!(reason.contains("self-loop"));
+        }
+        other => panic!("expected a self-loop error, got {other:?}"),
+    }
+    match parse_edge_list("1 2\n2 3\n2 1\n".as_bytes(), &strict) {
+        Err(GraphError::Parse { line, reason }) => {
+            assert_eq!(line, 3);
+            assert!(reason.contains("duplicate"));
+        }
+        other => panic!("expected a duplicate error, got {other:?}"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// DIMACS .col
+// ---------------------------------------------------------------------------
+
+#[test]
+fn dimacs_requires_a_problem_line() {
+    let opts = ParseOptions::default();
+    assert_parse_error(parse_dimacs_col("c only comments\n".as_bytes(), &opts), "problem line");
+    assert_parse_error(parse_dimacs_col("e 1 2\np edge 3 1\n".as_bytes(), &opts), "before");
+    assert_parse_error(
+        parse_dimacs_col("p edge 3 1\np edge 3 1\ne 1 2\n".as_bytes(), &opts),
+        "second",
+    );
+}
+
+#[test]
+fn dimacs_rejects_malformed_headers_and_unknown_lines() {
+    let opts = ParseOptions::default();
+    assert_parse_error(parse_dimacs_col("p edge three 4\n".as_bytes(), &opts), "vertex count");
+    assert_parse_error(parse_dimacs_col("p edge 3\n".as_bytes(), &opts), "edge count");
+    assert_parse_error(parse_dimacs_col("p matrix 3 3\n".as_bytes(), &opts), "problem type");
+    assert_parse_error(parse_dimacs_col("p edge 3 1\nq 1 2\n".as_bytes(), &opts), "unknown");
+    assert_parse_error(parse_dimacs_col("p edge 3 1\ne 1\n".as_bytes(), &opts), "two endpoints");
+}
+
+#[test]
+fn dimacs_rejects_out_of_range_and_zero_endpoints() {
+    let opts = ParseOptions::default();
+    assert_parse_error(parse_dimacs_col("p edge 3 1\ne 1 7\n".as_bytes(), &opts), "out of range");
+    assert_parse_error(parse_dimacs_col("p edge 3 1\ne 0 2\n".as_bytes(), &opts), "1-indexed");
+}
+
+#[test]
+fn dimacs_strict_mode_rejects_duplicates() {
+    let text = "p edge 3 2\ne 1 2\ne 2 1\n";
+    assert_parse_error(parse_dimacs_col(text.as_bytes(), &ParseOptions::strict()), "duplicate");
+    // Lenient mode merges them instead.
+    let g = parse_dimacs_col(text.as_bytes(), &ParseOptions::default()).unwrap();
+    assert_eq!(g.m(), 1);
+}
+
+// ---------------------------------------------------------------------------
+// METIS
+// ---------------------------------------------------------------------------
+
+#[test]
+fn metis_rejects_malformed_headers() {
+    let opts = ParseOptions::default();
+    assert_parse_error(parse_metis("".as_bytes(), &opts), "missing METIS header");
+    assert_parse_error(parse_metis("3\n".as_bytes(), &opts), "METIS header");
+    assert_parse_error(parse_metis("x 2\n1\n2\n".as_bytes(), &opts), "not a number");
+    assert_parse_error(parse_metis("2 1 011\n2\n1\n".as_bytes(), &opts), "weights");
+    assert_parse_error(parse_metis("2 1 0 1 9\n2\n1\n".as_bytes(), &opts), "METIS header");
+}
+
+#[test]
+fn metis_rejects_wrong_line_counts_and_edge_counts() {
+    let opts = ParseOptions::default();
+    // Truncated: 3 declared vertices, 2 data lines.
+    assert_parse_error(parse_metis("3 2\n2 3\n1\n".as_bytes(), &opts), "file ends");
+    // Too many data lines.
+    assert_parse_error(parse_metis("2 1\n2\n1\n1\n".as_bytes(), &opts), "more than");
+    // Header m disagrees with the adjacency content.
+    assert_parse_error(parse_metis("3 5\n2 3\n1 3\n1 2\n".as_bytes(), &opts), "declares 5 edges");
+}
+
+#[test]
+fn metis_rejects_out_of_range_and_zero_neighbors() {
+    let opts = ParseOptions::default();
+    assert_parse_error(parse_metis("2 1\n2 9\n1\n".as_bytes(), &opts), "out of range");
+    assert_parse_error(parse_metis("2 1\n0\n1\n".as_bytes(), &opts), "1-indexed");
+}
+
+#[test]
+fn metis_strict_mode_rejects_self_loops_and_directed_duplicates() {
+    // Vertex 1 lists itself.
+    let text = "2 2\n1 2\n1 2\n";
+    assert_parse_error(parse_metis(text.as_bytes(), &ParseOptions::strict()), "self-loop");
+    // Vertex 1 lists vertex 2 twice (the mirror listing in line 2's data is fine — every
+    // METIS edge legitimately appears once per endpoint line).
+    let text = "2 1\n2 2\n1\n";
+    assert_parse_error(parse_metis(text.as_bytes(), &ParseOptions::strict()), "duplicate neighbor");
+}
+
+// ---------------------------------------------------------------------------
+// Round-trips
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// `write → parse` reproduces every generator-family graph bit-identically in all
+    /// three formats.  The formats carry structure but not identifiers, so the comparison
+    /// target is the generated graph re-equipped with the default `1..=n` assignment.
+    #[test]
+    fn write_then_parse_round_trips_the_generator_suite(
+        n in 12usize..70,
+        seed in 0u64..1_000,
+    ) {
+        let opts = ParseOptions::default();
+        for (family, g) in seeded_suite(n, seed) {
+            let ids = (1..=g.n() as u64).collect::<Vec<_>>();
+            let g = g.with_vertex_ids(ids).expect("default ids are a permutation");
+            let mut buf = Vec::new();
+            write_edge_list(&g, &mut buf).unwrap();
+            prop_assert_eq!(&parse_edge_list(buf.as_slice(), &opts).unwrap(), &g,
+                "edge-list round-trip on {}", family);
+            buf.clear();
+            write_dimacs_col(&g, &mut buf).unwrap();
+            prop_assert_eq!(&parse_dimacs_col(buf.as_slice(), &opts).unwrap(), &g,
+                "dimacs round-trip on {}", family);
+            buf.clear();
+            write_metis(&g, &mut buf).unwrap();
+            prop_assert_eq!(&parse_metis(buf.as_slice(), &opts).unwrap(), &g,
+                "metis round-trip on {}", family);
+        }
+    }
+
+    /// Strict parsing accepts every written graph too: our writers never emit self-loops
+    /// or duplicates, so the strict error paths stay quiet on well-formed input.
+    #[test]
+    fn strict_parsing_accepts_writer_output(
+        n in 12usize..40,
+        seed in 0u64..1_000,
+    ) {
+        let strict = ParseOptions::strict();
+        for (family, g) in seeded_suite(n, seed) {
+            let mut buf = Vec::new();
+            write_metis(&g, &mut buf).unwrap();
+            prop_assert!(parse_metis(buf.as_slice(), &strict).is_ok(),
+                "strict metis rejected writer output on {}", family);
+        }
+    }
+}

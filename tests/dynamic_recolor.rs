@@ -1,0 +1,127 @@
+//! Cross-crate property suite for the dynamic-recoloring driver.
+//!
+//! The contract of `arbcolor::dynamic` is that after every insertion batch the maintained
+//! coloring is (a) legal on the grown graph, (b) within `Δ + 1` colors, and (c) untouched
+//! outside the conflict frontier under local repair — and that the whole sequence is
+//! bit-identical across executor kinds.  This suite drives those claims over the full
+//! generator suite with randomized hold-out batches.
+
+use arbcolor::dynamic::{DynamicColoring, RepairStrategy};
+use arbcolor_graph::{Graph, Vertex};
+use arbcolor_runtime::{default_executor, set_default_executor, ExecutorKind};
+use proptest::prelude::*;
+
+mod common;
+use common::generator_suite;
+
+/// Splits `graph` into a base graph (identifiers preserved) plus `batches` round-robin
+/// hold-out batches of every `stride`-th edge.
+fn hold_out(graph: &Graph, stride: usize, batches: usize) -> (Graph, Vec<Vec<(Vertex, Vertex)>>) {
+    let mut kept = Vec::new();
+    let mut held: Vec<Vec<(Vertex, Vertex)>> = vec![Vec::new(); batches];
+    for (e, &edge) in graph.edges().iter().enumerate() {
+        if e % stride == 0 {
+            held[(e / stride) % batches].push(edge);
+        } else {
+            kept.push(edge);
+        }
+    }
+    let base = Graph::from_edges(graph.n(), kept)
+        .expect("subset of valid edges")
+        .with_vertex_ids(graph.ids().to_vec())
+        .expect("ids are inherited");
+    (base, held)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn insertion_batches_keep_the_coloring_legal_on_the_generator_suite(
+        n in 16usize..80,
+        seed in 0u64..1_000,
+        stride in 3usize..9,
+    ) {
+        for (family, g) in generator_suite(n, seed) {
+            if g.m() < 4 {
+                continue;
+            }
+            let (base, batches) = hold_out(&g, stride, 2);
+            let mut dynamic = DynamicColoring::new(base).expect("initial coloring");
+            for batch in &batches {
+                let before = dynamic.coloring().clone();
+                let outcome = dynamic.insert_edges(batch).unwrap();
+                prop_assert!(dynamic.coloring().is_legal(dynamic.graph()),
+                    "illegal after a batch on {}", family);
+                prop_assert!(
+                    dynamic.coloring().distinct_colors() <= dynamic.graph().max_degree() + 1,
+                    "palette exceeded Δ+1 on {}", family);
+                prop_assert!(outcome.frontier <= 2 * batch.len(), "frontier bound on {}", family);
+                if outcome.strategy == RepairStrategy::LocalRepair {
+                    // Local repair only ever recolors frontier vertices.
+                    let changed = dynamic
+                        .coloring()
+                        .colors()
+                        .iter()
+                        .zip(before.colors())
+                        .filter(|(a, b)| a != b)
+                        .count();
+                    prop_assert!(changed <= outcome.frontier,
+                        "local repair touched non-frontier vertices on {}", family);
+                    prop_assert_eq!(changed, outcome.repaired_vertices,
+                        "repair count on {}", family);
+                }
+            }
+            // The final graph is the original one (same edges, same identifiers).
+            prop_assert_eq!(dynamic.graph().edges(), g.edges(), "edges restored on {}", family);
+        }
+    }
+}
+
+/// The same insertion sequence replayed under every executor kind produces bit-identical
+/// colorings and batch outcomes (the E20 guarantee, pinned here at test sizes).
+#[test]
+fn repair_sequences_are_bit_identical_across_executor_kinds() {
+    let g = arbcolor_graph::generators::union_of_random_forests(300, 3, 17)
+        .unwrap()
+        .with_shuffled_ids(4);
+    let (base, batches) = hold_out(&g, 5, 3);
+    /// Final colors plus per-batch `(frontier, repaired)` counts of one replay.
+    type SequenceFingerprint = (Vec<u64>, Vec<(usize, usize)>);
+    let previous = default_executor();
+    let mut reference: Option<SequenceFingerprint> = None;
+    for kind in [ExecutorKind::Sequential, ExecutorKind::sharded(3), ExecutorKind::Reference] {
+        set_default_executor(kind);
+        let mut dynamic = DynamicColoring::new(base.clone()).unwrap();
+        let mut counts = Vec::new();
+        for batch in &batches {
+            let outcome = dynamic.insert_edges(batch).unwrap();
+            counts.push((outcome.frontier, outcome.repaired_vertices));
+        }
+        let colors = dynamic.coloring().colors().to_vec();
+        match &reference {
+            None => reference = Some((colors, counts)),
+            Some((ref_colors, ref_counts)) => {
+                assert_eq!(&colors, ref_colors, "colorings diverged under {kind:?}");
+                assert_eq!(&counts, ref_counts, "repair counts diverged under {kind:?}");
+            }
+        }
+    }
+    set_default_executor(previous);
+}
+
+/// Ingested fixtures flow through the dynamic driver end to end (the E20 pipeline at its
+/// smallest: parse from disk, hold out, re-insert, stay legal).
+#[test]
+fn ingested_graph_survives_dynamic_growth() {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/datasets/karate.edges");
+    let g = arbcolor_graph::io::read_graph(path).expect("karate fixture parses");
+    let (base, batches) = hold_out(&g, 6, 2);
+    let mut dynamic = DynamicColoring::new(base).unwrap();
+    for batch in &batches {
+        let outcome = dynamic.insert_edges(batch).unwrap();
+        assert!(outcome.repaired_vertices < g.n());
+    }
+    assert_eq!(dynamic.graph().m(), g.m());
+    assert!(dynamic.coloring().is_legal(dynamic.graph()));
+}
