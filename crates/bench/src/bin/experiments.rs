@@ -25,10 +25,16 @@
 //! the sharded executor and the parallel bucket phase — the CI cross-executor gate uses it
 //! so the smoke tier genuinely exercises the parallel code on every experiment.
 //!
+//! `--chunk-size N` (or `--chunk-size=N`) overrides the work-stealing chunk size of the
+//! sharded executor (default 1024 frontier vertices per steal).  Results are bit-identical
+//! at every chunk size — the CI diff leg runs a non-default value to prove it — only the
+//! steal granularity (and thus load balance) changes.
+//!
 //! `--perf-out FILE` (or `--perf-out=FILE`) additionally writes the performance-tracking
 //! rows (the experiments in `arbcolor_bench::perf::PERF_EXPERIMENTS` — currently the
-//! E17/E18 scale and routing races plus the E19/E20 ingestion and dynamic-recoloring
-//! workloads) as one machine-readable JSON document (schema `arbcolor-perf-v1`).  The CI
+//! E17/E18 scale and routing races, the E19/E20 ingestion and dynamic-recoloring
+//! workloads, and the E21 frontier-collapse trace) as one machine-readable JSON document
+//! (schema `arbcolor-perf-v1`).  The CI
 //! `bench-smoke` job archives one per PR under the `BENCH_PR<N>.json` naming scheme and the
 //! `perf_gate` binary diffs its deterministic columns against the committed baseline of the
 //! previous PR, failing the build on regressions (wall-clock columns stay advisory).
@@ -36,7 +42,9 @@
 use arbcolor_bench::experiments::{self, SizeClass};
 use arbcolor_bench::perf::{PerfDoc, PERF_EXPERIMENTS};
 use arbcolor_bench::Row;
-use arbcolor_runtime::{set_default_executor, set_default_sequential_cutoff, ExecutorKind};
+use arbcolor_runtime::{
+    set_default_chunk_size, set_default_executor, set_default_sequential_cutoff, ExecutorKind,
+};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -46,14 +54,18 @@ fn main() {
     // Collect positionals while pulling out `--flag VALUE` options (with `=` forms).
     let mut par: Option<&str> = None;
     let mut par_cutoff: Option<&str> = None;
+    let mut chunk_size: Option<&str> = None;
     let mut perf_out: Option<&str> = None;
     let mut positional: Vec<&String> = Vec::new();
     let mut i = 0;
     while i < args.len() {
         let arg = &args[i];
-        for (flag, slot) in
-            [("--par", &mut par), ("--par-cutoff", &mut par_cutoff), ("--perf-out", &mut perf_out)]
-        {
+        for (flag, slot) in [
+            ("--par", &mut par),
+            ("--par-cutoff", &mut par_cutoff),
+            ("--chunk-size", &mut chunk_size),
+            ("--perf-out", &mut perf_out),
+        ] {
             if arg == flag {
                 let Some(value) = args.get(i + 1) else {
                     eprintln!("{flag} expects a value (e.g. --par 4, --perf-out perf.json)");
@@ -81,6 +93,9 @@ fn main() {
     if let Some(cutoff) = parse_flag("--par-cutoff", par_cutoff) {
         set_default_sequential_cutoff(cutoff);
     }
+    if let Some(chunk) = parse_flag("--chunk-size", chunk_size) {
+        set_default_chunk_size(chunk);
+    }
     if let Some(threads) = parse_flag("--par", par) {
         set_default_executor(if threads > 1 {
             ExecutorKind::sharded(threads)
@@ -98,7 +113,7 @@ fn main() {
         })
         .unwrap_or_else(|| vec!["ALL".to_string()]);
     if which.is_empty() {
-        eprintln!("empty experiment selection; known ids are E1..E20 or 'all'");
+        eprintln!("empty experiment selection; known ids are E1..E21 or 'all'");
         std::process::exit(1);
     }
     let all = which.iter().any(|id| id == "ALL");
@@ -113,7 +128,7 @@ fn main() {
     let unknown: Vec<&String> =
         which.iter().filter(|w| *w != "ALL" && !catalog.iter().any(|(id, _)| id == w)).collect();
     if !unknown.is_empty() {
-        eprintln!("unknown experiment id(s) {unknown:?}; known ids are E1..E20 or 'all'");
+        eprintln!("unknown experiment id(s) {unknown:?}; known ids are E1..E21 or 'all'");
         std::process::exit(1);
     }
     let selected: Vec<_> =

@@ -774,6 +774,92 @@ pub fn e20_dynamic_recoloring(_sz: SizeClass) -> Vec<Row> {
     rows
 }
 
+/// E21 — frontier collapse: per-round cost of the frontier-driven executor on a
+/// slot-scheduled sweep whose active set shrinks round over round.
+///
+/// A Barabási–Albert preferential-attachment graph is colored by the sequential greedy
+/// baseline; the colors become the slots of a [`ScheduledListColor`] sweep, so one color
+/// class fires (and halts) per round and the class sizes fall off steeply — the exact shape
+/// frontier-driven execution exists for.  [`Executor::run_traced`] records one row per
+/// round: the active count at round start, the frontier actually stepped, the messages, and
+/// the wall-clock.  The deterministic columns are gated by the perf pipeline; `wall_ms` is
+/// advisory and should track the collapsing frontier rather than `n` (an everyone-runs
+/// round loop pays O(n) per round regardless of how many vertices still act).
+///
+/// The sweep is replayed on the work-stealing executor and asserted **bit-identical**
+/// before any row is emitted.  At `Scale(1)` the graph has 10⁶ vertices; the smoke tier
+/// shrinks it to 4 000.
+///
+/// [`ScheduledListColor`]: arbcolor_runtime::algorithms::ScheduledListColor
+/// [`Executor::run_traced`]: arbcolor_runtime::Executor::run_traced
+pub fn e21_frontier_collapse(sz: SizeClass) -> Vec<Row> {
+    use arbcolor_baselines::greedy::sequential_greedy;
+    use arbcolor_graph::Coloring;
+    use arbcolor_runtime::algorithms::{ListColorSlot, ScheduledListColor};
+    use arbcolor_runtime::{ActivitySummary, Executor, ShardedExecutor};
+
+    let n = match sz {
+        SizeClass::Smoke => 4_000,
+        SizeClass::Scale(factor) => 1_000_000 * factor.max(1),
+    };
+    let g = generators::barabasi_albert(n, 3, 211).unwrap().with_shuffled_ids(9);
+    let schedule_coloring = sequential_greedy(&g, None);
+    let slots: Vec<ListColorSlot> = g
+        .vertices()
+        .map(|v| ListColorSlot {
+            slot: schedule_coloring.color(v) as usize,
+            // One more color than the degree, so the sweep always succeeds.
+            palette: (0..=g.degree(v) as u64).collect(),
+            forbidden: Vec::new(),
+        })
+        .collect();
+    let algorithm = ScheduledListColor::new(&slots);
+
+    let start = Instant::now();
+    let (result, trace) = Executor::new(&g).run_traced(&algorithm).expect("sweep terminates");
+    let wall_ms_total = start.elapsed().as_secs_f64() * 1e3;
+
+    // Determinism: the work-stealing executor must reproduce the sweep bit for bit.
+    let stolen = ShardedExecutor::new(&g)
+        .with_threads(4)
+        .with_sequential_cutoff(0)
+        .run(&algorithm)
+        .expect("sweep terminates");
+    assert_eq!(stolen.outputs, result.outputs, "outputs diverged between executors");
+    assert_eq!(stolen.report, result.report, "cost diverged between executors");
+
+    let colors: Vec<u64> = result.outputs.iter().map(|c| c.expect("list exceeds degree")).collect();
+    let final_coloring = Coloring::new(&g, colors).expect("one color per vertex");
+    assert!(final_coloring.is_legal(&g), "sweep must produce a legal coloring");
+
+    let mut rows = Vec::new();
+    for r in trace.rounds() {
+        rows.push(
+            Row::new("E21", format!("ba n={n} m=3 · round {}", r.round))
+                .with("round", r.round as f64)
+                .with("active", r.active_nodes as f64)
+                .with("frontier", r.frontier as f64)
+                .with("messages", r.messages as f64)
+                .with("wall_ms", r.wall_ns as f64 / 1e6),
+        );
+    }
+    let summary = ActivitySummary::from_trace(&trace);
+    rows.push(
+        Row::new("E21", format!("ba n={n} m=3 · summary"))
+            .with("n", n as f64)
+            .with("rounds", result.report.rounds as f64)
+            .with("messages", result.report.messages as f64)
+            .with("colors", final_coloring.distinct_colors() as f64)
+            .with("peak_frontier", summary.peak_frontier as f64)
+            .with("frontier_steps", summary.frontier_steps as f64)
+            .with("everyone_runs_steps", (n * result.report.rounds) as f64)
+            .with("savings_factor", summary.savings_factor())
+            .with("legal", 1.0)
+            .with("wall_ms", wall_ms_total),
+    );
+    rows
+}
+
 /// The base graph with every batch applied (identifiers preserved); `None` when there is
 /// nothing to add.
 fn rebuilt(base: &Graph, batches: &[Vec<(usize, usize)>]) -> Option<Graph> {
@@ -822,6 +908,7 @@ pub fn catalog() -> Vec<(&'static str, ExperimentFn)> {
         ("E18", e18_routing_fabric),
         ("E19", e19_real_graph_ingestion),
         ("E20", e20_dynamic_recoloring),
+        ("E21", e21_frontier_collapse),
     ]
 }
 
@@ -856,8 +943,34 @@ mod tests {
         // here we only pin their catalog identities so `experiments -- E17`/`E18` resolve.
         let ids: Vec<&str> = catalog().iter().map(|(id, _)| *id).collect();
         assert_eq!(ids.first(), Some(&"E1"));
-        assert_eq!(ids.last(), Some(&"E20"));
-        assert_eq!(ids.len(), 20);
+        assert_eq!(ids.last(), Some(&"E21"));
+        assert_eq!(ids.len(), 21);
+    }
+
+    #[test]
+    fn e21_frontier_collapses_and_rounds_get_cheaper_in_steps() {
+        let rows = e21_frontier_collapse(SizeClass::Smoke);
+        let (per_round, summary) = rows.split_at(rows.len() - 1);
+        assert!(!per_round.is_empty(), "the sweep must take at least one round");
+        // The sweep halts one color class per round, so the frontier must shrink strictly
+        // round over round, and every stepped vertex is an active one.
+        for pair in per_round.windows(2) {
+            assert!(
+                pair[1].values["frontier"] < pair[0].values["frontier"],
+                "frontier did not collapse: {:?} -> {:?}",
+                pair[0].workload,
+                pair[1].workload
+            );
+        }
+        for row in per_round {
+            assert!(row.values["frontier"] <= row.values["active"]);
+        }
+        let summary = &summary[0];
+        assert_eq!(summary.values["legal"], 1.0);
+        assert!(
+            summary.values["frontier_steps"] < summary.values["everyone_runs_steps"],
+            "frontier-driven rounds must beat the everyone-runs loop in total steps"
+        );
     }
 
     #[test]

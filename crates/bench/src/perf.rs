@@ -20,8 +20,9 @@ use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
 /// The experiments whose rows are collected into the perf document: the sharded-scale and
-/// routing races (PR 3/4) plus the ingestion and dynamic-recoloring workloads (PR 5).
-pub const PERF_EXPERIMENTS: [&str; 4] = ["E17", "E18", "E19", "E20"];
+/// routing races (PR 3/4), the ingestion and dynamic-recoloring workloads (PR 5), and the
+/// frontier-collapse activity trace (PR 6).
+pub const PERF_EXPERIMENTS: [&str; 5] = ["E17", "E18", "E19", "E20", "E21"];
 
 /// Value columns that must not worsen between PRs (the stack is deterministic, so any
 /// change is a real behavioural difference).  Lower is better for all of these —

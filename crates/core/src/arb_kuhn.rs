@@ -39,20 +39,18 @@ impl arbcolor_runtime::node::NodeProgram for ArbRecolorNode {
     type Msg = u64;
     type Output = u64;
 
-    fn init(&mut self, _ctx: &NodeCtx, outbox: &mut Outbox<u64>) -> Status {
+    fn init(&mut self, ctx: &NodeCtx, outbox: &mut Outbox<u64>) -> Status {
         if self.steps.is_empty() {
             return Status::Halted;
         }
         outbox.broadcast(self.color);
+        // `iteration` advances every round (isolated vertices included), so self-schedule
+        // while active rather than relying on incoming mail.
+        ctx.wake_next_round();
         Status::Active
     }
 
-    fn round(
-        &mut self,
-        _ctx: &NodeCtx,
-        inbox: &Inbox<'_, u64>,
-        outbox: &mut Outbox<u64>,
-    ) -> Status {
+    fn round(&mut self, ctx: &NodeCtx, inbox: &Inbox<'_, u64>, outbox: &mut Outbox<u64>) -> Status {
         let family = &self.steps[self.iteration].family;
         // Only the parents' colors matter for Arb-Recolor.
         let parent_colors: Vec<u64> =
@@ -79,6 +77,7 @@ impl arbcolor_runtime::node::NodeProgram for ArbRecolorNode {
             Status::Halted
         } else {
             outbox.broadcast(self.color);
+            ctx.wake_next_round();
             Status::Active
         }
     }

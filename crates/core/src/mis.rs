@@ -31,18 +31,21 @@ impl arbcolor_runtime::node::NodeProgram for MisSweepNode {
     type Msg = ();
     type Output = bool;
 
-    fn init(&mut self, _ctx: &NodeCtx, outbox: &mut Outbox<()>) -> Status {
+    fn init(&mut self, ctx: &NodeCtx, outbox: &mut Outbox<()>) -> Status {
         self.round = 0;
         if self.slot == 0 {
             self.in_mis = true;
             outbox.broadcast(());
             Status::Halted
         } else {
+            // Counts rounds until its slot comes up, so it must be stepped every round,
+            // mail or not: self-schedule while active.
+            ctx.wake_next_round();
             Status::Active
         }
     }
 
-    fn round(&mut self, _ctx: &NodeCtx, inbox: &Inbox<'_, ()>, outbox: &mut Outbox<()>) -> Status {
+    fn round(&mut self, ctx: &NodeCtx, inbox: &Inbox<'_, ()>, outbox: &mut Outbox<()>) -> Status {
         self.round += 1;
         if !inbox.is_empty() {
             self.blocked = true;
@@ -54,6 +57,7 @@ impl arbcolor_runtime::node::NodeProgram for MisSweepNode {
             }
             Status::Halted
         } else {
+            ctx.wake_next_round();
             Status::Active
         }
     }

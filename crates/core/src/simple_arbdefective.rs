@@ -69,6 +69,8 @@ impl arbcolor_runtime::node::NodeProgram for SimpleArbdefectiveNode {
             outbox.broadcast(c);
             Status::Halted
         } else {
+            // Purely mail-driven: progress happens only when parent mail arrives, so no
+            // wakeup is needed — delivery marks this vertex in the frontier.
             Status::Active
         }
     }

@@ -63,12 +63,15 @@ impl arbcolor_runtime::node::NodeProgram for ColeVishkinNode {
     fn init(&mut self, ctx: &NodeCtx, outbox: &mut Outbox<CvMsg>) -> Status {
         self.color = ctx.id;
         outbox.broadcast(self.color);
+        // The phase machine advances every round even when a vertex receives no mail (e.g.
+        // an isolated root), so self-schedule while active.
+        ctx.wake_next_round();
         Status::Active
     }
 
     fn round(
         &mut self,
-        _ctx: &NodeCtx,
+        ctx: &NodeCtx,
         inbox: &Inbox<'_, CvMsg>,
         outbox: &mut Outbox<CvMsg>,
     ) -> Status {
@@ -86,6 +89,7 @@ impl arbcolor_runtime::node::NodeProgram for ColeVishkinNode {
                     CvPhase::ShiftDown(5)
                 };
                 outbox.broadcast(self.color);
+                ctx.wake_next_round();
                 Status::Active
             }
             CvPhase::ShiftDown(class) => {
@@ -98,6 +102,7 @@ impl arbcolor_runtime::node::NodeProgram for ColeVishkinNode {
                 };
                 self.phase = CvPhase::Recolor(class);
                 outbox.broadcast(self.color);
+                ctx.wake_next_round();
                 Status::Active
             }
             CvPhase::Recolor(class) => {
@@ -113,6 +118,7 @@ impl arbcolor_runtime::node::NodeProgram for ColeVishkinNode {
                 if class > 3 {
                     self.phase = CvPhase::ShiftDown(class - 1);
                     outbox.broadcast(self.color);
+                    ctx.wake_next_round();
                     Status::Active
                 } else {
                     self.phase = CvPhase::Done;

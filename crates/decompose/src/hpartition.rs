@@ -44,11 +44,14 @@ impl arbcolor_runtime::node::NodeProgram for HPartitionNode {
             outbox.broadcast(());
             Status::Halted
         } else {
+            // `iteration` is the bucket number, so the count must advance every round even
+            // when no neighbor leaves: self-schedule while active.
+            ctx.wake_next_round();
             Status::Active
         }
     }
 
-    fn round(&mut self, _ctx: &NodeCtx, inbox: &Inbox<'_, ()>, outbox: &mut Outbox<()>) -> Status {
+    fn round(&mut self, ctx: &NodeCtx, inbox: &Inbox<'_, ()>, outbox: &mut Outbox<()>) -> Status {
         self.remaining_neighbors = self.remaining_neighbors.saturating_sub(inbox.len());
         self.iteration += 1;
         if self.remaining_neighbors <= self.threshold {
@@ -61,6 +64,7 @@ impl arbcolor_runtime::node::NodeProgram for HPartitionNode {
             // output rather than looping forever.
             return Status::Halted;
         }
+        ctx.wake_next_round();
         Status::Active
     }
 

@@ -114,20 +114,18 @@ impl arbcolor_runtime::node::NodeProgram for RecolorNode {
     type Msg = u64;
     type Output = u64;
 
-    fn init(&mut self, _ctx: &NodeCtx, outbox: &mut Outbox<u64>) -> Status {
+    fn init(&mut self, ctx: &NodeCtx, outbox: &mut Outbox<u64>) -> Status {
         if self.schedule.steps.is_empty() {
             return Status::Halted;
         }
         outbox.broadcast(self.color);
+        // `iteration` indexes the schedule and advances every round (isolated vertices
+        // included), so self-schedule while active rather than relying on incoming mail.
+        ctx.wake_next_round();
         Status::Active
     }
 
-    fn round(
-        &mut self,
-        _ctx: &NodeCtx,
-        inbox: &Inbox<'_, u64>,
-        outbox: &mut Outbox<u64>,
-    ) -> Status {
+    fn round(&mut self, ctx: &NodeCtx, inbox: &Inbox<'_, u64>, outbox: &mut Outbox<u64>) -> Status {
         let step = &self.schedule.steps[self.iteration];
         let family = &step.family;
         let neighbor_colors: Vec<u64> = inbox.iter().map(|(_, &c)| c).collect();
@@ -155,6 +153,7 @@ impl arbcolor_runtime::node::NodeProgram for RecolorNode {
             Status::Halted
         } else {
             outbox.broadcast(self.color);
+            ctx.wake_next_round();
             Status::Active
         }
     }

@@ -65,7 +65,7 @@ impl arbcolor_runtime::node::NodeProgram for GreedySweepNode {
     type Msg = u64;
     type Output = Option<u64>;
 
-    fn init(&mut self, _ctx: &NodeCtx, outbox: &mut Outbox<u64>) -> Status {
+    fn init(&mut self, ctx: &NodeCtx, outbox: &mut Outbox<u64>) -> Status {
         self.round = 0;
         if self.input.slot == 0 {
             if let Some(c) = self.pick() {
@@ -73,16 +73,14 @@ impl arbcolor_runtime::node::NodeProgram for GreedySweepNode {
             }
             Status::Halted
         } else {
+            // Counts rounds up to its slot, so it must be stepped every round, mail or
+            // not: self-schedule while active.
+            ctx.wake_next_round();
             Status::Active
         }
     }
 
-    fn round(
-        &mut self,
-        _ctx: &NodeCtx,
-        inbox: &Inbox<'_, u64>,
-        outbox: &mut Outbox<u64>,
-    ) -> Status {
+    fn round(&mut self, ctx: &NodeCtx, inbox: &Inbox<'_, u64>, outbox: &mut Outbox<u64>) -> Status {
         self.round += 1;
         for (_, &c) in inbox.iter() {
             self.taken.push(c);
@@ -93,6 +91,7 @@ impl arbcolor_runtime::node::NodeProgram for GreedySweepNode {
             }
             Status::Halted
         } else {
+            ctx.wake_next_round();
             Status::Active
         }
     }

@@ -93,20 +93,18 @@ impl NodeProgram for FloodMaxIdNode {
     type Msg = u64;
     type Output = u64;
 
-    fn init(&mut self, _ctx: &NodeCtx, outbox: &mut Outbox<u64>) -> Status {
+    fn init(&mut self, ctx: &NodeCtx, outbox: &mut Outbox<u64>) -> Status {
         if self.remaining == 0 {
             return Status::Halted;
         }
         outbox.broadcast(self.best);
+        // Counts rounds, so it must be stepped even when no mail arrives (e.g. isolated
+        // vertices): self-schedule while active.
+        ctx.wake_next_round();
         Status::Active
     }
 
-    fn round(
-        &mut self,
-        _ctx: &NodeCtx,
-        inbox: &Inbox<'_, u64>,
-        outbox: &mut Outbox<u64>,
-    ) -> Status {
+    fn round(&mut self, ctx: &NodeCtx, inbox: &Inbox<'_, u64>, outbox: &mut Outbox<u64>) -> Status {
         for (_, &id) in inbox.iter() {
             self.best = self.best.max(id);
         }
@@ -115,6 +113,7 @@ impl NodeProgram for FloodMaxIdNode {
             Status::Halted
         } else {
             outbox.broadcast(self.best);
+            ctx.wake_next_round();
             Status::Active
         }
     }
@@ -189,7 +188,7 @@ impl NodeProgram for ScheduledListColorNode {
     type Msg = u64;
     type Output = Option<u64>;
 
-    fn init(&mut self, _ctx: &NodeCtx, outbox: &mut Outbox<u64>) -> Status {
+    fn init(&mut self, ctx: &NodeCtx, outbox: &mut Outbox<u64>) -> Status {
         self.round = 0;
         if self.input.slot == 0 {
             if let Some(c) = self.pick() {
@@ -197,16 +196,14 @@ impl NodeProgram for ScheduledListColorNode {
             }
             Status::Halted
         } else {
+            // `round` counts rounds up to the slot, so the vertex must be stepped every
+            // round, mail or not: self-schedule while active.
+            ctx.wake_next_round();
             Status::Active
         }
     }
 
-    fn round(
-        &mut self,
-        _ctx: &NodeCtx,
-        inbox: &Inbox<'_, u64>,
-        outbox: &mut Outbox<u64>,
-    ) -> Status {
+    fn round(&mut self, ctx: &NodeCtx, inbox: &Inbox<'_, u64>, outbox: &mut Outbox<u64>) -> Status {
         self.round += 1;
         for (_, &c) in inbox.iter() {
             self.taken.push(c);
@@ -217,6 +214,7 @@ impl NodeProgram for ScheduledListColorNode {
             }
             Status::Halted
         } else {
+            ctx.wake_next_round();
             Status::Active
         }
     }
@@ -342,18 +340,21 @@ impl NodeProgram for HalvingSplitNode {
     type Msg = bool;
     type Output = SplitChoice;
 
-    fn init(&mut self, _ctx: &NodeCtx, outbox: &mut Outbox<bool>) -> Status {
+    fn init(&mut self, ctx: &NodeCtx, outbox: &mut Outbox<bool>) -> Status {
         self.round = 0;
         if self.input.slot == 0 {
             let high = self.decide();
             outbox.broadcast(high);
         }
+        // Every vertex counts all num_slots rounds (its own slot fires on the count), so it
+        // must be stepped every round, mail or not: self-schedule while active.
+        ctx.wake_next_round();
         Status::Active
     }
 
     fn round(
         &mut self,
-        _ctx: &NodeCtx,
+        ctx: &NodeCtx,
         inbox: &Inbox<'_, bool>,
         outbox: &mut Outbox<bool>,
     ) -> Status {
@@ -375,6 +376,7 @@ impl NodeProgram for HalvingSplitNode {
             self.finalize();
             Status::Halted
         } else {
+            ctx.wake_next_round();
             Status::Active
         }
     }

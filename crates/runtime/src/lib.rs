@@ -18,9 +18,14 @@
 //!   flat one-slot-per-port mailboxes, zero heap allocation per steady-state round.
 //! * [`mod@reference`] — the pre-fabric `Vec<Vec<…>>` executor with linear-scan routing, kept
 //!   as the bit-identity oracle and the baseline the `routing` benches race against.
-//! * [`shard`] — the sharded parallel simulator: a hand-rolled [`WorkPool`], the
-//!   [`ShardedExecutor`] (bit-identical results to [`Executor`] at any thread count), and
-//!   the process-wide [`ExecutorKind`] switch consulted by [`run_algorithm`].
+//! * [`frontier`] — the epoch-stamped frontier bitmap and shared halt bookkeeping behind
+//!   both executors' O(|active|) rounds: delivery marks the receiver, programs self-schedule
+//!   with [`NodeCtx::wake_next_round`], quiescent vertices cost nothing.
+//! * [`shard`] — the parallel simulator: a hand-rolled [`WorkPool`] and the
+//!   [`ShardedExecutor`], which work-steals fixed-size frontier chunks off a shared atomic
+//!   cursor yet commits results in chunk order, so outputs, rounds, and message counts are
+//!   bit-identical to [`Executor`] at any thread count and chunk size; plus the
+//!   process-wide [`ExecutorKind`] switch consulted by [`run_algorithm`].
 //! * [`composition`] — cost accounting for multi-phase algorithms (sequential phases add,
 //!   parallel executions on disjoint subgraphs take the maximum), mirroring how the paper
 //!   accounts for the recursion of Procedure Legal-Coloring, where disjoint subgraphs proceed
@@ -47,6 +52,7 @@
 
 pub mod algorithms;
 pub mod composition;
+pub mod frontier;
 pub mod metrics;
 pub mod network;
 pub mod node;
@@ -55,11 +61,14 @@ pub mod shard;
 pub mod trace;
 
 pub use composition::{parallel_max, CostLedger, PhaseCost};
-pub use metrics::RoundReport;
-pub use network::{ExecutionResult, Executor, RuntimeError};
+pub use frontier::{ActiveSet, Frontier};
+pub use metrics::{ActivitySummary, RoundReport};
+pub use network::{ExecutionResult, Executor, RuntimeError, TracedRun};
 pub use node::{Algorithm, Inbox, NeighborIds, NodeCtx, NodeProgram, Outbox, Status};
 pub use reference::ReferenceExecutor;
 pub use shard::{
-    default_executor, default_sequential_cutoff, run_algorithm, set_default_executor,
-    set_default_sequential_cutoff, ExecutorKind, PoolScope, ShardedExecutor, WorkPool,
+    default_chunk_size, default_executor, default_sequential_cutoff, run_algorithm,
+    set_default_chunk_size, set_default_executor, set_default_sequential_cutoff, ExecutorKind,
+    PoolScope, ShardedExecutor, WorkPool,
 };
+pub use trace::{RoundTrace, TraceRecorder};

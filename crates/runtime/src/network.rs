@@ -19,10 +19,24 @@
 //!    port order equals the sender-index order the old `Vec<Vec<(port, msg)>>` mailboxes
 //!    produced; outputs, rounds, and message counts are bit-identical to the
 //!    [`reference`](crate::reference) executor (enforced by `tests/message_fabric.rs`).
+//!
+//! # Frontier-driven rounds
+//!
+//! On top of the fabric, the executor only steps the **frontier** (see
+//! [`frontier`](crate::frontier)): delivering a message marks the receiver's frontier bit,
+//! and [`NodeCtx::wake_next_round`] marks the caller, so a round walks the sorted frontier
+//! instead of all of `0..n` — O(|frontier| + messages) per round.  Halted vertices can still
+//! be marked by late mail; they are skipped at iteration time (their mailbox window is
+//! consumed and dropped, matching the previous semantics of messages to halted nodes).  The
+//! loop condition, round accounting, and termination check are unchanged, so rounds and
+//! message counts are bit-identical to the everyone-runs executor for any program honoring
+//! the activation contract of [`NodeProgram`].
 
+use crate::frontier::{ActiveSet, Frontier};
 use crate::metrics::RoundReport;
 use crate::node::{Algorithm, Inbox, NeighborIds, NodeCtx, NodeProgram, Outbox, Status};
-use arbcolor_graph::Graph;
+use crate::trace::{RoundTrace, TraceRecorder};
+use arbcolor_graph::{Graph, Vertex};
 use std::error::Error;
 use std::fmt;
 use std::sync::Arc;
@@ -62,6 +76,10 @@ pub struct ExecutionResult<O> {
     pub report: RoundReport,
 }
 
+/// An execution result paired with the per-round activity trace that produced it — what
+/// [`Executor::run_traced`] returns on success.
+pub type TracedRun<O> = (ExecutionResult<O>, TraceRecorder);
+
 /// Runs [`Algorithm`]s on a [`Graph`] until every node halts.
 #[derive(Debug, Clone)]
 pub struct Executor<'g> {
@@ -100,6 +118,31 @@ impl<'g> Executor<'g> {
         &self,
         algorithm: &A,
     ) -> Result<ExecutionResult<<A::Node as NodeProgram>::Output>, RuntimeError> {
+        self.run_inner(algorithm, None)
+    }
+
+    /// Runs `algorithm` like [`run`](Self::run), additionally recording one
+    /// [`RoundTrace`] per round (frontier size, messages, halts, wall-clock) — the
+    /// instrumentation behind the per-round activity plots of experiment E21.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::RoundLimitExceeded`] if the algorithm does not terminate within
+    /// the configured round limit.
+    pub fn run_traced<A: Algorithm>(
+        &self,
+        algorithm: &A,
+    ) -> Result<TracedRun<<A::Node as NodeProgram>::Output>, RuntimeError> {
+        let mut recorder = TraceRecorder::new();
+        let result = self.run_inner(algorithm, Some(&mut recorder))?;
+        Ok((result, recorder))
+    }
+
+    fn run_inner<A: Algorithm>(
+        &self,
+        algorithm: &A,
+        mut trace: Option<&mut TraceRecorder>,
+    ) -> Result<ExecutionResult<<A::Node as NodeProgram>::Output>, RuntimeError> {
         let graph = self.graph;
         let n = graph.n();
         let id_space = id_space_of(graph);
@@ -107,8 +150,9 @@ impl<'g> Executor<'g> {
         let contexts: Vec<NodeCtx> =
             graph.vertices().map(|v| node_ctx(graph, v, id_space, &id_table)).collect();
         let mut nodes: Vec<A::Node> = contexts.iter().map(|ctx| algorithm.node(ctx)).collect();
-        let mut active = vec![true; n];
-        let mut active_count = n;
+        let mut active = ActiveSet::new(n);
+        let mut frontier = Frontier::new(n);
+        let mut schedule: Vec<Vertex> = Vec::new();
         let mut report = RoundReport::zero();
 
         // The double-buffered flat mailboxes (one slot per arc) and the single outbox
@@ -120,53 +164,81 @@ impl<'g> Executor<'g> {
             ArcMailboxes::new(graph.arc_span(0..n));
         let mut outbox = Outbox::new(0);
 
-        // Initialization: local computation plus the sends of the first round.
+        // Initialization: local computation plus the sends of the first round.  `init` runs
+        // for every vertex; from here on only the frontier is stepped.
         let mut any_outgoing = false;
         for v in 0..n {
             outbox.reset(contexts[v].degree);
             let status = nodes[v].init(&contexts[v], &mut outbox);
+            let woke = contexts[v].take_wake();
             if status == Status::Halted {
-                active[v] = false;
-                active_count -= 1;
+                active.halt(v);
+            } else if woke {
+                frontier.mark(v);
             }
             any_outgoing |= !outbox.is_empty();
-            deliver(graph, v, &mut outbox, &mut pending, &mut report);
+            deliver(graph, v, &mut outbox, &mut pending, &mut report, &mut frontier);
         }
 
         // Main loop: one iteration = one synchronous round.
-        while active_count > 0 || any_outgoing {
+        while active.count() > 0 || any_outgoing {
             if report.rounds >= self.max_rounds {
                 return Err(RuntimeError::RoundLimitExceeded {
                     limit: self.max_rounds,
-                    still_active: active_count,
+                    still_active: active.count(),
                 });
             }
             report.rounds += 1;
             std::mem::swap(&mut pending, &mut inboxes);
             pending.clear();
             inboxes.seal();
+            frontier.take(&mut schedule);
+
+            let round_started = trace.as_ref().map(|_| std::time::Instant::now());
+            let active_at_start = active.count();
+            let messages_before = report.messages;
+            let mut halted_this_round: Vec<usize> = Vec::new();
+            let mut stepped = 0usize;
 
             any_outgoing = false;
             let mut cursor = MailboxCursor::default();
-            for v in 0..n {
+            for &v in &schedule {
                 let arcs = graph.arc_range(v);
                 let window = cursor.advance(&inboxes, arcs.end);
-                if !active[v] {
+                if !active.is_active(v) {
+                    // Mail to a halted vertex: consume the window, drop the messages (they
+                    // were counted at send time), exactly as before the frontier.
                     continue;
                 }
+                stepped += 1;
                 let inbox = inboxes.read(window, arcs);
                 outbox.reset(contexts[v].degree);
                 let status = nodes[v].round(&contexts[v], &inbox, &mut outbox);
+                let woke = contexts[v].take_wake();
                 if status == Status::Halted {
-                    active[v] = false;
-                    active_count -= 1;
+                    active.halt(v);
+                    if trace.is_some() {
+                        halted_this_round.push(v);
+                    }
+                } else if woke {
+                    frontier.mark(v);
                 }
                 any_outgoing |= !outbox.is_empty();
-                deliver(graph, v, &mut outbox, &mut pending, &mut report);
+                deliver(graph, v, &mut outbox, &mut pending, &mut report, &mut frontier);
             }
-            // Messages addressed to halted nodes are dropped at delivery time by the receiving
-            // node simply never reading them; they still count as sent messages.
-            if active_count == 0 {
+            if let Some(recorder) = trace.as_deref_mut() {
+                recorder.record(RoundTrace {
+                    round: report.rounds,
+                    active_nodes: active_at_start,
+                    frontier: stepped,
+                    messages: report.messages - messages_before,
+                    halted: halted_this_round,
+                    wall_ns: round_started
+                        .map(|t| t.elapsed().as_nanos().min(u64::MAX as u128) as u64)
+                        .unwrap_or(0),
+                });
+            }
+            if active.count() == 0 {
                 break;
             }
         }
@@ -192,14 +264,21 @@ pub(crate) fn neighbor_id_table(graph: &Graph) -> Arc<[u64]> {
 /// Builds the [`NodeCtx`] of vertex `v` (shared by the sequential and sharded executors so
 /// node programs observe byte-identical contexts under either).
 pub(crate) fn node_ctx(graph: &Graph, v: usize, id_space: u64, id_table: &Arc<[u64]>) -> NodeCtx {
-    NodeCtx {
-        vertex: v,
-        id: graph.id(v),
-        n: graph.n(),
+    NodeCtx::new(
+        v,
+        graph.id(v),
+        graph.n(),
         id_space,
-        degree: graph.degree(v),
-        neighbor_ids: NeighborIds::from_table(Arc::clone(id_table), graph.arc_range(v)),
-    }
+        graph.degree(v),
+        NeighborIds::from_table(Arc::clone(id_table), graph.arc_range(v)),
+    )
+}
+
+/// The vertex owning arc `a` (the *receiver* of a message pushed to slot `a`): arcs come in
+/// mirror pairs, so the owner of `a` is the target of its mirror.
+#[inline]
+pub(crate) fn arc_owner(graph: &Graph, arc: usize) -> Vertex {
+    graph.arc_target(graph.mirror_arcs()[arc])
 }
 
 /// The flat arc-indexed mailbox buffer of one executor side (pending or inbox).
@@ -263,7 +342,8 @@ impl<M> ArcMailboxes<M> {
         self.spill.clear();
     }
 
-    /// The inbox of the vertex owning `arcs`, given its `window` from a [`MailboxCursor`].
+    /// The inbox of the vertex owning `arcs`, given its `window` from a [`MailboxCursor`] or
+    /// [`ArcMailboxes::window_of`].
     pub(crate) fn read(&self, window: MailboxWindow, arcs: std::ops::Range<usize>) -> Inbox<'_, M> {
         Inbox::from_slots(
             &self.slots[arcs.start - self.base..arcs.end - self.base],
@@ -272,9 +352,21 @@ impl<M> ArcMailboxes<M> {
             arcs.start,
         )
     }
+
+    /// The [`MailboxWindow`] of the vertex owning `arcs` in a **sealed** buffer, by binary
+    /// search — O(log messages), position-independent, so the work-stealing executor can
+    /// resolve windows for arbitrary frontier chunks without a sequential cursor walk.
+    pub(crate) fn window_of(&self, arcs: std::ops::Range<usize>) -> MailboxWindow {
+        let filled_start = self.filled.partition_point(|&a| a < arcs.start);
+        let filled_end = self.filled.partition_point(|&a| a < arcs.end);
+        let spill_start = self.spill.partition_point(|&(a, _)| a < arcs.start);
+        let spill_end = self.spill.partition_point(|&(a, _)| a < arcs.end);
+        MailboxWindow { filled: filled_start..filled_end, spill: spill_start..spill_end }
+    }
 }
 
 /// Sub-ranges of a sealed [`ArcMailboxes`]'s fill and spill lists belonging to one vertex.
+#[derive(Debug, Clone)]
 pub(crate) struct MailboxWindow {
     filled: std::ops::Range<usize>,
     spill: std::ops::Range<usize>,
@@ -306,6 +398,7 @@ impl MailboxCursor {
 
 /// Routes the outbox of `sender` into the pending flat mailboxes: one mirror-table read per
 /// message, no `port_of` scan, no allocation (the outbox is drained in place and reused).
+/// Every delivery marks the receiver in `frontier` so it is stepped in the next round.
 #[inline]
 pub(crate) fn deliver<M>(
     graph: &Graph,
@@ -313,13 +406,16 @@ pub(crate) fn deliver<M>(
     outbox: &mut Outbox<M>,
     pending: &mut ArcMailboxes<M>,
     report: &mut RoundReport,
+    frontier: &mut Frontier,
 ) where
     M: Clone,
 {
     let first_arc = graph.arc_range(sender).start;
     let mirror = graph.mirror_arcs();
     for (port, message) in outbox.drain() {
-        pending.push(mirror[first_arc + port], message);
+        let arc = first_arc + port;
+        pending.push(mirror[arc], message);
+        frontier.mark(graph.arc_target(arc));
         report.messages += 1;
     }
 }

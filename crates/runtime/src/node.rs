@@ -2,6 +2,7 @@
 
 use arbcolor_graph::Vertex;
 use std::ops::Deref;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 /// The neighbor identifiers of one vertex, as a view into a graph-wide CSR-shaped table.
@@ -69,7 +70,7 @@ impl Eq for NeighborIds {}
 /// identifier space).  We additionally expose the identifiers of the neighbors (the `KT1`
 /// assumption); algorithms that want to work under `KT0` can simply ignore
 /// [`NodeCtx::neighbor_ids`] and learn them with one round of communication.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct NodeCtx {
     /// Simulator-internal vertex index (stable across phases of a multi-phase algorithm, but
     /// *not* to be used as an identifier by node programs — use [`NodeCtx::id`]).
@@ -85,12 +86,61 @@ pub struct NodeCtx {
     /// Identifiers of the neighbors, indexed by port (position in the adjacency list).
     /// Backed by one table shared across all contexts of an execution.
     pub neighbor_ids: NeighborIds,
+    /// Set by [`NodeCtx::wake_next_round`], drained by the executors after every `init`/
+    /// `round` call.  Atomic (not `Cell`) so contexts can be shared across the worker
+    /// threads of the work-stealing executor.
+    wake: AtomicBool,
 }
 
 impl NodeCtx {
+    /// Assembles a context from its public fields (the executors and hand-rolled test
+    /// contexts go through this).
+    pub fn new(
+        vertex: Vertex,
+        id: u64,
+        n: usize,
+        id_space: u64,
+        degree: usize,
+        neighbor_ids: NeighborIds,
+    ) -> Self {
+        NodeCtx { vertex, id, n, id_space, degree, neighbor_ids, wake: AtomicBool::new(false) }
+    }
+
     /// The port of the neighbor with identifier `id`, if any.
     pub fn port_of_neighbor_id(&self, id: u64) -> Option<usize> {
         self.neighbor_ids.iter().position(|&x| x == id)
+    }
+
+    /// Schedules this vertex to act in the next round even if no message arrives.
+    ///
+    /// The executors only invoke [`NodeProgram::round`] for vertices with pending mail or a
+    /// wakeup (see the trait docs for the activation contract).  Programs that progress on
+    /// an internal counter or phase machine — anything that must act on an empty inbox —
+    /// call this from every `init`/`round` invocation after which they still want to run.
+    /// The flag is consumed by the executor after each invocation, so a wakeup covers
+    /// exactly one round.  Calling it from a `round` that returns [`Status::Halted`] has no
+    /// effect.
+    pub fn wake_next_round(&self) {
+        self.wake.store(true, Ordering::Relaxed);
+    }
+
+    /// Consumes the wakeup flag set during the preceding `init`/`round` call.
+    pub(crate) fn take_wake(&self) -> bool {
+        self.wake.swap(false, Ordering::Relaxed)
+    }
+}
+
+impl Clone for NodeCtx {
+    fn clone(&self) -> Self {
+        NodeCtx {
+            vertex: self.vertex,
+            id: self.id,
+            n: self.n,
+            id_space: self.id_space,
+            degree: self.degree,
+            neighbor_ids: self.neighbor_ids.clone(),
+            wake: AtomicBool::new(self.wake.load(Ordering::Relaxed)),
+        }
     }
 }
 
@@ -141,6 +191,11 @@ enum InboxRepr<'a, M> {
 
 impl<'a, M> Inbox<'a, M> {
     /// Wraps a slice of `(port, message)` pairs.
+    ///
+    /// This representation is deliberately kept alive alongside the flat-slot one: the
+    /// [`ReferenceExecutor`](crate::ReferenceExecutor) oracle must share no fabric code with
+    /// the executors it checks, so it builds its inboxes from plain per-vertex pair vectors
+    /// through this constructor (as do hand-rolled node-program tests).
     pub fn new(messages: &'a [(usize, M)]) -> Self {
         Inbox { repr: InboxRepr::Pairs(messages) }
     }
@@ -294,11 +349,33 @@ impl<M: Clone> Outbox<M> {
 
 /// The per-vertex state machine of a distributed algorithm.
 ///
-/// The executor drives it as follows: `init` runs before the first communication round and
-/// may queue messages; then, for every round, the messages queued in the previous step are
-/// delivered and `round` is invoked.  When a node returns [`Status::Halted`], the messages it
-/// queued in that invocation are still delivered, but it takes no further part in the
-/// execution.  `output` is read once the whole network has halted.
+/// The executor drives it as follows: `init` runs before the first communication round (for
+/// **every** vertex) and may queue messages; then, in every round, the messages queued in the
+/// previous step are delivered and `round` is invoked.  When a node returns
+/// [`Status::Halted`], the messages it queued in that invocation are still delivered, but it
+/// takes no further part in the execution.  `output` is read once the whole network has
+/// halted.
+///
+/// # Activation contract
+///
+/// A round only invokes `round` on the **frontier**: vertices that either received at least
+/// one message in that round or called [`NodeCtx::wake_next_round`] during their previous
+/// `init`/`round` invocation.  Quiescent vertices are free — a round costs
+/// O(|frontier| + messages), not O(n).  This puts one obligation on node programs:
+///
+/// * A program that must act without incoming mail (an internal round counter, a slot
+///   schedule, a phase machine) calls `ctx.wake_next_round()` in every invocation after
+///   which it still wants to run.  The flag covers exactly one round, so "wake while
+///   [`Status::Active`]" is the usual idiom.
+/// * A purely message-driven program (acts only when mail arrives, empty-inbox rounds would
+///   be no-ops) needs no change — it is simply not invoked until mail shows up, which is
+///   where the O(|frontier|) rounds come from.
+///
+/// An active vertex that is skipped in a round observes nothing: skipping a no-op invocation
+/// is indistinguishable from running it.  The [`ReferenceExecutor`](crate::ReferenceExecutor)
+/// oracle still invokes every active vertex every round and ignores wakeups, so the
+/// bit-identity suites double as a check that converted programs treat a skipped no-op round
+/// and an executed one identically.
 pub trait NodeProgram {
     /// Message type exchanged by this algorithm.
     type Msg: Clone;
@@ -418,15 +495,20 @@ mod tests {
 
     #[test]
     fn ctx_port_lookup() {
-        let ctx = NodeCtx {
-            vertex: 0,
-            id: 3,
-            n: 4,
-            id_space: 4,
-            degree: 2,
-            neighbor_ids: NeighborIds::from_vec(vec![9, 4]),
-        };
+        let ctx = NodeCtx::new(0, 3, 4, 4, 2, NeighborIds::from_vec(vec![9, 4]));
         assert_eq!(ctx.port_of_neighbor_id(4), Some(1));
         assert_eq!(ctx.port_of_neighbor_id(8), None);
+    }
+
+    #[test]
+    fn wakeup_flag_is_consumed_once_and_survives_clone() {
+        let ctx = NodeCtx::new(0, 1, 1, 1, 0, NeighborIds::from_vec(vec![]));
+        assert!(!ctx.take_wake());
+        ctx.wake_next_round();
+        ctx.wake_next_round(); // idempotent
+        let copy = ctx.clone();
+        assert!(ctx.take_wake());
+        assert!(!ctx.take_wake(), "the flag covers exactly one drain");
+        assert!(copy.take_wake(), "a clone carries the pending wakeup");
     }
 }

@@ -1,4 +1,4 @@
-//! Sharded parallel execution of LOCAL algorithms.
+//! Parallel execution of LOCAL algorithms by deterministic work-stealing.
 //!
 //! The LOCAL model charges one round of cost for all vertices acting *in parallel*, but the
 //! sequential [`Executor`] simulates every node program on one thread, so
@@ -10,14 +10,12 @@
 //!   cheap to construct; [`WorkPool::scope`] spawns the workers, runs a closure that may
 //!   submit any number of fork/join batches through [`PoolScope::map`], and joins all
 //!   workers before returning.
-//! * [`ShardedExecutor`] — partitions the vertex set into contiguous shards, keeps one flat
-//!   arc-indexed mailbox buffer per shard (the message fabric of
-//!   [`network`](crate::network): one slot per port, cleared in O(messages) and refilled
-//!   from the merged batches), runs `init`/`round` for each shard's nodes on the pool, and
-//!   exchanges cross-shard message batches at a deterministic per-round barrier.  Routing a
-//!   message is pure index arithmetic: one mirror-arc read picks the receiver's slot, one
-//!   O(1) shard-of division picks the destination batch, and drained batch
-//!   vectors are recycled so steady-state rounds allocate nothing.
+//! * [`ShardedExecutor`] — steps each round's frontier (see [`frontier`](crate::frontier))
+//!   in fixed-size chunks that worker threads **steal** off a shared atomic cursor.  The
+//!   frontier replaces the fixed contiguous vertex shards of earlier revisions: work
+//!   follows the vertices that actually act, so a round costs O(|frontier| + messages)
+//!   regardless of `n`, and a collapsing frontier no longer leaves most workers idling over
+//!   finalized vertices.
 //! * [`ExecutorKind`] — a value describing which executor to use, plus a process-wide
 //!   default ([`set_default_executor`]/[`default_executor`]) consulted by
 //!   [`run_algorithm`], the entry point the algorithm drivers across the workspace go
@@ -25,23 +23,25 @@
 //!
 //! # Determinism guarantee
 //!
-//! For every graph, algorithm, shard count, and thread count, [`ShardedExecutor::run`]
+//! For every graph, algorithm, chunk size, and thread count, [`ShardedExecutor::run`]
 //! produces **bit-identical** outputs, round counts, and message counts to the sequential
 //! [`Executor`].  The argument:
 //!
-//! 1. Shards are contiguous vertex ranges in increasing vertex order, so concatenating the
-//!    per-source-shard message batches in shard order reproduces the global
-//!    sender-index order in every receiver's mailbox — exactly the order the sequential
-//!    executor's delivery loop produces.
-//! 2. Within a shard, nodes step in increasing vertex order and append to per-destination
-//!    batches, so each batch is internally sender-ordered.
-//! 3. The per-round barrier makes the exchange synchronous: no message produced in round
-//!    `r` can be observed before round `r + 1`, regardless of which worker thread ran
-//!    which shard, and the coordinator merges batches in a fixed order.
+//! 1. The round's work list is the sorted frontier — a deterministic vertex sequence fixed
+//!    *before* any worker runs — split into fixed-size chunks.  The atomic claim cursor
+//!    only decides **which worker** steps which chunk, never the chunk contents.
+//! 2. Workers buffer everything they produce (outgoing `(arc, message)` pairs in
+//!    vertex-then-port order, halts, wakeups) into per-chunk results; nothing is applied
+//!    concurrently.  The coordinator then commits the chunks **in chunk order**, so the
+//!    pending mailboxes receive messages in ascending sender order — exactly the order the
+//!    sequential delivery loop produces, spill arrival included.
+//! 3. The per-round barrier (the fork/join of [`PoolScope::map`]) makes the exchange
+//!    synchronous: no message produced in round `r` is observable before round `r + 1`.
 //!
-//! Worker assignment therefore only decides *who* computes each shard, never *what* is
-//! computed, so any thread count (including 1) yields the same execution.  The cross-crate
-//! suite `tests/sharded_executor.rs` and the CI cross-executor diff enforce this.
+//! Scheduling therefore decides *who* computes, never *what* is computed: any thread count
+//! (including 1) and any chunk size yield the same execution.  The cross-crate suite
+//! `tests/sharded_executor.rs` and the CI cross-executor diff enforce this at thread counts
+//! {1, 2, 4} × chunk sizes {1, 64, 4096}.
 //!
 //! # Example
 //!
@@ -53,28 +53,28 @@
 //! let g = generators::cycle(64)?;
 //! let algorithm = FloodMaxId { rounds: 8 };
 //! let sequential = Executor::new(&g).run(&algorithm)?;
-//! let sharded = ShardedExecutor::new(&g)
+//! let stolen = ShardedExecutor::new(&g)
 //!     .with_threads(2)
-//!     .with_shards(3)
+//!     .with_chunk_size(16)
 //!     .with_sequential_cutoff(0)
 //!     .run(&algorithm)?;
-//! assert_eq!(sequential.outputs, sharded.outputs);
-//! assert_eq!(sequential.report, sharded.report);
+//! assert_eq!(sequential.outputs, stolen.outputs);
+//! assert_eq!(sequential.report, stolen.report);
 //! # Ok(())
 //! # }
 //! ```
 
+use crate::frontier::{ActiveSet, Frontier};
 use crate::metrics::RoundReport;
 use crate::network::{
-    id_space_of, neighbor_id_table, node_ctx, ArcMailboxes, ExecutionResult, Executor,
-    MailboxCursor, RuntimeError,
+    arc_owner, id_space_of, neighbor_id_table, node_ctx, ArcMailboxes, ExecutionResult, Executor,
+    RuntimeError,
 };
-use crate::node::{Algorithm, NodeProgram, Outbox, Status};
+use crate::node::{Algorithm, NodeCtx, NodeProgram, Outbox, Status};
 use crate::reference::ReferenceExecutor;
 use arbcolor_graph::{ArcIdx, Graph, Vertex};
-use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{mpsc, Arc, Mutex};
+use std::sync::{mpsc, Arc, Mutex, RwLock};
 
 // ---------------------------------------------------------------------------
 // Work pool
@@ -206,12 +206,13 @@ impl<'env> PoolScope<'env> {
 pub enum ExecutorKind {
     /// The single-threaded [`Executor`] on the flat message fabric.
     Sequential,
-    /// The [`ShardedExecutor`] with explicit thread and shard counts.
+    /// The work-stealing [`ShardedExecutor`] with explicit thread count and chunk size.
     Sharded {
         /// Worker threads of the pool.
         threads: usize,
-        /// Number of contiguous vertex shards.
-        shards: usize,
+        /// Vertices per stolen frontier chunk; 0 means "use the process-wide default"
+        /// (see [`set_default_chunk_size`]).
+        chunk_size: usize,
     },
     /// The pre-fabric `Vec<Vec<…>>` [`ReferenceExecutor`] with linear-scan routing.  A test
     /// and bench oracle (the equivalence suites and experiment E18 race it against the flat
@@ -220,10 +221,10 @@ pub enum ExecutorKind {
 }
 
 impl ExecutorKind {
-    /// A sharded configuration with one shard per thread.
+    /// A work-stealing configuration with the given thread count and the process-wide
+    /// default chunk size.
     pub fn sharded(threads: usize) -> Self {
-        let threads = threads.max(1);
-        ExecutorKind::Sharded { threads, shards: threads }
+        ExecutorKind::Sharded { threads: threads.max(1), chunk_size: 0 }
     }
 
     /// The worker-thread budget of this configuration (1 for [`ExecutorKind::Sequential`]).
@@ -239,7 +240,7 @@ impl ExecutorKind {
 
     /// Runs `algorithm` on `graph` under this executor configuration.
     ///
-    /// Both configurations produce bit-identical results; only wall-clock time differs.
+    /// All configurations produce bit-identical results; only wall-clock time differs.
     ///
     /// # Errors
     ///
@@ -253,13 +254,17 @@ impl ExecutorKind {
     where
         A: Algorithm + Sync,
         A::Node: Send,
-        <A::Node as NodeProgram>::Msg: Send,
+        <A::Node as NodeProgram>::Msg: Send + Sync,
         <A::Node as NodeProgram>::Output: Send,
     {
         match *self {
             ExecutorKind::Sequential => Executor::new(graph).run(algorithm),
-            ExecutorKind::Sharded { threads, shards } => {
-                ShardedExecutor::new(graph).with_threads(threads).with_shards(shards).run(algorithm)
+            ExecutorKind::Sharded { threads, chunk_size } => {
+                let mut executor = ShardedExecutor::new(graph).with_threads(threads);
+                if chunk_size > 0 {
+                    executor = executor.with_chunk_size(chunk_size);
+                }
+                executor.run(algorithm)
             }
             ExecutorKind::Reference => ReferenceExecutor::new(graph).run(algorithm),
         }
@@ -271,7 +276,7 @@ static DEFAULT_EXECUTOR: Mutex<ExecutorKind> = Mutex::new(ExecutorKind::Sequenti
 
 /// Sets the process-wide default executor used by [`run_algorithm`].
 ///
-/// Both kinds produce bit-identical results, so flipping the default mid-run changes
+/// All kinds produce bit-identical results, so flipping the default mid-run changes
 /// wall-clock behaviour only; binaries typically set it once from a CLI flag.
 pub fn set_default_executor(kind: ExecutorKind) {
     *DEFAULT_EXECUTOR.lock().expect("executor-kind lock") = kind;
@@ -302,11 +307,30 @@ pub fn default_sequential_cutoff() -> usize {
     SEQUENTIAL_CUTOFF.load(Ordering::Relaxed)
 }
 
+/// The process-wide default for the work-stealing chunk size (see
+/// [`ShardedExecutor::with_chunk_size`]).
+static CHUNK_SIZE: AtomicUsize = AtomicUsize::new(ShardedExecutor::DEFAULT_CHUNK_SIZE);
+
+/// Sets the process-wide default chunk size picked up by new [`ShardedExecutor`]s (clamped
+/// to at least 1).
+///
+/// Results are identical at any chunk size — the chunking only decides steal granularity.
+/// Binaries expose it as `--chunk-size` so CI can diff a non-default granularity against
+/// the sequential rows.
+pub fn set_default_chunk_size(chunk_size: usize) {
+    CHUNK_SIZE.store(chunk_size.max(1), Ordering::Relaxed);
+}
+
+/// The current process-wide default work-stealing chunk size.
+pub fn default_chunk_size() -> usize {
+    CHUNK_SIZE.load(Ordering::Relaxed)
+}
+
 /// Runs `algorithm` on `graph` under the process-wide default executor configuration.
 ///
 /// This is the entry point the algorithm drivers across the workspace use, so a single
 /// [`set_default_executor`] call switches the whole stack between the sequential and the
-/// sharded simulator.
+/// work-stealing simulator.
 ///
 /// # Errors
 ///
@@ -319,100 +343,36 @@ pub fn run_algorithm<A>(
 where
     A: Algorithm + Sync,
     A::Node: Send,
-    <A::Node as NodeProgram>::Msg: Send,
+    <A::Node as NodeProgram>::Msg: Send + Sync,
     <A::Node as NodeProgram>::Output: Send,
 {
     default_executor().run(graph, algorithm)
 }
 
 // ---------------------------------------------------------------------------
-// Shard layout
+// Work-stealing executor
 // ---------------------------------------------------------------------------
 
-/// Balanced partition of `0..n` into contiguous shards: the first `n % shards` shards hold
-/// `⌈n/shards⌉` vertices, the rest `⌊n/shards⌋`.
-#[derive(Debug, Clone)]
-struct ShardLayout {
-    shards: usize,
-    /// Vertices per small shard (`⌊n/shards⌋`).
-    base: usize,
-    /// Number of shards holding one extra vertex (`n % shards`).
-    big: usize,
+/// Everything one stolen chunk produced, buffered for an in-order commit: outgoing
+/// `(receiver arc, message)` pairs in vertex-then-port order (the arc index *is* the
+/// routing information — it pins both the receiving vertex and its port), plus the
+/// vertices that halted or scheduled a wakeup.
+struct ChunkOut<M> {
+    outgoing: Vec<(ArcIdx, M)>,
+    halts: Vec<Vertex>,
+    wakeups: Vec<Vertex>,
 }
 
-impl ShardLayout {
-    fn new(n: usize, shards: usize) -> Self {
-        let shards = shards.max(1);
-        ShardLayout { shards, base: n / shards, big: n % shards }
-    }
-
-    fn shards(&self) -> usize {
-        self.shards
-    }
-
-    /// The shard owning vertex `v`, in O(1).
-    fn shard_of(&self, v: Vertex) -> usize {
-        let split = self.big * (self.base + 1);
-        if v < split {
-            v / (self.base + 1)
-        } else {
-            self.big + (v - split) / self.base
-        }
-    }
-
-    /// The contiguous vertex range of shard `s`.
-    fn range(&self, s: usize) -> Range<usize> {
-        let start = if s < self.big {
-            s * (self.base + 1)
-        } else {
-            self.big * (self.base + 1) + (s - self.big) * self.base
-        };
-        let len = if s < self.big { self.base + 1 } else { self.base };
-        start..start + len
-    }
-
-    fn ranges(&self) -> Vec<Range<usize>> {
-        (0..self.shards).map(|s| self.range(s)).collect()
+impl<M> ChunkOut<M> {
+    fn new() -> Self {
+        ChunkOut { outgoing: Vec::new(), halts: Vec::new(), wakeups: Vec::new() }
     }
 }
 
-// ---------------------------------------------------------------------------
-// Sharded executor
-// ---------------------------------------------------------------------------
-
-/// A message batch from one source shard to one destination shard:
-/// `(receiver arc, message)` pairs in sender order.  The arc index *is* the routing
-/// information — it pins both the receiving vertex and its port.
-type Batch<M> = Vec<(ArcIdx, M)>;
-
-/// Everything one shard owns between rounds.
-struct ShardState<N: NodeProgram> {
-    /// First global vertex of the shard (vertices are `start..start + nodes.len()`).
-    start: usize,
-    contexts: Vec<crate::node::NodeCtx>,
-    nodes: Vec<N>,
-    active: Vec<bool>,
-    active_count: usize,
-    /// Flat arc-indexed mailboxes covering this shard's arc span; refilled from the merged
-    /// incoming batches at every barrier (cleared in O(messages), capacity retained).
-    mail: ArcMailboxes<N::Msg>,
-    /// The one outbox every node of the shard reuses.
-    outbox: Outbox<N::Msg>,
-    /// Drained batch vectors recycled into the next round's outgoing batches.
-    batch_pool: Vec<Batch<N::Msg>>,
-}
-
-/// What one shard reports back to the barrier after stepping its nodes.
-struct StepOutput<M> {
-    /// Outgoing batches indexed by destination shard.
-    outgoing: Vec<Batch<M>>,
-    /// Messages sent by this shard in this step.
-    messages: usize,
-}
-
-/// Runs [`Algorithm`]s on a [`Graph`] by partitioning the vertices into contiguous shards
-/// and stepping the shards on a [`WorkPool`], producing bit-identical results to the
-/// sequential [`Executor`] (see the [module docs](self) for the argument).
+/// Runs [`Algorithm`]s on a [`Graph`] by splitting each round's frontier into fixed-size
+/// chunks that pool workers claim from a shared atomic cursor, committing results in chunk
+/// order — bit-identical to the sequential [`Executor`] at any thread count and chunk size
+/// (see the [module docs](self) for the argument).
 ///
 /// Graphs at or below the [sequential cutoff](Self::with_sequential_cutoff) are delegated
 /// to the sequential executor: the results are identical either way, and the many small
@@ -422,25 +382,29 @@ pub struct ShardedExecutor<'g> {
     graph: &'g Graph,
     max_rounds: usize,
     threads: usize,
-    shards: Option<usize>,
+    chunk_size: usize,
     sequential_cutoff: usize,
 }
 
 impl<'g> ShardedExecutor<'g> {
     /// Below this many vertices the sequential executor is used (results are identical; the
-    /// pool only pays off once shards hold real work).
+    /// pool only pays off once chunks hold real work).
     pub const DEFAULT_SEQUENTIAL_CUTOFF: usize = 2048;
 
-    /// Creates a sharded executor for `graph` with one thread (and one shard) per available
-    /// CPU, the default round limit, and the process-wide default sequential cutoff (see
-    /// [`set_default_sequential_cutoff`]).
+    /// Default number of frontier vertices per stolen chunk: small enough to balance a
+    /// skewed frontier across workers, large enough to amortize the claim.
+    pub const DEFAULT_CHUNK_SIZE: usize = 1024;
+
+    /// Creates a work-stealing executor for `graph` with one thread per available CPU, the
+    /// default round limit, and the process-wide default sequential cutoff and chunk size
+    /// (see [`set_default_sequential_cutoff`], [`set_default_chunk_size`]).
     pub fn new(graph: &'g Graph) -> Self {
         let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
         ShardedExecutor {
             graph,
             max_rounds: Executor::DEFAULT_MAX_ROUNDS,
             threads,
-            shards: None,
+            chunk_size: default_chunk_size(),
             sequential_cutoff: default_sequential_cutoff(),
         }
     }
@@ -452,26 +416,26 @@ impl<'g> ShardedExecutor<'g> {
         self
     }
 
-    /// Sets the worker-thread count (clamped to at least 1).  Unless
-    /// [`with_shards`](Self::with_shards) is also called, the shard count follows the
-    /// thread count.
+    /// Sets the worker-thread count (clamped to at least 1).
     #[must_use]
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads.max(1);
         self
     }
 
-    /// Sets the shard count independently of the thread count (clamped to at least 1).
+    /// Sets the number of frontier vertices per stolen chunk (clamped to at least 1).
     ///
-    /// The shard count never affects results — only how the vertex set is batched.
+    /// The chunk size never affects results — only how finely the frontier is dealt out to
+    /// the workers.
     #[must_use]
-    pub fn with_shards(mut self, shards: usize) -> Self {
-        self.shards = Some(shards.max(1));
+    pub fn with_chunk_size(mut self, chunk_size: usize) -> Self {
+        self.chunk_size = chunk_size.max(1);
         self
     }
 
     /// Sets the vertex count at or below which the sequential executor is used instead.
-    /// Pass 0 to force the sharded path even on tiny graphs (the equivalence tests do).
+    /// Pass 0 to force the work-stealing path even on tiny graphs (the equivalence tests
+    /// do).
     #[must_use]
     pub fn with_sequential_cutoff(mut self, cutoff: usize) -> Self {
         self.sequential_cutoff = cutoff;
@@ -496,47 +460,108 @@ impl<'g> ShardedExecutor<'g> {
     where
         A: Algorithm + Sync,
         A::Node: Send,
-        <A::Node as NodeProgram>::Msg: Send,
+        <A::Node as NodeProgram>::Msg: Send + Sync,
         <A::Node as NodeProgram>::Output: Send,
     {
-        let n = self.graph.n();
-        let shards = self.shards.unwrap_or(self.threads).max(1);
-        if n <= self.sequential_cutoff || (self.threads == 1 && shards == 1) {
-            return Executor::new(self.graph).with_max_rounds(self.max_rounds).run(algorithm);
+        let graph = self.graph;
+        let n = graph.n();
+        if n <= self.sequential_cutoff {
+            return Executor::new(graph).with_max_rounds(self.max_rounds).run(algorithm);
         }
 
-        let graph = self.graph;
-        let layout = ShardLayout::new(n, shards);
+        let chunk = self.chunk_size.max(1);
         let id_space = id_space_of(graph);
         let id_table = neighbor_id_table(graph);
         let pool = WorkPool::new(self.threads);
+        let workers = pool.threads();
 
-        pool.scope(|scope| {
-            // Build every shard's contexts and nodes (all borrowing the one shared
-            // neighbor-id table), and run the initialization step (local computation plus
-            // the sends of the first round), in parallel.
-            let built = scope.map(layout.ranges(), |_, range| {
-                let mut state = build_shard(graph, algorithm, id_space, &id_table, range);
-                let out = step_shard(graph, &layout, &mut state, StepMode::Init);
-                (state, out)
-            });
+        // Build contexts and node programs in parallel over contiguous ranges (results
+        // concatenate in range order, so the build is deterministic), then wrap each node
+        // in an uncontended per-vertex mutex: the runtime forbids unsafe code, and a vertex
+        // is stepped by exactly one worker per round, so the locks never block.
+        const BUILD_CHUNK: usize = 4096;
+        let ranges: Vec<std::ops::Range<usize>> = (0..n.div_ceil(BUILD_CHUNK))
+            .map(|c| c * BUILD_CHUNK..((c + 1) * BUILD_CHUNK).min(n))
+            .collect();
+        let mut contexts: Vec<NodeCtx> = Vec::with_capacity(n);
+        let mut nodes: Vec<Mutex<A::Node>> = Vec::with_capacity(n);
+        for (ctxs, ns) in pool.map(ranges, |_, range| {
+            let ctxs: Vec<NodeCtx> =
+                range.map(|v| node_ctx(graph, v, id_space, &id_table)).collect();
+            let ns: Vec<Mutex<A::Node>> =
+                ctxs.iter().map(|ctx| Mutex::new(algorithm.node(ctx))).collect();
+            (ctxs, ns)
+        }) {
+            contexts.extend(ctxs);
+            nodes.extend(ns);
+        }
 
+        // Shared round state.  Workers only ever read these during a fork/join batch; the
+        // coordinator writes between batches, so the locks are uncontended.
+        let inbox_lock: RwLock<ArcMailboxes<<A::Node as NodeProgram>::Msg>> =
+            RwLock::new(ArcMailboxes::new(graph.arc_span(0..n)));
+        let schedule_lock: RwLock<Vec<Vertex>> = RwLock::new(Vec::new());
+        let active_lock: RwLock<ActiveSet> = RwLock::new(ActiveSet::new(n));
+        let claim = AtomicUsize::new(0);
+        // Shadow everything the worker closures capture with references: the closures are
+        // `move` (they must not borrow the coordinator's per-round locals), and moving a
+        // reference is a copy.
+        let inbox_lock = &inbox_lock;
+        let schedule_lock = &schedule_lock;
+        let active_lock = &active_lock;
+        let claim = &claim;
+        let contexts = &contexts;
+        let nodes = &nodes;
+
+        let report = pool.scope(|scope| {
             let mut report = RoundReport::zero();
-            let mut states = Vec::with_capacity(shards);
-            let mut outgoing = Vec::with_capacity(shards);
-            let mut total_active = 0usize;
-            let mut round_messages = 0usize;
-            for (state, out) in built {
-                report.messages += out.messages;
-                round_messages += out.messages;
-                total_active += state.active_count;
-                states.push(state);
-                outgoing.push(out.outgoing);
-            }
+            let mut frontier = Frontier::new(n);
+            let mut pending: ArcMailboxes<<A::Node as NodeProgram>::Msg> =
+                ArcMailboxes::new(graph.arc_span(0..n));
+
+            // Initialization: `init` runs for every vertex, in work-stolen chunks of
+            // `0..n`.  Like every step, results are committed in chunk order.
+            let init_chunks = n.div_ceil(chunk);
+            claim.store(0, Ordering::SeqCst);
+            let produced = scope.map(vec![(); workers], move |_, ()| {
+                let mut produced: Vec<(usize, ChunkOut<_>)> = Vec::new();
+                let mut outbox = Outbox::new(0);
+                loop {
+                    let c = claim.fetch_add(1, Ordering::Relaxed);
+                    if c >= init_chunks {
+                        break;
+                    }
+                    let mut out = ChunkOut::new();
+                    for v in c * chunk..((c + 1) * chunk).min(n) {
+                        outbox.reset(contexts[v].degree);
+                        let status =
+                            nodes[v].lock().expect("node lock").init(&contexts[v], &mut outbox);
+                        let woke = contexts[v].take_wake();
+                        if status == Status::Halted {
+                            out.halts.push(v);
+                        } else if woke {
+                            out.wakeups.push(v);
+                        }
+                        route_outbox(graph, v, &mut outbox, &mut out);
+                    }
+                    produced.push((c, out));
+                }
+                produced
+            });
+            let init_messages = commit_chunks(
+                graph,
+                produced,
+                &mut pending,
+                &mut frontier,
+                &mut active_lock.write().expect("active lock"),
+            );
+            report.messages += init_messages;
+            let mut any_outgoing = init_messages > 0;
+            let mut total_active = active_lock.read().expect("active lock").count();
 
             // Main loop: one iteration = one synchronous round, mirroring the sequential
             // executor statement for statement so round and message counts stay identical.
-            while total_active > 0 || round_messages > 0 {
+            while total_active > 0 || any_outgoing {
                 if report.rounds >= self.max_rounds {
                     return Err(RuntimeError::RoundLimitExceeded {
                         limit: self.max_rounds,
@@ -545,154 +570,130 @@ impl<'g> ShardedExecutor<'g> {
                 }
                 report.rounds += 1;
 
-                // Barrier: regroup the outgoing batches by destination shard, keeping the
-                // source-shard order (= global sender order, shards being contiguous).
-                let mut per_dest: Vec<Vec<Batch<_>>> =
-                    (0..shards).map(|_| Vec::with_capacity(shards)).collect();
-                for source_row in outgoing.drain(..) {
-                    for (dest, batch) in source_row.into_iter().enumerate() {
-                        per_dest[dest].push(batch);
+                // Flip the mailbox double buffer and publish the round's sorted frontier.
+                {
+                    let mut inboxes = inbox_lock.write().expect("inbox lock");
+                    std::mem::swap(&mut pending, &mut *inboxes);
+                    pending.clear();
+                    inboxes.seal();
+                }
+                let round_chunks = {
+                    let mut schedule = schedule_lock.write().expect("schedule lock");
+                    frontier.take(&mut schedule);
+                    schedule.len().div_ceil(chunk)
+                };
+                claim.store(0, Ordering::SeqCst);
+
+                let produced = scope.map(vec![(); workers], move |_, ()| {
+                    let schedule = schedule_lock.read().expect("schedule lock");
+                    let inboxes = inbox_lock.read().expect("inbox lock");
+                    let alive = active_lock.read().expect("active lock");
+                    let mut produced: Vec<(usize, ChunkOut<_>)> = Vec::new();
+                    let mut outbox = Outbox::new(0);
+                    loop {
+                        let c = claim.fetch_add(1, Ordering::Relaxed);
+                        if c >= round_chunks {
+                            break;
+                        }
+                        let mut out = ChunkOut::new();
+                        for &v in &schedule[c * chunk..((c + 1) * chunk).min(schedule.len())] {
+                            if !alive.is_active(v) {
+                                // Mail to a halted vertex is dropped unread (it was
+                                // counted at send time), as in the sequential executor.
+                                continue;
+                            }
+                            let arcs = graph.arc_range(v);
+                            let window = inboxes.window_of(arcs.clone());
+                            let inbox = inboxes.read(window, arcs);
+                            outbox.reset(contexts[v].degree);
+                            let status = nodes[v].lock().expect("node lock").round(
+                                &contexts[v],
+                                &inbox,
+                                &mut outbox,
+                            );
+                            let woke = contexts[v].take_wake();
+                            if status == Status::Halted {
+                                out.halts.push(v);
+                            } else if woke {
+                                out.wakeups.push(v);
+                            }
+                            route_outbox(graph, v, &mut outbox, &mut out);
+                        }
+                        produced.push((c, out));
                     }
-                }
+                    produced
+                });
 
-                let stepped = scope.map(
-                    states.drain(..).zip(per_dest).collect(),
-                    |_, (mut state, incoming): (ShardState<A::Node>, Vec<Batch<_>>)| {
-                        let out = step_shard(graph, &layout, &mut state, StepMode::Round(incoming));
-                        (state, out)
-                    },
+                let round_messages = commit_chunks(
+                    graph,
+                    produced,
+                    &mut pending,
+                    &mut frontier,
+                    &mut active_lock.write().expect("active lock"),
                 );
-
-                total_active = 0;
-                round_messages = 0;
-                for (state, out) in stepped {
-                    report.messages += out.messages;
-                    round_messages += out.messages;
-                    total_active += state.active_count;
-                    states.push(state);
-                    outgoing.push(out.outgoing);
-                }
+                report.messages += round_messages;
+                any_outgoing = round_messages > 0;
+                total_active = active_lock.read().expect("active lock").count();
                 if total_active == 0 {
                     break;
                 }
             }
+            Ok(report)
+        })?;
 
-            let outputs = scope
-                .map(states, |_, state| {
-                    state
-                        .nodes
-                        .iter()
-                        .zip(state.contexts.iter())
-                        .map(|(node, ctx)| node.output(ctx))
-                        .collect::<Vec<_>>()
-                })
-                .into_iter()
-                .flatten()
-                .collect();
-            Ok(ExecutionResult { outputs, report })
-        })
+        let outputs = nodes
+            .iter()
+            .zip(contexts.iter())
+            .map(|(node, ctx)| node.lock().expect("node lock").output(ctx))
+            .collect();
+        Ok(ExecutionResult { outputs, report })
     }
 }
 
-/// Builds the contexts and node programs of one shard.
-fn build_shard<A: Algorithm>(
-    graph: &Graph,
-    algorithm: &A,
-    id_space: u64,
-    id_table: &Arc<[u64]>,
-    range: Range<usize>,
-) -> ShardState<A::Node> {
-    let len = range.len();
-    let contexts: Vec<_> = range.clone().map(|v| node_ctx(graph, v, id_space, id_table)).collect();
-    let nodes = contexts.iter().map(|ctx| algorithm.node(ctx)).collect();
-    ShardState {
-        start: range.start,
-        contexts,
-        nodes,
-        active: vec![true; len],
-        active_count: len,
-        mail: ArcMailboxes::new(graph.arc_span(range)),
-        outbox: Outbox::new(0),
-        batch_pool: Vec::new(),
-    }
-}
-
-/// Whether a shard step runs `init` or `round` (with the delivered batches).
-enum StepMode<M> {
-    Init,
-    Round(Vec<Batch<M>>),
-}
-
-/// Steps every node of one shard, returning the outgoing batches and message count.
-fn step_shard<N: NodeProgram>(
-    graph: &Graph,
-    layout: &ShardLayout,
-    state: &mut ShardState<N>,
-    mode: StepMode<N::Msg>,
-) -> StepOutput<N::Msg> {
-    let round = match mode {
-        StepMode::Init => false,
-        StepMode::Round(incoming) => {
-            // Merge the delivered batches (source-shard order = sender order) into the flat
-            // mailboxes, recycling the drained batch vectors, then seal for port-order
-            // reads.
-            state.mail.clear();
-            for mut batch in incoming {
-                for (arc, message) in batch.drain(..) {
-                    state.mail.push(arc, message);
-                }
-                state.batch_pool.push(batch);
-            }
-            state.mail.seal();
-            true
-        }
-    };
-
-    let mut out = StepOutput {
-        outgoing: (0..layout.shards())
-            .map(|_| state.batch_pool.pop().unwrap_or_default())
-            .collect(),
-        messages: 0,
-    };
-    let mut cursor = MailboxCursor::default();
-    for local in 0..state.nodes.len() {
-        let arcs = graph.arc_range(state.start + local);
-        let window = cursor.advance(&state.mail, arcs.end);
-        if !state.active[local] {
-            continue;
-        }
-        state.outbox.reset(state.contexts[local].degree);
-        let status = if round {
-            let inbox = state.mail.read(window, arcs);
-            state.nodes[local].round(&state.contexts[local], &inbox, &mut state.outbox)
-        } else {
-            state.nodes[local].init(&state.contexts[local], &mut state.outbox)
-        };
-        if status == Status::Halted {
-            state.active[local] = false;
-            state.active_count -= 1;
-        }
-        route_outbox(graph, layout, state.start + local, &mut state.outbox, &mut out);
-    }
-    out
-}
-
-/// Routes the outbox of `sender` into per-destination-shard batches: one mirror-arc read
-/// per message plus an O(1) shard-of division — pure index arithmetic, no adjacency scan.
+/// Routes a stepped vertex's outbox into its chunk's buffered output: one mirror-arc read
+/// per message, no adjacency scan, appended in port order so the chunk's `outgoing` list
+/// stays in global sender order.
 fn route_outbox<M: Clone>(
     graph: &Graph,
-    layout: &ShardLayout,
     sender: Vertex,
     outbox: &mut Outbox<M>,
-    out: &mut StepOutput<M>,
+    out: &mut ChunkOut<M>,
 ) {
     let first_arc = graph.arc_range(sender).start;
     let mirror = graph.mirror_arcs();
     for (port, message) in outbox.drain() {
-        let arc = first_arc + port;
-        out.outgoing[layout.shard_of(graph.arc_target(arc))].push((mirror[arc], message));
-        out.messages += 1;
+        out.outgoing.push((mirror[first_arc + port], message));
     }
+}
+
+/// Commits the chunks produced by one fork/join step **in chunk order**: pushes the
+/// outgoing messages into the pending mailboxes (ascending sender order — the order the
+/// sequential delivery loop produces), marks every receiver and self-scheduled wakeup in
+/// the frontier, and applies the halts.  Returns the number of messages committed.
+fn commit_chunks<M>(
+    graph: &Graph,
+    produced: Vec<Vec<(usize, ChunkOut<M>)>>,
+    pending: &mut ArcMailboxes<M>,
+    frontier: &mut Frontier,
+    active: &mut ActiveSet,
+) -> usize {
+    let mut chunks: Vec<(usize, ChunkOut<M>)> = produced.into_iter().flatten().collect();
+    chunks.sort_unstable_by_key(|&(c, _)| c);
+    let mut messages = 0usize;
+    for (_, out) in chunks {
+        messages += out.outgoing.len();
+        for (arc, message) in out.outgoing {
+            pending.push(arc, message);
+            frontier.mark(arc_owner(graph, arc));
+        }
+        for v in out.halts {
+            active.halt(v);
+        }
+        for v in out.wakeups {
+            frontier.mark(v);
+        }
+    }
+    messages
 }
 
 #[cfg(test)]
@@ -740,62 +741,45 @@ mod tests {
     }
 
     #[test]
-    fn shard_layout_is_a_balanced_contiguous_partition() {
-        for (n, shards) in [(10usize, 3usize), (7, 7), (5, 8), (0, 4), (1, 1), (1000, 7)] {
-            let layout = ShardLayout::new(n, shards);
-            let mut covered = 0usize;
-            for s in 0..layout.shards() {
-                let range = layout.range(s);
-                assert_eq!(range.start, covered, "ranges must be contiguous");
-                for v in range.clone() {
-                    assert_eq!(layout.shard_of(v), s, "shard_of({v}) for n={n}, shards={shards}");
-                }
-                covered = range.end;
-            }
-            assert_eq!(covered, n, "ranges must cover 0..n");
-        }
-    }
-
-    #[test]
-    fn sharded_executor_matches_sequential_on_a_cycle() {
+    fn work_stealing_matches_sequential_on_a_cycle() {
         let g = generators::cycle(30).unwrap().with_shuffled_ids(7);
         let sequential = Executor::new(&g).run(&ProposeMaxId).unwrap();
-        for shards in [1usize, 2, 3, 7] {
+        for chunk_size in [1usize, 4, 64] {
             for threads in [1usize, 2, 4] {
-                let sharded = ShardedExecutor::new(&g)
+                let stolen = ShardedExecutor::new(&g)
                     .with_threads(threads)
-                    .with_shards(shards)
+                    .with_chunk_size(chunk_size)
                     .with_sequential_cutoff(0)
                     .run(&ProposeMaxId)
                     .unwrap();
-                assert_eq!(sharded.outputs, sequential.outputs);
-                assert_eq!(sharded.report, sequential.report);
+                assert_eq!(stolen.outputs, sequential.outputs);
+                assert_eq!(stolen.report, sequential.report);
             }
         }
     }
 
     #[test]
-    fn sharded_round_limit_matches_sequential() {
+    fn work_stealing_round_limit_matches_sequential() {
         let g = generators::path(9).unwrap();
         let sequential =
             Executor::new(&g).with_max_rounds(3).run(&FloodMaxId { rounds: 100 }).unwrap_err();
-        let sharded = ShardedExecutor::new(&g)
+        let stolen = ShardedExecutor::new(&g)
             .with_threads(2)
-            .with_shards(3)
+            .with_chunk_size(2)
             .with_sequential_cutoff(0)
             .with_max_rounds(3)
             .run(&FloodMaxId { rounds: 100 })
             .unwrap_err();
-        assert_eq!(sharded, sequential);
+        assert_eq!(stolen, sequential);
     }
 
     #[test]
-    fn sharded_executor_handles_isolated_vertices_and_empty_graphs() {
+    fn work_stealing_handles_isolated_vertices_and_empty_graphs() {
         for n in [0usize, 5] {
             let g = Graph::empty(n);
             let result = ShardedExecutor::new(&g)
                 .with_threads(2)
-                .with_shards(3)
+                .with_chunk_size(2)
                 .with_sequential_cutoff(0)
                 .run(&ProposeMaxId)
                 .unwrap();
@@ -813,13 +797,23 @@ mod tests {
     }
 
     #[test]
+    fn default_chunk_size_round_trips_and_clamps() {
+        let before = default_chunk_size();
+        set_default_chunk_size(64);
+        assert_eq!(default_chunk_size(), 64);
+        set_default_chunk_size(0);
+        assert_eq!(default_chunk_size(), 1, "chunk size clamps to at least 1");
+        set_default_chunk_size(before);
+    }
+
+    #[test]
     fn executor_kind_dispatch_agrees_across_kinds() {
         let g = generators::grid(5, 6).unwrap().with_shuffled_ids(3);
         let sequential = ExecutorKind::Sequential.run(&g, &FloodMaxId { rounds: 4 }).unwrap();
-        let sharded = ExecutorKind::Sharded { threads: 2, shards: 5 }
+        let stolen = ExecutorKind::Sharded { threads: 2, chunk_size: 5 }
             .run(&g, &FloodMaxId { rounds: 4 })
             .unwrap();
-        assert_eq!(sequential.outputs, sharded.outputs);
-        assert_eq!(sequential.report, sharded.report);
+        assert_eq!(sequential.outputs, stolen.outputs);
+        assert_eq!(sequential.report, stolen.report);
     }
 }

@@ -15,10 +15,17 @@ pub struct RoundTrace {
     pub round: usize,
     /// Number of nodes that were still active at the start of the round.
     pub active_nodes: usize,
+    /// Number of vertices actually stepped this round — the frontier: vertices with pending
+    /// mail or a self-scheduled wakeup that had not halted.  This, not `active_nodes`, is
+    /// what a round's work is proportional to under frontier-driven execution.
+    pub frontier: usize,
     /// Number of messages delivered in this round.
     pub messages: usize,
     /// Vertices that halted during this round.
     pub halted: Vec<usize>,
+    /// Wall-clock nanoseconds the executor spent stepping this round (advisory; 0 when the
+    /// recorder was filled by hand).
+    pub wall_ns: u64,
 }
 
 /// Collects per-round traces.
@@ -63,6 +70,23 @@ impl TraceRecorder {
         self.rounds.iter().rev().find(|r| !r.halted.is_empty()).map(|r| r.round)
     }
 
+    /// The per-round frontier sizes (vertices actually stepped), in round order.
+    pub fn frontier_profile(&self) -> Vec<usize> {
+        self.rounds.iter().map(|r| r.frontier).collect()
+    }
+
+    /// The largest per-round frontier, or 0 if nothing was recorded.
+    pub fn peak_frontier(&self) -> usize {
+        self.rounds.iter().map(|r| r.frontier).max().unwrap_or(0)
+    }
+
+    /// Total vertex steps across all recorded rounds (the executor's round-loop work under
+    /// frontier-driven execution; an everyone-runs executor would have paid
+    /// `active_nodes` per round instead).
+    pub fn total_steps(&self) -> usize {
+        self.rounds.iter().map(|r| r.frontier).sum()
+    }
+
     /// A compact textual activity profile: one character per round, scaled by the fraction of
     /// nodes still active (`#` ≥ 75 %, `+` ≥ 50 %, `-` ≥ 25 %, `.` > 0 %, space = idle).
     pub fn activity_profile(&self, total_nodes: usize) -> String {
@@ -94,9 +118,30 @@ mod tests {
 
     fn sample() -> TraceRecorder {
         let mut t = TraceRecorder::new();
-        t.record(RoundTrace { round: 1, active_nodes: 10, messages: 40, halted: vec![] });
-        t.record(RoundTrace { round: 2, active_nodes: 6, messages: 24, halted: vec![3, 4] });
-        t.record(RoundTrace { round: 3, active_nodes: 2, messages: 4, halted: vec![0, 1] });
+        t.record(RoundTrace {
+            round: 1,
+            active_nodes: 10,
+            frontier: 10,
+            messages: 40,
+            halted: vec![],
+            wall_ns: 0,
+        });
+        t.record(RoundTrace {
+            round: 2,
+            active_nodes: 6,
+            frontier: 5,
+            messages: 24,
+            halted: vec![3, 4],
+            wall_ns: 0,
+        });
+        t.record(RoundTrace {
+            round: 3,
+            active_nodes: 2,
+            frontier: 1,
+            messages: 4,
+            halted: vec![0, 1],
+            wall_ns: 0,
+        });
         t
     }
 
@@ -108,6 +153,9 @@ mod tests {
         assert_eq!(t.total_messages(), 68);
         assert_eq!(t.completion_round(), Some(3));
         assert_eq!(t.rounds()[1].halted, vec![3, 4]);
+        assert_eq!(t.frontier_profile(), vec![10, 5, 1]);
+        assert_eq!(t.peak_frontier(), 10);
+        assert_eq!(t.total_steps(), 16);
     }
 
     #[test]

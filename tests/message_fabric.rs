@@ -40,21 +40,21 @@ proptest! {
             prop_assert_eq!(&propose_flat.outputs, &propose_ref.outputs, "propose on {}", family);
             prop_assert_eq!(propose_flat.report, propose_ref.report, "propose cost on {}", family);
 
-            for shards in [1usize, 2, 3, 7] {
-                let sharded = ShardedExecutor::new(&g)
+            for chunk_size in [1usize, 2, 3, 7] {
+                let stolen = ShardedExecutor::new(&g)
                     .with_threads(2)
-                    .with_shards(shards)
+                    .with_chunk_size(chunk_size)
                     .with_sequential_cutoff(0);
-                let flood_sh = sharded.run(&flood).unwrap();
+                let flood_ws = stolen.run(&flood).unwrap();
                 prop_assert_eq!(
-                    &flood_sh.outputs, &flood_ref.outputs,
-                    "sharded flood on {} ({} shards)", family, shards
+                    &flood_ws.outputs, &flood_ref.outputs,
+                    "work-stolen flood on {} (chunk {})", family, chunk_size
                 );
-                prop_assert_eq!(flood_sh.report, flood_ref.report, "flood cost on {}", family);
-                let propose_sh = sharded.run(&ProposeMaxId).unwrap();
+                prop_assert_eq!(flood_ws.report, flood_ref.report, "flood cost on {}", family);
+                let propose_ws = stolen.run(&ProposeMaxId).unwrap();
                 prop_assert_eq!(
-                    &propose_sh.outputs, &propose_ref.outputs,
-                    "sharded propose on {} ({} shards)", family, shards
+                    &propose_ws.outputs, &propose_ref.outputs,
+                    "work-stolen propose on {} (chunk {})", family, chunk_size
                 );
             }
         }

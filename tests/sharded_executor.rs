@@ -1,32 +1,37 @@
-//! Cross-crate equivalence suite for the sharded parallel simulator.
+//! Cross-crate equivalence suite for the work-stealing parallel simulator.
 //!
 //! The contract of `arbcolor_runtime::shard` is that the [`ShardedExecutor`] is
-//! **bit-identical** to the sequential [`Executor`] — same per-vertex outputs, same round
-//! count, same message count — for every graph, every shard count, and every thread count.
-//! This suite drives that claim over the full generator suite with randomized sizes and
-//! seeds, and checks it end to end through the headline coloring pipelines dispatched via
-//! the process-wide executor switch.
+//! **bit-identical** to the sequential [`Executor`] and to the [`ReferenceExecutor`] oracle
+//! — same per-vertex outputs, same round count, same message count — for every graph, every
+//! chunk size, and every thread count.  This suite drives that claim over the full generator
+//! suite with randomized sizes and seeds, and checks it end to end through the headline
+//! coloring pipelines dispatched via the process-wide executor switch.
 
 use arbcolor_baselines::registry::headline_algorithms;
 use arbcolor_graph::generators;
 use arbcolor_runtime::algorithms::{FloodMaxId, ProposeMaxId};
 use arbcolor_runtime::{
-    default_executor, set_default_executor, Executor, ExecutorKind, ShardedExecutor,
+    default_executor, default_sequential_cutoff, set_default_executor,
+    set_default_sequential_cutoff, Executor, ExecutorKind, ReferenceExecutor, ShardedExecutor,
 };
 use proptest::prelude::*;
 
-/// Shard counts the equivalence is driven over (1 = degenerate, primes, > #vertices of the
-/// smallest graphs).
-const SHARD_COUNTS: [usize; 4] = [1, 2, 3, 7];
+/// Thread counts the equivalence matrix is driven over.
+const THREAD_COUNTS: [usize; 3] = [1, 2, 4];
+
+/// Chunk sizes the equivalence matrix is driven over (1 = one vertex per steal, 64 =
+/// several chunks per round on the suite's graphs, 4096 = larger than every frontier so a
+/// single worker claims everything).
+const CHUNK_SIZES: [usize; 3] = [1, 64, 4096];
 
 mod common;
 use common::generator_suite;
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(8))]
+    #![proptest_config(ProptestConfig::with_cases(6))]
 
     #[test]
-    fn sharded_executor_is_bit_identical_on_the_generator_suite(
+    fn work_stealing_is_bit_identical_across_kinds_on_the_generator_suite(
         n in 16usize..90,
         seed in 0u64..1_000,
         rounds in 1usize..8,
@@ -35,29 +40,46 @@ proptest! {
             let flood = FloodMaxId { rounds };
             let flood_seq = Executor::new(&g).run(&flood).unwrap();
             let propose_seq = Executor::new(&g).run(&ProposeMaxId).unwrap();
-            for shards in SHARD_COUNTS {
-                let sharded = ShardedExecutor::new(&g)
-                    .with_threads(2)
-                    .with_shards(shards)
-                    .with_sequential_cutoff(0);
-                let flood_sh = sharded.run(&flood).unwrap();
-                prop_assert_eq!(&flood_sh.outputs, &flood_seq.outputs, "flood on {}", family);
-                prop_assert_eq!(flood_sh.report, flood_seq.report, "flood cost on {}", family);
-                let propose_sh = sharded.run(&ProposeMaxId).unwrap();
-                prop_assert_eq!(&propose_sh.outputs, &propose_seq.outputs, "propose on {}", family);
-                prop_assert_eq!(propose_sh.report, propose_seq.report, "propose cost on {}", family);
+            // The oracle executor (pre-fabric, everyone-runs, no frontier code) must agree
+            // with the frontier-driven sequential executor...
+            let flood_ref = ReferenceExecutor::new(&g).run(&flood).unwrap();
+            prop_assert_eq!(&flood_ref.outputs, &flood_seq.outputs, "flood oracle on {}", family);
+            prop_assert_eq!(flood_ref.report, flood_seq.report, "flood oracle cost on {}", family);
+            let propose_ref = ReferenceExecutor::new(&g).run(&ProposeMaxId).unwrap();
+            prop_assert_eq!(&propose_ref.outputs, &propose_seq.outputs, "propose oracle on {}", family);
+            prop_assert_eq!(propose_ref.report, propose_seq.report, "propose oracle cost on {}", family);
+            // ...and so must the work-stealing executor at every (threads, chunk) config.
+            for threads in THREAD_COUNTS {
+                for chunk_size in CHUNK_SIZES {
+                    let stolen = ShardedExecutor::new(&g)
+                        .with_threads(threads)
+                        .with_chunk_size(chunk_size)
+                        .with_sequential_cutoff(0);
+                    let flood_ws = stolen.run(&flood).unwrap();
+                    prop_assert_eq!(
+                        &flood_ws.outputs, &flood_seq.outputs,
+                        "flood on {} (threads={}, chunk={})", family, threads, chunk_size
+                    );
+                    prop_assert_eq!(flood_ws.report, flood_seq.report, "flood cost on {}", family);
+                    let propose_ws = stolen.run(&ProposeMaxId).unwrap();
+                    prop_assert_eq!(
+                        &propose_ws.outputs, &propose_seq.outputs,
+                        "propose on {} (threads={}, chunk={})", family, threads, chunk_size
+                    );
+                    prop_assert_eq!(propose_ws.report, propose_seq.report, "propose cost on {}", family);
+                }
             }
         }
     }
 }
 
 #[test]
-fn repeated_sharded_runs_with_different_thread_counts_agree() {
+fn repeated_work_stealing_runs_with_different_thread_counts_agree() {
     let g = generators::union_of_random_forests(300, 4, 9).unwrap().with_shuffled_ids(2);
     let flood = FloodMaxId { rounds: 12 };
     let reference = ShardedExecutor::new(&g)
         .with_threads(1)
-        .with_shards(5)
+        .with_chunk_size(16)
         .with_sequential_cutoff(0)
         .run(&flood)
         .unwrap();
@@ -65,7 +87,7 @@ fn repeated_sharded_runs_with_different_thread_counts_agree() {
         for threads in [1usize, 2, 3, 8] {
             let again = ShardedExecutor::new(&g)
                 .with_threads(threads)
-                .with_shards(5)
+                .with_chunk_size(16)
                 .with_sequential_cutoff(0)
                 .run(&flood)
                 .unwrap();
@@ -79,39 +101,48 @@ fn repeated_sharded_runs_with_different_thread_counts_agree() {
 }
 
 #[test]
-fn shard_count_never_changes_results() {
+fn chunk_size_never_changes_results() {
     let g = generators::gnp(250, 0.02, 41).unwrap().with_shuffled_ids(6);
     let flood = FloodMaxId { rounds: 9 };
     let reference = Executor::new(&g).run(&flood).unwrap();
-    for shards in [1usize, 2, 3, 7, 11, 250, 400] {
-        let sharded = ShardedExecutor::new(&g)
+    for chunk_size in [1usize, 2, 3, 7, 11, 250, 4096] {
+        let stolen = ShardedExecutor::new(&g)
             .with_threads(3)
-            .with_shards(shards)
+            .with_chunk_size(chunk_size)
             .with_sequential_cutoff(0)
             .run(&flood)
             .unwrap();
-        assert_eq!(sharded.outputs, reference.outputs, "shards={shards}");
-        assert_eq!(sharded.report, reference.report, "shards={shards}");
+        assert_eq!(stolen.outputs, reference.outputs, "chunk_size={chunk_size}");
+        assert_eq!(stolen.report, reference.report, "chunk_size={chunk_size}");
     }
 }
 
 #[test]
-fn headline_pipelines_are_identical_under_the_sharded_kind() {
+fn headline_pipelines_are_identical_under_every_executor_kind() {
     // End-to-end: the full Barenboim–Elkin and Ghaffari–Kuhn pipelines, dispatched through
     // the process-wide executor switch the whole stack consults, must produce the same
     // coloring and the same LOCAL cost under every executor configuration.
     let g = generators::union_of_random_forests(400, 3, 33).unwrap().with_shuffled_ids(7);
     let previous = default_executor();
+    let previous_cutoff = default_sequential_cutoff();
+    // Force the work-stealing path even on this small graph (and on the smaller subgraphs
+    // the recursive drivers spawn).
+    set_default_sequential_cutoff(0);
     for algorithm in headline_algorithms() {
         set_default_executor(ExecutorKind::Sequential);
         let sequential = algorithm.run(&g).unwrap();
-        for threads in [2usize, 4] {
-            set_default_executor(ExecutorKind::sharded(threads));
-            let sharded = algorithm.run(&g).unwrap();
-            assert_eq!(sharded.colors, sequential.colors, "{} palette", sequential.name);
-            assert_eq!(sharded.report, sequential.report, "{} cost", sequential.name);
+        let kinds = [
+            ExecutorKind::Reference,
+            ExecutorKind::Sharded { threads: 2, chunk_size: 64 },
+            ExecutorKind::Sharded { threads: 4, chunk_size: 1 },
+        ];
+        for kind in kinds {
+            set_default_executor(kind);
+            let parallel = algorithm.run(&g).unwrap();
+            assert_eq!(parallel.colors, sequential.colors, "{} palette", sequential.name);
+            assert_eq!(parallel.report, sequential.report, "{} cost", sequential.name);
             assert_eq!(
-                sharded.coloring.colors(),
+                parallel.coloring.colors(),
                 sequential.coloring.colors(),
                 "{} per-vertex colors",
                 sequential.name
@@ -119,4 +150,5 @@ fn headline_pipelines_are_identical_under_the_sharded_kind() {
         }
     }
     set_default_executor(previous);
+    set_default_sequential_cutoff(previous_cutoff);
 }
