@@ -2,6 +2,7 @@
 //! two headline algorithms — used by the experiment harness to build its comparison tables.
 
 use arbcolor::ghaffari_kuhn::ghaffari_kuhn_coloring;
+use arbcolor::hkmt::hkmt_coloring;
 use arbcolor::legal_coloring::sparse_delta_plus_one;
 use arbcolor_decompose::arb_linear::arboricity_linear_coloring;
 use arbcolor_decompose::delta_linear::delta_plus_one_coloring;
@@ -215,10 +216,48 @@ impl ColoringBaseline for GhaffariKuhnHeadline {
     }
 }
 
+/// Halldórsson–Kuhn–Maus–Tonoyan (arXiv:2012.14169), the repository's third headline
+/// algorithm and its first randomized one: seeded multi-trial `(deg+1)`-list coloring whose
+/// messages stay at `O(log n)` bits — built for head-to-heads under CONGEST accounting.
+/// Reproducible (bit-identical across executors) for a fixed seed, but not deterministic
+/// as an algorithm.
+#[derive(Debug, Clone, Copy)]
+pub struct HkmtHeadline {
+    /// PRNG seed; per-vertex generators are derived from it.
+    pub seed: u64,
+}
+
+impl ColoringBaseline for HkmtHeadline {
+    fn name(&self) -> &'static str {
+        "hkmt_random"
+    }
+
+    fn run(&self, graph: &Graph) -> Result<BaselineOutcome, String> {
+        let run = hkmt_coloring(graph, self.seed).map_err(|e| e.to_string())?;
+        Ok(BaselineOutcome {
+            name: self.name().to_string(),
+            colors: run.colors_used,
+            coloring: run.coloring,
+            report: run.report,
+            deterministic: false,
+        })
+    }
+}
+
 /// The two headline algorithms, in publication order — every head-to-head experiment runs
 /// exactly this list so both contenders see the same seeded graphs.
 pub fn headline_algorithms() -> Vec<Box<dyn ColoringBaseline>> {
     vec![Box::new(BarenboimElkinHeadline), Box::new(GhaffariKuhnHeadline)]
+}
+
+/// All three headliners — the two deterministic ones plus the randomized CONGEST headliner —
+/// for bandwidth head-to-heads (experiment E22 and the `congest_headliners` example).
+pub fn congest_headliners(seed: u64) -> Vec<Box<dyn ColoringBaseline>> {
+    vec![
+        Box::new(BarenboimElkinHeadline),
+        Box::new(GhaffariKuhnHeadline),
+        Box::new(HkmtHeadline { seed }),
+    ]
 }
 
 /// All baselines, in the order the §1.2 comparison table lists them.
@@ -253,7 +292,7 @@ mod tests {
     fn names_are_unique() {
         let names: Vec<&str> = standard_baselines(1)
             .iter()
-            .chain(headline_algorithms().iter())
+            .chain(congest_headliners(1).iter())
             .map(|b| b.name())
             .collect();
         let mut deduped = names.clone();

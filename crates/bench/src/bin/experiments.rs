@@ -30,11 +30,16 @@
 //! at every chunk size — the CI diff leg runs a non-default value to prove it — only the
 //! steal granularity (and thus load balance) changes.
 //!
+//! `--seed N` (or `--seed=N`) sets the process-wide experiment seed (default 42) that
+//! randomized contenders derive their PRNGs from — currently E22's HKMT headliner.  For a
+//! fixed seed every table is bit-identical across executors and thread counts; the CI
+//! `congest-smoke` job runs E22 under both executors with the same seed and diffs the rows.
+//!
 //! `--perf-out FILE` (or `--perf-out=FILE`) additionally writes the performance-tracking
 //! rows (the experiments in `arbcolor_bench::perf::PERF_EXPERIMENTS` — currently the
 //! E17/E18 scale and routing races, the E19/E20 ingestion and dynamic-recoloring
-//! workloads, and the E21 frontier-collapse trace) as one machine-readable JSON document
-//! (schema `arbcolor-perf-v1`).  The CI
+//! workloads, the E21 frontier-collapse trace, and the E22 CONGEST bandwidth race) as one
+//! machine-readable JSON document (schema `arbcolor-perf-v1`).  The CI
 //! `bench-smoke` job archives one per PR under the `BENCH_PR<N>.json` naming scheme and the
 //! `perf_gate` binary diffs its deterministic columns against the committed baseline of the
 //! previous PR, failing the build on regressions (wall-clock columns stay advisory).
@@ -56,6 +61,7 @@ fn main() {
     let mut par_cutoff: Option<&str> = None;
     let mut chunk_size: Option<&str> = None;
     let mut perf_out: Option<&str> = None;
+    let mut seed: Option<&str> = None;
     let mut positional: Vec<&String> = Vec::new();
     let mut i = 0;
     while i < args.len() {
@@ -65,6 +71,7 @@ fn main() {
             ("--par-cutoff", &mut par_cutoff),
             ("--chunk-size", &mut chunk_size),
             ("--perf-out", &mut perf_out),
+            ("--seed", &mut seed),
         ] {
             if arg == flag {
                 let Some(value) = args.get(i + 1) else {
@@ -103,6 +110,13 @@ fn main() {
             ExecutorKind::Sequential
         });
     }
+    if let Some(value) = seed {
+        let parsed = value.parse::<u64>().unwrap_or_else(|_| {
+            eprintln!("--seed expects a number, got {value:?}");
+            std::process::exit(1);
+        });
+        experiments::set_experiment_seed(parsed);
+    }
 
     // The experiment selection: `all`, one id, or a comma-separated list (`E17,E18`;
     // empty segments from trailing commas are ignored).
@@ -113,7 +127,7 @@ fn main() {
         })
         .unwrap_or_else(|| vec!["ALL".to_string()]);
     if which.is_empty() {
-        eprintln!("empty experiment selection; known ids are E1..E21 or 'all'");
+        eprintln!("empty experiment selection; known ids are E1..E22 or 'all'");
         std::process::exit(1);
     }
     let all = which.iter().any(|id| id == "ALL");
@@ -128,7 +142,7 @@ fn main() {
     let unknown: Vec<&String> =
         which.iter().filter(|w| *w != "ALL" && !catalog.iter().any(|(id, _)| id == w)).collect();
     if !unknown.is_empty() {
-        eprintln!("unknown experiment id(s) {unknown:?}; known ids are E1..E21 or 'all'");
+        eprintln!("unknown experiment id(s) {unknown:?}; known ids are E1..E22 or 'all'");
         std::process::exit(1);
     }
     let selected: Vec<_> =

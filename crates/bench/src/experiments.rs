@@ -18,14 +18,32 @@ use arbcolor::orientation_procs::{complete_orientation, partial_orientation};
 use arbcolor::simple_arbdefective::simple_arbdefective;
 use arbcolor::tradeoffs::{color_time_tradeoff, sub_quadratic_coloring};
 use arbcolor_baselines::luby::luby_mis;
-use arbcolor_baselines::registry::{headline_algorithms, standard_baselines};
+use arbcolor_baselines::registry::{congest_headliners, headline_algorithms, standard_baselines};
 use arbcolor_decompose::defective::defective_coloring;
 use arbcolor_decompose::forests::bounded_outdegree_orientation;
 use arbcolor_graph::{degeneracy, generators, Graph};
-use arbcolor_runtime::{default_executor, set_default_executor, ExecutorKind, RoundReport};
+use arbcolor_runtime::{
+    default_cost_mode, default_executor, set_default_cost_mode, set_default_executor, CostMode,
+    ExecutorKind, RoundReport,
+};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 const EPS: f64 = 1.0;
+
+/// The process-wide seed for experiments with randomized contenders (E22's HKMT headliner).
+/// Defaults to 42 — the value every committed table and CI baseline was produced with.
+static EXPERIMENT_SEED: AtomicU64 = AtomicU64::new(42);
+
+/// Sets the seed randomized experiments derive their PRNGs from (the `--seed` CLI flag).
+pub fn set_experiment_seed(seed: u64) {
+    EXPERIMENT_SEED.store(seed, Ordering::Relaxed);
+}
+
+/// The current experiment seed (see [`set_experiment_seed`]).
+pub fn experiment_seed() -> u64 {
+    EXPERIMENT_SEED.load(Ordering::Relaxed)
+}
 
 /// How large the experiment workloads should be.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -860,6 +878,95 @@ pub fn e21_frontier_collapse(sz: SizeClass) -> Vec<Row> {
     rows
 }
 
+/// E22 — the CONGEST bandwidth race: all three headliners (Barenboim–Elkin, Ghaffari–Kuhn,
+/// and the randomized HKMT trials) on the same seeded graph of every E16 generator family,
+/// executed under [`CostMode::Congest`] so the runtime *enforces* — not merely measures —
+/// that no edge carries more than `64 · ⌈log₂ n⌉` bits in any round.
+///
+/// Every row reports the two bandwidth columns the perf gate tracks (`total_bits`, the
+/// pipeline's aggregate traffic, and `max_edge_bits`, the worst single-edge round) next to
+/// the budget they were enforced under, and every coloring is re-verified legal within
+/// `Δ + 1` before its row is emitted.  The HKMT contender draws from the process-wide
+/// [`experiment_seed`] (the `--seed` flag), so for a fixed seed the whole table is
+/// bit-identical across executors — the CI `congest-smoke` job diffs exactly that.
+pub fn e22_congest_bandwidth_race(sz: SizeClass) -> Vec<Row> {
+    /// Restores the process-wide cost mode even if an assertion unwinds mid-experiment.
+    struct CostModeGuard(CostMode);
+    impl Drop for CostModeGuard {
+        fn drop(&mut self) {
+            set_default_cost_mode(self.0);
+        }
+    }
+    let _restore = CostModeGuard(default_cost_mode());
+
+    let families: Vec<(&str, Graph)> = vec![
+        (
+            "forests",
+            generators::union_of_random_forests(sz.n(500), 3, 89).unwrap().with_shuffled_ids(10),
+        ),
+        (
+            "star-forests",
+            generators::star_forest_union(sz.n(600), 2, 4, 91).unwrap().with_shuffled_ids(11),
+        ),
+        (
+            "preferential-attachment",
+            generators::barabasi_albert(sz.n(600), 3, 93).unwrap().with_shuffled_ids(12),
+        ),
+        ("random-trees", generators::random_tree(sz.n(500), 97).unwrap().with_shuffled_ids(13)),
+        ("grid", generators::grid(sz.n(120) / 5, 25).unwrap().with_shuffled_ids(14)),
+        ("caterpillar", generators::caterpillar(sz.n(480) / 6, 5).unwrap().with_shuffled_ids(15)),
+    ];
+    let mut rows = Vec::new();
+    for (family, g) in &families {
+        // A generous CONGEST allowance: every message of every pipeline is one O(log n)-bit
+        // value, so 64·⌈log₂ n⌉ bits per edge per round holds with room while still being
+        // O(log n) — the executors reject any send that would exceed it.
+        let budget = CostMode::congest_for(g.n(), 64);
+        set_default_cost_mode(CostMode::Congest {
+            bits_per_edge: budget.bits_per_edge().expect("congest_for returns Congest"),
+        });
+        let delta_plus_one = g.max_degree() + 1;
+        for algorithm in congest_headliners(experiment_seed()) {
+            let outcome = algorithm
+                .run(g)
+                .unwrap_or_else(|e| panic!("{} failed on {family}: {e}", algorithm.name()));
+            assert!(
+                outcome.coloring.is_legal(g),
+                "{} produced an illegal coloring on {family}",
+                outcome.name
+            );
+            assert!(
+                outcome.colors <= delta_plus_one,
+                "{} used {} colors on {family} but Δ + 1 = {delta_plus_one}",
+                outcome.name,
+                outcome.colors
+            );
+            let budget_bits = budget.bits_per_edge().expect("congest_for returns Congest");
+            assert!(
+                outcome.report.max_edge_bits <= budget_bits,
+                "{} put {} bits on one edge in a round on {family}, over the budget of \
+                 {budget_bits} (the executor should have rejected this)",
+                outcome.name,
+                outcome.report.max_edge_bits
+            );
+            rows.push(
+                Row::new("E22", format!("{family} n={} · {}", g.n(), outcome.name))
+                    .with("n", g.n() as f64)
+                    .with("max_degree", g.max_degree() as f64)
+                    .with("delta_plus_one", delta_plus_one as f64)
+                    .with("colors", outcome.colors as f64)
+                    .with("rounds", outcome.report.rounds as f64)
+                    .with("messages", outcome.report.messages as f64)
+                    .with("total_bits", outcome.report.total_bits as f64)
+                    .with("max_edge_bits", outcome.report.max_edge_bits as f64)
+                    .with("bits_budget", budget_bits as f64)
+                    .with("legal", 1.0),
+            );
+        }
+    }
+    rows
+}
+
 /// The base graph with every batch applied (identifiers preserved); `None` when there is
 /// nothing to add.
 fn rebuilt(base: &Graph, batches: &[Vec<(usize, usize)>]) -> Option<Graph> {
@@ -909,6 +1016,7 @@ pub fn catalog() -> Vec<(&'static str, ExperimentFn)> {
         ("E19", e19_real_graph_ingestion),
         ("E20", e20_dynamic_recoloring),
         ("E21", e21_frontier_collapse),
+        ("E22", e22_congest_bandwidth_race),
     ]
 }
 
@@ -943,8 +1051,23 @@ mod tests {
         // here we only pin their catalog identities so `experiments -- E17`/`E18` resolve.
         let ids: Vec<&str> = catalog().iter().map(|(id, _)| *id).collect();
         assert_eq!(ids.first(), Some(&"E1"));
-        assert_eq!(ids.last(), Some(&"E21"));
-        assert_eq!(ids.len(), 21);
+        assert_eq!(ids.last(), Some(&"E22"));
+        assert_eq!(ids.len(), 22);
+    }
+
+    #[test]
+    fn e22_enforces_the_congest_budget_and_restores_the_cost_mode() {
+        let before = default_cost_mode();
+        let rows = e22_congest_bandwidth_race(SizeClass::Smoke);
+        assert_eq!(default_cost_mode(), before, "E22 must restore the process cost mode");
+        // Three headliners per family, every row within its enforced budget.
+        assert_eq!(rows.len() % 3, 0);
+        assert!(rows.iter().any(|r| r.workload.contains("hkmt_random")));
+        for row in &rows {
+            assert!(row.values["max_edge_bits"] <= row.values["bits_budget"]);
+            assert!(row.values["total_bits"] >= row.values["max_edge_bits"]);
+            assert_eq!(row.values["legal"], 1.0);
+        }
     }
 
     #[test]

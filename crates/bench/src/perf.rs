@@ -20,18 +20,30 @@ use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
 /// The experiments whose rows are collected into the perf document: the sharded-scale and
-/// routing races (PR 3/4), the ingestion and dynamic-recoloring workloads (PR 5), and the
-/// frontier-collapse activity trace (PR 6).
-pub const PERF_EXPERIMENTS: [&str; 5] = ["E17", "E18", "E19", "E20", "E21"];
+/// routing races (PR 3/4), the ingestion and dynamic-recoloring workloads (PR 5), the
+/// frontier-collapse activity trace (PR 6), and the CONGEST bandwidth race (PR 7).
+pub const PERF_EXPERIMENTS: [&str; 6] = ["E17", "E18", "E19", "E20", "E21", "E22"];
 
 /// Value columns that must not worsen between PRs (the stack is deterministic, so any
 /// change is a real behavioural difference).  Lower is better for all of these —
 /// including `strategy`, whose encoding (0 = no conflict, 1 = local repair, 2 = full
-/// recolor) orders repairs by how much of the graph they touch.
+/// recolor) orders repairs by how much of the graph they touch, and the two bandwidth
+/// columns (`total_bits`, `max_edge_bits`), which are *gated*, not advisory: the bit
+/// accounting is seeded and bit-reproducible, so a pipeline quietly growing chattier on
+/// the wire is a real behavioural regression.
 /// (`new_edges` is deliberately *not* here: it is fixed by graph + batch, so like `n`/`m`
 /// it gates on any change via the undirectioned fallback rather than passing decreases.)
-const GATED_LOWER_IS_BETTER: [&str; 7] =
-    ["colors", "rounds", "messages", "frontier", "repaired_vertices", "full_rounds", "strategy"];
+const GATED_LOWER_IS_BETTER: [&str; 9] = [
+    "colors",
+    "rounds",
+    "messages",
+    "frontier",
+    "repaired_vertices",
+    "full_rounds",
+    "strategy",
+    "total_bits",
+    "max_edge_bits",
+];
 
 /// Gated columns where *higher* is better (a drop fails the gate).
 const GATED_HIGHER_IS_BETTER: [&str; 1] = ["legal"];

@@ -29,6 +29,9 @@
 //! * [`ghaffari_kuhn`] — the second headline algorithm (Ghaffari–Kuhn, arXiv:2011.04511):
 //!   deterministic `(deg+1)`-list coloring by recursive color-space halving over
 //!   defective-coloring schedules, `O(log² Δ · log n)` rounds without network decomposition.
+//! * [`hkmt`] — the randomized CONGEST headliner (Halldórsson–Kuhn–Maus–Tonoyan,
+//!   arXiv:2012.14169): seeded multi-trial `(deg+1)`-list coloring whose messages stay at
+//!   `O(log n)` bits, with a deterministic Ghaffari–Kuhn fallback for the leftover.
 //! * [`dynamic`] — batched edge insertions with localized recoloring (conflict-frontier
 //!   repair via the Ghaffari–Kuhn list driver, full-recolor fallback).
 //! * [`tradeoffs`] — Theorems 5.2 and 5.3: trading colors for time.
@@ -64,6 +67,7 @@ pub mod dynamic;
 pub mod error;
 pub mod ghaffari_kuhn;
 pub mod goal;
+pub mod hkmt;
 pub mod legal_coloring;
 pub mod list_coloring;
 pub mod mis;

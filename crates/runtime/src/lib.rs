@@ -30,6 +30,10 @@
 //!   parallel executions on disjoint subgraphs take the maximum), mirroring how the paper
 //!   accounts for the recursion of Procedure Legal-Coloring, where disjoint subgraphs proceed
 //!   concurrently.
+//! * [`cost`] — CONGEST-model bandwidth accounting: every message reports a measured bit
+//!   width ([`MessageCost`]), the executors accumulate per-edge and total bits into the
+//!   [`RoundReport`], and [`CostMode::Congest`] turns the `c·log n` bits-per-edge bound of
+//!   the CONGEST model into an enforced, typed assertion.
 //!
 //! # Example
 //!
@@ -52,6 +56,7 @@
 
 pub mod algorithms;
 pub mod composition;
+pub mod cost;
 pub mod frontier;
 pub mod metrics;
 pub mod network;
@@ -61,6 +66,7 @@ pub mod shard;
 pub mod trace;
 
 pub use composition::{parallel_max, CostLedger, PhaseCost};
+pub use cost::{default_cost_mode, set_default_cost_mode, CostMode, MessageCost};
 pub use frontier::{ActiveSet, Frontier};
 pub use metrics::{ActivitySummary, RoundReport};
 pub use network::{ExecutionResult, Executor, RuntimeError, TracedRun};

@@ -10,6 +10,13 @@ pub struct RoundReport {
     pub rounds: usize,
     /// Total number of point-to-point messages delivered.
     pub messages: usize,
+    /// Total bits across all delivered messages, as measured by
+    /// [`MessageCost`](crate::cost::MessageCost).  Zero for hand-modelled phases that charge
+    /// messages without executing them.
+    pub total_bits: u64,
+    /// The largest bit load any single edge (per direction) carried in any one round — the
+    /// quantity the CONGEST model bounds by `O(log n)`.
+    pub max_edge_bits: u64,
 }
 
 impl RoundReport {
@@ -18,24 +25,34 @@ impl RoundReport {
         RoundReport::default()
     }
 
-    /// Creates a report from explicit counts.
+    /// Creates a report from explicit round and message counts (no measured bandwidth —
+    /// the executors fill the bit columns; hand-modelled phases leave them zero).
     pub fn new(rounds: usize, messages: usize) -> Self {
-        RoundReport { rounds, messages }
+        RoundReport { rounds, messages, total_bits: 0, max_edge_bits: 0 }
     }
 
-    /// Sequential composition: rounds and messages both add.
+    /// Sequential composition: rounds, messages, and total bits add; the per-edge peak is
+    /// the worst round of either phase, so it maxes.
     #[must_use]
     pub fn then(self, later: RoundReport) -> RoundReport {
-        RoundReport { rounds: self.rounds + later.rounds, messages: self.messages + later.messages }
+        RoundReport {
+            rounds: self.rounds + later.rounds,
+            messages: self.messages + later.messages,
+            total_bits: self.total_bits + later.total_bits,
+            max_edge_bits: self.max_edge_bits.max(later.max_edge_bits),
+        }
     }
 
     /// Parallel composition on disjoint subnetworks: rounds take the maximum (the subnetworks
-    /// run concurrently), messages add.
+    /// run concurrently), messages and total bits add, and the per-edge peak maxes (disjoint
+    /// subnetworks share no edge).
     #[must_use]
     pub fn alongside(self, other: RoundReport) -> RoundReport {
         RoundReport {
             rounds: self.rounds.max(other.rounds),
             messages: self.messages + other.messages,
+            total_bits: self.total_bits + other.total_bits,
+            max_edge_bits: self.max_edge_bits.max(other.max_edge_bits),
         }
     }
 }

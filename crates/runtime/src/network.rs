@@ -32,6 +32,7 @@
 //! message counts are bit-identical to the everyone-runs executor for any program honoring
 //! the activation contract of [`NodeProgram`].
 
+use crate::cost::{default_cost_mode, BandwidthMeter, CostMode, MessageCost};
 use crate::frontier::{ActiveSet, Frontier};
 use crate::metrics::RoundReport;
 use crate::node::{Algorithm, Inbox, NeighborIds, NodeCtx, NodeProgram, Outbox, Status};
@@ -52,6 +53,21 @@ pub enum RuntimeError {
         /// How many nodes were still active when the limit was hit.
         still_active: usize,
     },
+    /// Under [`CostMode::Congest`], a single edge carried more bits in one round than the
+    /// configured per-edge budget allows.
+    CongestBudgetExceeded {
+        /// The round whose deliveries exceeded the budget (1-based; round `r`'s deliveries
+        /// are the messages sent in round `r - 1`, with round 1 carrying the `init` sends).
+        round: usize,
+        /// The vertex that sent over the overloaded edge.
+        sender: Vertex,
+        /// The vertex receiving over the overloaded edge.
+        receiver: Vertex,
+        /// The measured bit load of the edge in that round.
+        bits: u64,
+        /// The configured per-edge per-round budget.
+        budget: u64,
+    },
 }
 
 impl fmt::Display for RuntimeError {
@@ -61,6 +77,13 @@ impl fmt::Display for RuntimeError {
                 f,
                 "algorithm exceeded the round limit of {limit} with {still_active} nodes still active"
             ),
+            RuntimeError::CongestBudgetExceeded { round, sender, receiver, bits, budget } => {
+                write!(
+                    f,
+                    "round {round}: edge {sender} -> {receiver} carried {bits} bits, \
+                     over the CONGEST budget of {budget} bits per edge per round"
+                )
+            }
         }
     }
 }
@@ -85,21 +108,32 @@ pub type TracedRun<O> = (ExecutionResult<O>, TraceRecorder);
 pub struct Executor<'g> {
     graph: &'g Graph,
     max_rounds: usize,
+    cost_mode: CostMode,
 }
 
 impl<'g> Executor<'g> {
     /// Default safety limit on the number of rounds.
     pub const DEFAULT_MAX_ROUNDS: usize = 1_000_000;
 
-    /// Creates an executor for `graph` with the default round limit.
+    /// Creates an executor for `graph` with the default round limit and the process-wide
+    /// default cost mode (see [`set_default_cost_mode`](crate::set_default_cost_mode)).
     pub fn new(graph: &'g Graph) -> Self {
-        Executor { graph, max_rounds: Self::DEFAULT_MAX_ROUNDS }
+        Executor { graph, max_rounds: Self::DEFAULT_MAX_ROUNDS, cost_mode: default_cost_mode() }
     }
 
     /// Overrides the round limit (useful for tests that expect termination within a bound).
     #[must_use]
     pub fn with_max_rounds(mut self, max_rounds: usize) -> Self {
         self.max_rounds = max_rounds;
+        self
+    }
+
+    /// Overrides the cost mode: under [`CostMode::Congest`] the run fails with
+    /// [`RuntimeError::CongestBudgetExceeded`] as soon as a round overloads an edge.
+    /// Bandwidth is recorded into the [`RoundReport`] in every mode.
+    #[must_use]
+    pub fn with_cost_mode(mut self, cost_mode: CostMode) -> Self {
+        self.cost_mode = cost_mode;
         self
     }
 
@@ -163,6 +197,7 @@ impl<'g> Executor<'g> {
         let mut inboxes: ArcMailboxes<<A::Node as NodeProgram>::Msg> =
             ArcMailboxes::new(graph.arc_span(0..n));
         let mut outbox = Outbox::new(0);
+        let mut meter = BandwidthMeter::new(graph.num_arcs());
 
         // Initialization: local computation plus the sends of the first round.  `init` runs
         // for every vertex; from here on only the frontier is stepped.
@@ -177,8 +212,9 @@ impl<'g> Executor<'g> {
                 frontier.mark(v);
             }
             any_outgoing |= !outbox.is_empty();
-            deliver(graph, v, &mut outbox, &mut pending, &mut report, &mut frontier);
+            deliver(graph, v, &mut outbox, &mut pending, &mut report, &mut frontier, &mut meter);
         }
+        meter.finish_round(graph, report.rounds + 1, self.cost_mode, &mut report)?;
 
         // Main loop: one iteration = one synchronous round.
         while active.count() > 0 || any_outgoing {
@@ -224,14 +260,26 @@ impl<'g> Executor<'g> {
                     frontier.mark(v);
                 }
                 any_outgoing |= !outbox.is_empty();
-                deliver(graph, v, &mut outbox, &mut pending, &mut report, &mut frontier);
+                deliver(
+                    graph,
+                    v,
+                    &mut outbox,
+                    &mut pending,
+                    &mut report,
+                    &mut frontier,
+                    &mut meter,
+                );
             }
+            let round_bits =
+                meter.finish_round(graph, report.rounds + 1, self.cost_mode, &mut report)?;
             if let Some(recorder) = trace.as_deref_mut() {
                 recorder.record(RoundTrace {
                     round: report.rounds,
                     active_nodes: active_at_start,
                     frontier: stepped,
                     messages: report.messages - messages_before,
+                    total_bits: round_bits.total,
+                    max_edge_bits: round_bits.max_edge,
                     halted: halted_this_round,
                     wall_ns: round_started
                         .map(|t| t.elapsed().as_nanos().min(u64::MAX as u128) as u64)
@@ -398,7 +446,8 @@ impl MailboxCursor {
 
 /// Routes the outbox of `sender` into the pending flat mailboxes: one mirror-table read per
 /// message, no `port_of` scan, no allocation (the outbox is drained in place and reused).
-/// Every delivery marks the receiver in `frontier` so it is stepped in the next round.
+/// Every delivery marks the receiver in `frontier` so it is stepped in the next round, and
+/// charges the message's measured width to the receiving arc in `meter`.
 #[inline]
 pub(crate) fn deliver<M>(
     graph: &Graph,
@@ -407,13 +456,15 @@ pub(crate) fn deliver<M>(
     pending: &mut ArcMailboxes<M>,
     report: &mut RoundReport,
     frontier: &mut Frontier,
+    meter: &mut BandwidthMeter,
 ) where
-    M: Clone,
+    M: Clone + MessageCost,
 {
     let first_arc = graph.arc_range(sender).start;
     let mirror = graph.mirror_arcs();
     for (port, message) in outbox.drain() {
         let arc = first_arc + port;
+        meter.add(mirror[arc], message.encoded_bits());
         pending.push(mirror[arc], message);
         frontier.mark(graph.arc_target(arc));
         report.messages += 1;

@@ -377,8 +377,9 @@ impl<M: Clone> Outbox<M> {
 /// bit-identity suites double as a check that converted programs treat a skipped no-op round
 /// and an executed one identically.
 pub trait NodeProgram {
-    /// Message type exchanged by this algorithm.
-    type Msg: Clone;
+    /// Message type exchanged by this algorithm.  The [`MessageCost`](crate::cost::MessageCost)
+    /// bound is what lets the executors account CONGEST bandwidth for every algorithm.
+    type Msg: Clone + crate::cost::MessageCost;
     /// Per-vertex output of the algorithm.
     type Output;
 

@@ -15,6 +15,7 @@
 //!
 //! It is not optimized, and should not be used outside tests and benches.
 
+use crate::cost::{default_cost_mode, BandwidthMeter, CostMode, MessageCost};
 use crate::metrics::RoundReport;
 use crate::network::{id_space_of, neighbor_id_table, node_ctx, ExecutionResult, RuntimeError};
 use crate::node::{Algorithm, Inbox, NodeProgram, Outbox, Status};
@@ -26,18 +27,32 @@ use arbcolor_graph::Graph;
 pub struct ReferenceExecutor<'g> {
     graph: &'g Graph,
     max_rounds: usize,
+    cost_mode: CostMode,
 }
 
 impl<'g> ReferenceExecutor<'g> {
-    /// Creates a reference executor for `graph` with the default round limit.
+    /// Creates a reference executor for `graph` with the default round limit and the
+    /// process-wide default cost mode.
     pub fn new(graph: &'g Graph) -> Self {
-        ReferenceExecutor { graph, max_rounds: crate::Executor::DEFAULT_MAX_ROUNDS }
+        ReferenceExecutor {
+            graph,
+            max_rounds: crate::Executor::DEFAULT_MAX_ROUNDS,
+            cost_mode: default_cost_mode(),
+        }
     }
 
     /// Overrides the round limit.
     #[must_use]
     pub fn with_max_rounds(mut self, max_rounds: usize) -> Self {
         self.max_rounds = max_rounds;
+        self
+    }
+
+    /// Overrides the cost mode (see [`Executor::with_cost_mode`](crate::Executor::with_cost_mode));
+    /// the oracle's bandwidth accounting must stay bit-identical to the flat executors'.
+    #[must_use]
+    pub fn with_cost_mode(mut self, cost_mode: CostMode) -> Self {
+        self.cost_mode = cost_mode;
         self
     }
 
@@ -75,6 +90,7 @@ impl<'g> ReferenceExecutor<'g> {
             (0..n).map(|_| Vec::new()).collect();
 
         // Initialization: local computation plus the sends of the first round.
+        let mut meter = BandwidthMeter::new(graph.num_arcs());
         let mut any_outgoing = false;
         for v in 0..n {
             let mut outbox = Outbox::new(contexts[v].degree);
@@ -83,8 +99,9 @@ impl<'g> ReferenceExecutor<'g> {
                 active[v] = false;
             }
             any_outgoing |= !outbox.is_empty();
-            deliver_by_scan(graph, v, outbox, &mut pending, &mut report);
+            deliver_by_scan(graph, v, outbox, &mut pending, &mut report, &mut meter);
         }
+        meter.finish_round(graph, report.rounds + 1, self.cost_mode, &mut report)?;
 
         // Main loop: one iteration = one synchronous round.
         while active.iter().any(|&a| a) || any_outgoing {
@@ -109,8 +126,9 @@ impl<'g> ReferenceExecutor<'g> {
                     active[v] = false;
                 }
                 any_outgoing |= !outbox.is_empty();
-                deliver_by_scan(graph, v, outbox, &mut pending, &mut report);
+                deliver_by_scan(graph, v, outbox, &mut pending, &mut report, &mut meter);
             }
+            meter.finish_round(graph, report.rounds + 1, self.cost_mode, &mut report)?;
             if !active.iter().any(|&a| a) {
                 break;
             }
@@ -134,13 +152,17 @@ fn swap_mailboxes<T>(pending: &mut Vec<Vec<T>>, inbox: &mut Vec<Vec<T>>) {
 
 /// Routes the outbox of `sender` into the pending per-vertex inboxes, deriving each
 /// receiver's port with a linear scan of its adjacency list — the O(deg)-per-message
-/// delivery the mirror table replaced.
-fn deliver_by_scan<M: Clone>(
+/// delivery the mirror table replaced.  Bandwidth is charged to the receiver-side arc
+/// `arc_range(receiver).start + receiver_port` (derived from the scan, not the mirror
+/// table, to keep the no-shared-routing-code property), the same index the flat executors
+/// charge, so the bit accounting is identical.
+fn deliver_by_scan<M: Clone + MessageCost>(
     graph: &Graph,
     sender: usize,
     outbox: Outbox<M>,
     pending: &mut [Vec<(usize, M)>],
     report: &mut RoundReport,
+    meter: &mut BandwidthMeter,
 ) {
     let neighbors = graph.neighbors(sender);
     for (port, message) in outbox.into_messages() {
@@ -150,6 +172,7 @@ fn deliver_by_scan<M: Clone>(
             .iter()
             .position(|&w| w == sender)
             .expect("graph adjacency is symmetric");
+        meter.add(graph.arc_range(receiver).start + receiver_port, message.encoded_bits());
         pending[receiver].push((receiver_port, message));
         report.messages += 1;
     }

@@ -64,6 +64,7 @@
 //! # }
 //! ```
 
+use crate::cost::{default_cost_mode, BandwidthMeter, CostMode, MessageCost};
 use crate::frontier::{ActiveSet, Frontier};
 use crate::metrics::RoundReport;
 use crate::network::{
@@ -384,6 +385,7 @@ pub struct ShardedExecutor<'g> {
     threads: usize,
     chunk_size: usize,
     sequential_cutoff: usize,
+    cost_mode: CostMode,
 }
 
 impl<'g> ShardedExecutor<'g> {
@@ -406,6 +408,7 @@ impl<'g> ShardedExecutor<'g> {
             threads,
             chunk_size: default_chunk_size(),
             sequential_cutoff: default_sequential_cutoff(),
+            cost_mode: default_cost_mode(),
         }
     }
 
@@ -442,6 +445,14 @@ impl<'g> ShardedExecutor<'g> {
         self
     }
 
+    /// Overrides the cost mode (see [`Executor::with_cost_mode`]); the accounting is
+    /// bit-identical to the sequential executor's at any thread count and chunk size.
+    #[must_use]
+    pub fn with_cost_mode(mut self, cost_mode: CostMode) -> Self {
+        self.cost_mode = cost_mode;
+        self
+    }
+
     /// The graph this executor runs on.
     pub fn graph(&self) -> &Graph {
         self.graph
@@ -466,7 +477,10 @@ impl<'g> ShardedExecutor<'g> {
         let graph = self.graph;
         let n = graph.n();
         if n <= self.sequential_cutoff {
-            return Executor::new(graph).with_max_rounds(self.max_rounds).run(algorithm);
+            return Executor::new(graph)
+                .with_max_rounds(self.max_rounds)
+                .with_cost_mode(self.cost_mode)
+                .run(algorithm);
         }
 
         let chunk = self.chunk_size.max(1);
@@ -516,6 +530,7 @@ impl<'g> ShardedExecutor<'g> {
         let report = pool.scope(|scope| {
             let mut report = RoundReport::zero();
             let mut frontier = Frontier::new(n);
+            let mut meter = BandwidthMeter::new(graph.num_arcs());
             let mut pending: ArcMailboxes<<A::Node as NodeProgram>::Msg> =
                 ArcMailboxes::new(graph.arc_span(0..n));
 
@@ -554,8 +569,10 @@ impl<'g> ShardedExecutor<'g> {
                 &mut pending,
                 &mut frontier,
                 &mut active_lock.write().expect("active lock"),
+                &mut meter,
             );
             report.messages += init_messages;
+            meter.finish_round(graph, report.rounds + 1, self.cost_mode, &mut report)?;
             let mut any_outgoing = init_messages > 0;
             let mut total_active = active_lock.read().expect("active lock").count();
 
@@ -630,8 +647,10 @@ impl<'g> ShardedExecutor<'g> {
                     &mut pending,
                     &mut frontier,
                     &mut active_lock.write().expect("active lock"),
+                    &mut meter,
                 );
                 report.messages += round_messages;
+                meter.finish_round(graph, report.rounds + 1, self.cost_mode, &mut report)?;
                 any_outgoing = round_messages > 0;
                 total_active = active_lock.read().expect("active lock").count();
                 if total_active == 0 {
@@ -668,14 +687,16 @@ fn route_outbox<M: Clone>(
 
 /// Commits the chunks produced by one fork/join step **in chunk order**: pushes the
 /// outgoing messages into the pending mailboxes (ascending sender order — the order the
-/// sequential delivery loop produces), marks every receiver and self-scheduled wakeup in
-/// the frontier, and applies the halts.  Returns the number of messages committed.
-fn commit_chunks<M>(
+/// sequential delivery loop produces), charges each message's measured width to its arc in
+/// `meter`, marks every receiver and self-scheduled wakeup in the frontier, and applies the
+/// halts.  Returns the number of messages committed.
+fn commit_chunks<M: MessageCost>(
     graph: &Graph,
     produced: Vec<Vec<(usize, ChunkOut<M>)>>,
     pending: &mut ArcMailboxes<M>,
     frontier: &mut Frontier,
     active: &mut ActiveSet,
+    meter: &mut BandwidthMeter,
 ) -> usize {
     let mut chunks: Vec<(usize, ChunkOut<M>)> = produced.into_iter().flatten().collect();
     chunks.sort_unstable_by_key(|&(c, _)| c);
@@ -683,6 +704,7 @@ fn commit_chunks<M>(
     for (_, out) in chunks {
         messages += out.outgoing.len();
         for (arc, message) in out.outgoing {
+            meter.add(arc, message.encoded_bits());
             pending.push(arc, message);
             frontier.mark(arc_owner(graph, arc));
         }

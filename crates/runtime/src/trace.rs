@@ -21,6 +21,12 @@ pub struct RoundTrace {
     pub frontier: usize,
     /// Number of messages delivered in this round.
     pub messages: usize,
+    /// Bits across this round's sends, as measured by
+    /// [`MessageCost`](crate::cost::MessageCost) (delivered at the start of the next round,
+    /// matching the send-side accounting of `messages`).
+    pub total_bits: u64,
+    /// The largest bit load a single edge (per direction) carried among this round's sends.
+    pub max_edge_bits: u64,
     /// Vertices that halted during this round.
     pub halted: Vec<usize>,
     /// Wall-clock nanoseconds the executor spent stepping this round (advisory; 0 when the
@@ -124,7 +130,7 @@ mod tests {
             frontier: 10,
             messages: 40,
             halted: vec![],
-            wall_ns: 0,
+            ..RoundTrace::default()
         });
         t.record(RoundTrace {
             round: 2,
@@ -132,7 +138,7 @@ mod tests {
             frontier: 5,
             messages: 24,
             halted: vec![3, 4],
-            wall_ns: 0,
+            ..RoundTrace::default()
         });
         t.record(RoundTrace {
             round: 3,
@@ -140,7 +146,7 @@ mod tests {
             frontier: 1,
             messages: 4,
             halted: vec![0, 1],
-            wall_ns: 0,
+            ..RoundTrace::default()
         });
         t
     }
