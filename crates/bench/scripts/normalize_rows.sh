@@ -4,11 +4,11 @@
 # must be bit-identical across executors, thread counts, and chunk sizes.
 #
 # The prefix rule is the same one `arbcolor_bench::perf::is_advisory` applies in
-# the perf gate — `wall_ms*` and `speedup_*` — so the CI diff legs and the perf
+# the perf gate — `wall_*` and `speedup_*` — so the CI diff legs and the perf
 # pipeline agree on what counts as deterministic.  Used by the bench-smoke,
 # ingest-smoke, and congest-smoke jobs (one definition instead of drifting
 # per-job copies).
 #
 # Usage: normalize_rows.sh rows.jsonl > rows.normalized.jsonl
 set -eu
-jq -c '.values |= with_entries(select(.key | test("^(wall_ms|speedup_)") | not))' "$@"
+jq -c '.values |= with_entries(select(.key | test("^(wall_|speedup_)") | not))' "$@"

@@ -38,17 +38,26 @@
 //! `--perf-out FILE` (or `--perf-out=FILE`) additionally writes the performance-tracking
 //! rows (the experiments in `arbcolor_bench::perf::PERF_EXPERIMENTS` — currently the
 //! E17/E18 scale and routing races, the E19/E20 ingestion and dynamic-recoloring
-//! workloads, the E21 frontier-collapse trace, and the E22 CONGEST bandwidth race) as one
-//! machine-readable JSON document (schema `arbcolor-perf-v1`).  The CI
-//! `bench-smoke` job archives one per PR under the `BENCH_PR<N>.json` naming scheme and the
-//! `perf_gate` binary diffs its deterministic columns against the committed baseline of the
-//! previous PR, failing the build on regressions (wall-clock columns stay advisory).
+//! workloads, the E21 frontier-collapse trace, the E22 CONGEST bandwidth race, and the E23
+//! per-phase cost breakdown) as one machine-readable JSON document (schema
+//! `arbcolor-perf-v1`).  The CI `bench-smoke` job archives one per PR under the
+//! `BENCH_PR<N>.json` naming scheme and the `perf_gate` binary diffs its deterministic
+//! columns against the committed baseline of the previous PR, failing the build on
+//! regressions (wall-clock columns stay advisory).
+//!
+//! `--trace-out FILE` (or `--trace-out=FILE`) installs an observability collector
+//! (`arbcolor_runtime::obs`) for the whole run and writes a Chrome trace-event JSON file on
+//! exit: every executor run and every instrumented driver phase becomes a nested slice
+//! (load the file at `ui.perfetto.dev` or `chrome://tracing`), and traced rounds become
+//! instant events.  A per-phase summary table and the metrics registry (run counters plus
+//! power-of-two round/message histograms) are printed to stderr.  The CI `trace-smoke` job
+//! validates the file's schema and slice nesting with `jq` on every pull request.
 
 use arbcolor_bench::experiments::{self, SizeClass};
 use arbcolor_bench::perf::{PerfDoc, PERF_EXPERIMENTS};
 use arbcolor_bench::Row;
 use arbcolor_runtime::{
-    set_default_chunk_size, set_default_executor, set_default_sequential_cutoff, ExecutorKind,
+    obs, set_default_chunk_size, set_default_executor, set_default_sequential_cutoff, ExecutorKind,
 };
 
 fn main() {
@@ -62,6 +71,7 @@ fn main() {
     let mut chunk_size: Option<&str> = None;
     let mut perf_out: Option<&str> = None;
     let mut seed: Option<&str> = None;
+    let mut trace_out: Option<&str> = None;
     let mut positional: Vec<&String> = Vec::new();
     let mut i = 0;
     while i < args.len() {
@@ -72,6 +82,7 @@ fn main() {
             ("--chunk-size", &mut chunk_size),
             ("--perf-out", &mut perf_out),
             ("--seed", &mut seed),
+            ("--trace-out", &mut trace_out),
         ] {
             if arg == flag {
                 let Some(value) = args.get(i + 1) else {
@@ -118,6 +129,10 @@ fn main() {
         experiments::set_experiment_seed(parsed);
     }
 
+    // `--trace-out`: record every executor run and driver phase for the whole invocation.
+    let collector = trace_out.map(|_| obs::SpanCollector::new());
+    let _recording = collector.as_ref().map(obs::install);
+
     // The experiment selection: `all`, one id, or a comma-separated list (`E17,E18`;
     // empty segments from trailing commas are ignored).
     let which: Vec<String> = positional
@@ -127,7 +142,7 @@ fn main() {
         })
         .unwrap_or_else(|| vec!["ALL".to_string()]);
     if which.is_empty() {
-        eprintln!("empty experiment selection; known ids are E1..E22 or 'all'");
+        eprintln!("empty experiment selection; known ids are E1..E23 or 'all'");
         std::process::exit(1);
     }
     let all = which.iter().any(|id| id == "ALL");
@@ -142,7 +157,7 @@ fn main() {
     let unknown: Vec<&String> =
         which.iter().filter(|w| *w != "ALL" && !catalog.iter().any(|(id, _)| id == w)).collect();
     if !unknown.is_empty() {
-        eprintln!("unknown experiment id(s) {unknown:?}; known ids are E1..E22 or 'all'");
+        eprintln!("unknown experiment id(s) {unknown:?}; known ids are E1..E23 or 'all'");
         std::process::exit(1);
     }
     let selected: Vec<_> =
@@ -175,5 +190,17 @@ fn main() {
             eprintln!("cannot write --perf-out file {path}: {e}");
             std::process::exit(1);
         });
+    }
+    if let (Some(path), Some(collector)) = (trace_out, collector.as_ref()) {
+        std::fs::write(path, obs::chrome_trace_json(collector)).unwrap_or_else(|e| {
+            eprintln!("cannot write --trace-out file {path}: {e}");
+            std::process::exit(1);
+        });
+        eprintln!("{}", obs::summary_table(collector));
+        let metrics = collector.metrics();
+        if !metrics.is_empty() {
+            eprintln!("{}", metrics.render());
+        }
+        eprintln!("wrote {} spans to {path} (load at ui.perfetto.dev)", collector.len());
     }
 }

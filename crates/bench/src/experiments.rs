@@ -370,11 +370,10 @@ pub fn e15_primitives(sz: SizeClass) -> Vec<Row> {
     rows
 }
 
-/// E16 — the headline head-to-head: Barenboim–Elkin versus Ghaffari–Kuhn on the same seeded
-/// graph of every generator family.  Every coloring is re-verified legal with at most `Δ + 1`
-/// colors before its row is emitted.
-pub fn e16_headline_head_to_head(sz: SizeClass) -> Vec<Row> {
-    let families: Vec<(&str, Graph)> = vec![
+/// The seeded generator-family suite every headliner head-to-head runs on (E16, E22, E23):
+/// one graph per family, identical across the three experiments so their tables align.
+fn headline_families(sz: SizeClass) -> Vec<(&'static str, Graph)> {
+    vec![
         (
             "forests",
             generators::union_of_random_forests(sz.n(500), 3, 89).unwrap().with_shuffled_ids(10),
@@ -390,7 +389,14 @@ pub fn e16_headline_head_to_head(sz: SizeClass) -> Vec<Row> {
         ("random-trees", generators::random_tree(sz.n(500), 97).unwrap().with_shuffled_ids(13)),
         ("grid", generators::grid(sz.n(120) / 5, 25).unwrap().with_shuffled_ids(14)),
         ("caterpillar", generators::caterpillar(sz.n(480) / 6, 5).unwrap().with_shuffled_ids(15)),
-    ];
+    ]
+}
+
+/// E16 — the headline head-to-head: Barenboim–Elkin versus Ghaffari–Kuhn on the same seeded
+/// graph of every generator family.  Every coloring is re-verified legal with at most `Δ + 1`
+/// colors before its row is emitted.
+pub fn e16_headline_head_to_head(sz: SizeClass) -> Vec<Row> {
+    let families = headline_families(sz);
     let mut rows = Vec::new();
     for (family, g) in &families {
         let delta_plus_one = g.max_degree() + 1;
@@ -899,23 +905,7 @@ pub fn e22_congest_bandwidth_race(sz: SizeClass) -> Vec<Row> {
     }
     let _restore = CostModeGuard(default_cost_mode());
 
-    let families: Vec<(&str, Graph)> = vec![
-        (
-            "forests",
-            generators::union_of_random_forests(sz.n(500), 3, 89).unwrap().with_shuffled_ids(10),
-        ),
-        (
-            "star-forests",
-            generators::star_forest_union(sz.n(600), 2, 4, 91).unwrap().with_shuffled_ids(11),
-        ),
-        (
-            "preferential-attachment",
-            generators::barabasi_albert(sz.n(600), 3, 93).unwrap().with_shuffled_ids(12),
-        ),
-        ("random-trees", generators::random_tree(sz.n(500), 97).unwrap().with_shuffled_ids(13)),
-        ("grid", generators::grid(sz.n(120) / 5, 25).unwrap().with_shuffled_ids(14)),
-        ("caterpillar", generators::caterpillar(sz.n(480) / 6, 5).unwrap().with_shuffled_ids(15)),
-    ];
+    let families = headline_families(sz);
     let mut rows = Vec::new();
     for (family, g) in &families {
         // A generous CONGEST allowance: every message of every pipeline is one O(log n)-bit
@@ -962,6 +952,109 @@ pub fn e22_congest_bandwidth_race(sz: SizeClass) -> Vec<Row> {
                     .with("bits_budget", budget_bits as f64)
                     .with("legal", 1.0),
             );
+        }
+    }
+    rows
+}
+
+/// E23 — the per-phase cost breakdown: all three headliners on every generator family, each
+/// run wrapped in an observability span (`arbcolor_runtime::obs`) so the instrumented
+/// drivers attribute the headline [`RoundReport`] to named phases.
+///
+/// * Barenboim–Elkin decomposes into `h-partition` / `arbdefective` (the refinement loop,
+///   with the H-partition share split out exactly) / `legal-coloring` (the final
+///   low-arboricity coloring).
+/// * Ghaffari–Kuhn's `level-*` spans — one per halving level — are merged into a single
+///   `halving` phase here (their count is the `halving_depth` column), next to
+///   `deferred-cleanup`.
+/// * HKMT splits into `random-trials` and the deterministic `gk-fallback`.
+///
+/// Every row asserts, before it is emitted, that the phase reports sum **bit-exactly** to
+/// the headline report in `rounds`, `messages`, and `total_bits` — the invariant the
+/// `tests/obs_spans.rs` suite also checks across executors — and emits one
+/// `ph_<phase>_{rounds,messages,bits}` column triple per phase.  All phase columns are
+/// deterministic (HKMT draws from the process-wide [`experiment_seed`]), so the perf gate
+/// tracks them like any other cost column.
+pub fn e23_phase_breakdown(sz: SizeClass) -> Vec<Row> {
+    use arbcolor_runtime::obs;
+
+    // Reuse the collector installed by `--trace-out` when present (so E23's spans land in
+    // the exported Chrome trace); otherwise install a scratch collector for the duration.
+    let scratch = if obs::current().is_none() { Some(obs::SpanCollector::new()) } else { None };
+    let _guard = scratch.as_ref().map(obs::install);
+    let collector = obs::current().expect("an observability collector is installed");
+
+    let families = headline_families(sz);
+    let mut rows = Vec::new();
+    for (family, g) in &families {
+        let delta_plus_one = g.max_degree() + 1;
+        for algorithm in congest_headliners(experiment_seed()) {
+            let parent = collector.len();
+            let span = obs::phase(algorithm.name());
+            let outcome = algorithm
+                .run(g)
+                .unwrap_or_else(|e| panic!("{} failed on {family}: {e}", algorithm.name()));
+            span.charge(outcome.report);
+            drop(span);
+            assert!(
+                outcome.coloring.is_legal(g),
+                "{} produced an illegal coloring on {family}",
+                outcome.name
+            );
+            assert!(
+                outcome.colors <= delta_plus_one,
+                "{} used {} colors on {family} but Δ + 1 = {delta_plus_one}",
+                outcome.name,
+                outcome.colors
+            );
+
+            let spans = collector.snapshot();
+            assert_eq!(
+                spans[parent].name,
+                algorithm.name(),
+                "the headliner span must sit at the recorded index"
+            );
+            // Merge GK's per-level spans into one "halving" phase, counting the depth.
+            let mut halving_depth = 0usize;
+            let mut phases: Vec<(String, RoundReport)> = Vec::new();
+            for (name, report) in obs::phase_rollup(&spans, parent) {
+                let merged = if name.starts_with("level-") {
+                    halving_depth += 1;
+                    "halving".to_string()
+                } else {
+                    name
+                };
+                match phases.iter_mut().find(|(existing, _)| *existing == merged) {
+                    Some((_, acc)) => *acc = acc.then(report),
+                    None => phases.push((merged, report)),
+                }
+            }
+            assert!(!phases.is_empty(), "{} recorded no phase spans on {family}", outcome.name);
+            let phase_sum =
+                phases.iter().fold(RoundReport::zero(), |acc, (_, report)| acc.then(*report));
+            assert_eq!(
+                (phase_sum.rounds, phase_sum.messages, phase_sum.total_bits),
+                (outcome.report.rounds, outcome.report.messages, outcome.report.total_bits),
+                "{} phase spans do not sum to the headline report on {family}",
+                outcome.name
+            );
+
+            let mut row = Row::new("E23", format!("{family} n={} · {}", g.n(), outcome.name))
+                .with("n", g.n() as f64)
+                .with("colors", outcome.colors as f64)
+                .with("rounds", outcome.report.rounds as f64)
+                .with("messages", outcome.report.messages as f64)
+                .with("total_bits", outcome.report.total_bits as f64)
+                .with("halving_depth", halving_depth as f64)
+                .with("legal", 1.0);
+            for (name, report) in &phases {
+                let slug = name.replace('-', "_");
+                row = row
+                    .with(&format!("ph_{slug}_rounds"), report.rounds as f64)
+                    .with(&format!("ph_{slug}_messages"), report.messages as f64)
+                    .with(&format!("ph_{slug}_bits"), report.total_bits as f64);
+            }
+            rows.push(row);
         }
     }
     rows
@@ -1017,6 +1110,7 @@ pub fn catalog() -> Vec<(&'static str, ExperimentFn)> {
         ("E20", e20_dynamic_recoloring),
         ("E21", e21_frontier_collapse),
         ("E22", e22_congest_bandwidth_race),
+        ("E23", e23_phase_breakdown),
     ]
 }
 
@@ -1051,8 +1145,8 @@ mod tests {
         // here we only pin their catalog identities so `experiments -- E17`/`E18` resolve.
         let ids: Vec<&str> = catalog().iter().map(|(id, _)| *id).collect();
         assert_eq!(ids.first(), Some(&"E1"));
-        assert_eq!(ids.last(), Some(&"E22"));
-        assert_eq!(ids.len(), 22);
+        assert_eq!(ids.last(), Some(&"E23"));
+        assert_eq!(ids.len(), 23);
     }
 
     #[test]
@@ -1067,6 +1161,37 @@ mod tests {
             assert!(row.values["max_edge_bits"] <= row.values["bits_budget"]);
             assert!(row.values["total_bits"] >= row.values["max_edge_bits"]);
             assert_eq!(row.values["legal"], 1.0);
+        }
+    }
+
+    #[test]
+    fn e23_phase_columns_sum_to_the_headline_report() {
+        // The experiment itself asserts the bit-exact sum before emitting a row; here we
+        // re-check the emitted columns and pin the phase vocabulary per headliner.
+        let rows = e23_phase_breakdown(SizeClass::Smoke);
+        assert_eq!(rows.len() % 3, 0);
+        for row in &rows {
+            assert_eq!(row.values["legal"], 1.0);
+            for metric in ["rounds", "messages", "bits"] {
+                let headline = if metric == "bits" { "total_bits" } else { metric };
+                let sum: f64 = row
+                    .values
+                    .iter()
+                    .filter(|(k, _)| k.starts_with("ph_") && k.ends_with(&format!("_{metric}")))
+                    .map(|(_, v)| v)
+                    .sum();
+                assert_eq!(sum, row.values[headline], "{}: {metric}", row.workload);
+            }
+            if row.workload.contains("barenboim_elkin") {
+                assert!(row.values.contains_key("ph_legal_coloring_rounds"), "{}", row.workload);
+            }
+            if row.workload.contains("ghaffari_kuhn") {
+                assert!(row.values.contains_key("ph_halving_rounds"), "{}", row.workload);
+                assert!(row.values["halving_depth"] >= 1.0, "{}", row.workload);
+            }
+            if row.workload.contains("hkmt_random") {
+                assert!(row.values.contains_key("ph_random_trials_rounds"), "{}", row.workload);
+            }
         }
     }
 

@@ -8,7 +8,7 @@
 //! * **deterministic columns** (colors, rounds, messages, …) are *gated* — any worsening
 //!   fails the build, because the whole stack is seeded and bit-reproducible, so a drift
 //!   here is a behavioural change, not noise;
-//! * **wall-clock columns** (`wall_ms*`, `speedup_*`) are *advisory* — logged with their
+//! * **wall-clock columns** (`wall_*`, `speedup_*`) are *advisory* — logged with their
 //!   ratios, never gated, because CI hardware varies.
 //!
 //! The vendored `serde_json` stand-in can only serialize, so this module carries its own
@@ -21,8 +21,9 @@ use std::fmt::Write as _;
 
 /// The experiments whose rows are collected into the perf document: the sharded-scale and
 /// routing races (PR 3/4), the ingestion and dynamic-recoloring workloads (PR 5), the
-/// frontier-collapse activity trace (PR 6), and the CONGEST bandwidth race (PR 7).
-pub const PERF_EXPERIMENTS: [&str; 6] = ["E17", "E18", "E19", "E20", "E21", "E22"];
+/// frontier-collapse activity trace (PR 6), the CONGEST bandwidth race (PR 7), and the
+/// per-phase cost breakdown (PR 8).
+pub const PERF_EXPERIMENTS: [&str; 7] = ["E17", "E18", "E19", "E20", "E21", "E22", "E23"];
 
 /// Value columns that must not worsen between PRs (the stack is deterministic, so any
 /// change is a real behavioural difference).  Lower is better for all of these —
@@ -49,11 +50,13 @@ const GATED_LOWER_IS_BETTER: [&str; 9] = [
 const GATED_HIGHER_IS_BETTER: [&str; 1] = ["legal"];
 
 /// Whether a column is advisory (never gated): wall-clock and speedup measurements, which
-/// vary with CI hardware.  Every other column in a perf row is deterministic — if it has no
+/// vary with CI hardware.  Any `wall_`-prefixed column qualifies (`wall_ms`, `wall_ns`,
+/// per-contender variants like `wall_ms_seq`), so new timing columns never need to be
+/// registered here.  Every other column in a perf row is deterministic — if it has no
 /// entry in the directioned lists above, *any* change gates (e.g. an `m` or `degeneracy`
 /// drift on the same workload means the graph itself changed).
 fn is_advisory(column: &str) -> bool {
-    column.starts_with("wall_ms") || column.starts_with("speedup_")
+    column.starts_with("wall_") || column.starts_with("speedup_")
 }
 
 /// The machine-readable performance-tracking document `--perf-out` writes.
@@ -586,6 +589,16 @@ mod tests {
         assert_eq!(cmp.matched_rows, 0);
         let same = compare_docs(&baseline, &baseline);
         assert_eq!(same.matched_rows, 1);
+    }
+
+    #[test]
+    fn any_wall_prefixed_column_is_advisory() {
+        for column in ["wall_ms", "wall_ms_seq", "wall_ns_round", "speedup_vs_seq"] {
+            assert!(is_advisory(column), "{column} must be advisory");
+        }
+        for column in ["rounds", "ph_halving_rounds", "total_bits", "walltime"] {
+            assert!(!is_advisory(column), "{column} must gate");
+        }
     }
 
     #[test]

@@ -44,7 +44,7 @@ use arbcolor_graph::{Coloring, Graph, InducedSubgraph, Vertex};
 use arbcolor_runtime::algorithms::{
     HalvingSplit, ListColorSlot, ScheduledListColor, SplitChoice, SplitSlot,
 };
-use arbcolor_runtime::{parallel_max, run_algorithm, CostLedger, RoundReport};
+use arbcolor_runtime::{obs, parallel_max, run_algorithm, CostLedger, RoundReport};
 
 /// Color-space size at or below which an instance is finished by a direct greedy list sweep
 /// (its maximum degree is below this bound too, because lists have greedy slack).
@@ -125,6 +125,9 @@ pub fn ghaffari_kuhn_list_coloring(
     let mut level = 0usize;
 
     while !active.is_empty() {
+        // One observability span per halving level; the executor runs of the level
+        // (defective colorings, the scheduled bipartition, leaf sweeps) nest inside it.
+        let level_span = obs::phase(format!("level-{level}"));
         let mut splitters = Vec::new();
         let mut leaf_reports = Vec::new();
         let mut next = Vec::new();
@@ -201,6 +204,8 @@ pub fn ghaffari_kuhn_list_coloring(
         if level_report != RoundReport::zero() {
             ledger.push(format!("level-{level}"), level_report);
         }
+        level_span.charge(level_report);
+        drop(level_span);
         active = next;
         level += 1;
     }
@@ -208,6 +213,7 @@ pub fn ghaffari_kuhn_list_coloring(
     // Deferred vertices are colored last, from their *original* lists, avoiding the final
     // colors of their already-colored neighbors; the original greedy slack guarantees success.
     if !deferred.is_empty() {
+        let cleanup_span = obs::phase("deferred-cleanup");
         let sub = InducedSubgraph::new(graph, &deferred);
         let cleanup_lists: Vec<Vec<u64>> =
             (0..sub.graph.n()).map(|child| lists.list(sub.map.to_parent(child)).to_vec()).collect();
@@ -222,6 +228,7 @@ pub fn ghaffari_kuhn_list_coloring(
         for (child, c) in cleanup_colors.into_iter().enumerate() {
             colors[sub.map.to_parent(child)] = Some(c);
         }
+        cleanup_span.charge(report);
         ledger.push("deferred-cleanup", report);
     }
 

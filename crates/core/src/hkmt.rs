@@ -33,7 +33,8 @@ use crate::list_coloring::ColorLists;
 use crate::report::ColoringRun;
 use arbcolor_graph::{Coloring, Graph, InducedSubgraph, Vertex};
 use arbcolor_runtime::{
-    run_algorithm, Algorithm, CostLedger, Inbox, MessageCost, NodeCtx, NodeProgram, Outbox, Status,
+    obs, run_algorithm, Algorithm, CostLedger, Inbox, MessageCost, NodeCtx, NodeProgram, Outbox,
+    Status,
 };
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
@@ -234,9 +235,12 @@ pub fn hkmt_list_coloring(
     }
 
     let mut ledger = CostLedger::new();
+    let trials_span = obs::phase("random-trials");
     let sampling =
         run_algorithm(graph, &RandomTrials { seed, trials: default_trials(graph.n()), lists })?;
     ledger.push("random-trials", sampling.report);
+    trials_span.charge(sampling.report);
+    drop(trials_span);
     let mut colors: Vec<Option<u64>> = sampling.outputs;
 
     // Deterministic fallback on the leftover: trial coloring preserves greedy slack (a
@@ -244,6 +248,9 @@ pub fn hkmt_list_coloring(
     // degree), so the reduced instance is a valid GK input.
     let leftover: Vec<Vertex> = graph.vertices().filter(|&v| colors[v].is_none()).collect();
     if !leftover.is_empty() {
+        // GK's own level spans nest inside this one; the depth-1 rollup only sees
+        // "gk-fallback", so there is no double counting.
+        let fallback_span = obs::phase("gk-fallback");
         let sub = InducedSubgraph::new(graph, &leftover);
         let reduced: Vec<Vec<u64>> = (0..sub.graph.n())
             .map(|child| {
@@ -259,6 +266,8 @@ pub fn hkmt_list_coloring(
             colors[sub.map.to_parent(child)] = Some(fallback.coloring.color(child));
         }
         ledger.push("gk-fallback", fallback.report);
+        fallback_span.charge(fallback.report);
+        drop(fallback_span);
     }
 
     let colors: Vec<u64> = colors

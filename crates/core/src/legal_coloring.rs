@@ -24,7 +24,7 @@ use crate::report::ColoringRun;
 use arbcolor_decompose::arb_linear::arboricity_linear_coloring;
 use arbcolor_decompose::hpartition::degree_threshold;
 use arbcolor_graph::{Coloring, Graph, InducedSubgraph, PartitionScratch};
-use arbcolor_runtime::{CostLedger, RoundReport};
+use arbcolor_runtime::{obs, parallel_max, CostLedger, RoundReport};
 
 /// Parameters of the raw Legal-Coloring driver.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -66,6 +66,10 @@ struct PhaseScratch {
     partition: PartitionScratch,
     next_group: Vec<usize>,
     branch_reports: Vec<RoundReport>,
+    /// Per-branch "h-partition" ledger entries of the current refinement iteration, kept
+    /// alongside the branch totals so the iteration's cost can be attributed to
+    /// observability spans (H-partition share vs. the rest of the arbdefective work).
+    branch_hpartitions: Vec<RoundReport>,
 }
 
 /// Runs Procedure Legal-Coloring (Algorithm 2) with an explicit refinement parameter `p`.
@@ -106,6 +110,7 @@ pub fn legal_coloring(
         let subgraphs =
             InducedSubgraph::partition_with(graph, &group, num_groups, &mut scratch.partition);
         scratch.branch_reports.clear();
+        scratch.branch_hpartitions.clear();
         scratch.next_group.clear();
         scratch.next_group.extend_from_slice(&group);
         for (g_index, sub) in subgraphs.iter().enumerate() {
@@ -114,11 +119,28 @@ pub fn legal_coloring(
             }
             let refined = arbdefective_coloring(&sub.graph, alpha, p as u64, p, epsilon)?;
             scratch.branch_reports.push(refined.ledger.total());
+            scratch.branch_hpartitions.push(
+                refined
+                    .ledger
+                    .phases()
+                    .iter()
+                    .find(|phase| phase.name == "h-partition")
+                    .map(|phase| phase.report)
+                    .unwrap_or_default(),
+            );
             for child in 0..sub.graph.n() {
                 let color = refined.coloring.coloring.color(child) as usize;
                 scratch.next_group[sub.map.to_parent(child)] = g_index * p + color;
             }
         }
+        // Attribute the iteration's cost to observability spans: the H-partition share
+        // (parallel-max over the branches' "h-partition" entries) plus the exact residual
+        // (the remaining arbdefective work), which `then`-compose back to the iteration's
+        // ledger entry — so the phase rollup sums to the headline report bit-exactly.
+        let iteration_total = parallel_max(&scratch.branch_reports);
+        let hpartition_share = parallel_max(&scratch.branch_hpartitions);
+        obs::record_leaf("h-partition", hpartition_share);
+        obs::record_leaf("arbdefective", obs::residual(iteration_total, hpartition_share));
         ledger.push_parallel("refine", &scratch.branch_reports);
         std::mem::swap(&mut group, &mut scratch.next_group);
         num_groups *= p;
@@ -126,6 +148,7 @@ pub fn legal_coloring(
     }
 
     // --- Final coloring of the low-arboricity subgraphs (lines 17–20). ---
+    let final_span = obs::phase("legal-coloring");
     let palette = degree_threshold(alpha, epsilon) as u64 + 1;
     let subgraphs =
         InducedSubgraph::partition_with(graph, &group, num_groups, &mut scratch.partition);
@@ -142,6 +165,8 @@ pub fn legal_coloring(
                 g_index as u64 * palette + inner.coloring.color(child);
         }
     }
+    final_span.charge(parallel_max(&scratch.branch_reports));
+    drop(final_span);
     ledger.push_parallel("final-legal-coloring", &scratch.branch_reports);
 
     let coloring = Coloring::new(graph, colors)?;

@@ -20,7 +20,7 @@ use crate::hpartition::h_partition;
 use crate::linial::linial_coloring;
 use crate::reduction::{run_greedy_sweep, SweepSlot};
 use arbcolor_graph::{Coloring, Graph, InducedSubgraph};
-use arbcolor_runtime::{CostLedger, RoundReport};
+use arbcolor_runtime::{obs, CostLedger, RoundReport};
 
 /// Output of [`arboricity_linear_coloring`].
 #[derive(Debug, Clone)]
@@ -64,6 +64,7 @@ pub fn arboricity_linear_coloring(
     let mut ledger = CostLedger::new();
     let partition = h_partition(graph, arboricity, epsilon)?;
     ledger.push("h-partition", partition.report);
+    obs::record_leaf("h-partition", partition.report);
     let palette = partition.degree_bound as u64 + 1;
 
     let mut colors: Vec<Option<u64>> = vec![None; graph.n()];
@@ -79,10 +80,13 @@ pub fn arboricity_linear_coloring(
         // Schedule within the bucket: Linial classes of the bucket subgraph.
         let linial = linial_coloring(&sub.graph)?;
         ledger.push("bucket-linial", linial.report);
+        obs::record_leaf("bucket-linial", linial.report);
         let (schedule, _) = linial.coloring.normalized();
 
         // One round in which already-colored neighbors announce their colors to the bucket.
-        ledger.push("collect-neighbor-colors", RoundReport::new(1, 2 * graph.m()));
+        let announce = RoundReport::new(1, 2 * graph.m());
+        ledger.push("collect-neighbor-colors", announce);
+        obs::record_leaf("collect-neighbor-colors", announce);
 
         let slots: Vec<SweepSlot> = (0..sub.graph.n())
             .map(|child| {
@@ -99,6 +103,7 @@ pub fn arboricity_linear_coloring(
             .collect();
         let (bucket_colors, sweep_report) = run_greedy_sweep(&sub.graph, &slots)?;
         ledger.push("bucket-sweep", sweep_report);
+        obs::record_leaf("bucket-sweep", sweep_report);
         for (child, &c) in bucket_colors.iter().enumerate() {
             colors[sub.map.to_parent(child)] = Some(c);
         }

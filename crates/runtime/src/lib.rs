@@ -34,6 +34,11 @@
 //!   width ([`MessageCost`]), the executors accumulate per-edge and total bits into the
 //!   [`RoundReport`], and [`CostMode::Congest`] turns the `c·log n` bits-per-edge bound of
 //!   the CONGEST model into an enforced, typed assertion.
+//! * [`obs`] — phase-attributed observability: an RAII span API
+//!   ([`obs::phase`]/[`obs::PhaseGuard`]) over a thread-safe hierarchical
+//!   [`SpanCollector`], where every span carries a deterministic [`RoundReport`] delta plus
+//!   advisory wall time and frontier stats; a metrics registry fed by the executors; and
+//!   exporters to Chrome trace-event JSON (Perfetto-viewable) and a text summary table.
 //!
 //! # Example
 //!
@@ -61,6 +66,7 @@ pub mod frontier;
 pub mod metrics;
 pub mod network;
 pub mod node;
+pub mod obs;
 pub mod reference;
 pub mod shard;
 pub mod trace;
@@ -71,10 +77,11 @@ pub use frontier::{ActiveSet, Frontier};
 pub use metrics::{ActivitySummary, RoundReport};
 pub use network::{ExecutionResult, Executor, RuntimeError, TracedRun};
 pub use node::{Algorithm, Inbox, NeighborIds, NodeCtx, NodeProgram, Outbox, Status};
+pub use obs::{PhaseGuard, RecordingGuard, SpanCollector, SpanKind, SpanRecord};
 pub use reference::ReferenceExecutor;
 pub use shard::{
     default_chunk_size, default_executor, default_sequential_cutoff, run_algorithm,
     set_default_chunk_size, set_default_executor, set_default_sequential_cutoff, ExecutorKind,
     PoolScope, ShardedExecutor, WorkPool,
 };
-pub use trace::{RoundTrace, TraceRecorder};
+pub use trace::{RoundTrace, TraceConfig, TraceRecorder};

@@ -36,7 +36,8 @@ use crate::cost::{default_cost_mode, BandwidthMeter, CostMode, MessageCost};
 use crate::frontier::{ActiveSet, Frontier};
 use crate::metrics::RoundReport;
 use crate::node::{Algorithm, Inbox, NeighborIds, NodeCtx, NodeProgram, Outbox, Status};
-use crate::trace::{RoundTrace, TraceRecorder};
+use crate::obs;
+use crate::trace::{RoundTrace, TraceConfig, TraceRecorder};
 use arbcolor_graph::{Graph, Vertex};
 use std::error::Error;
 use std::fmt;
@@ -167,16 +168,36 @@ impl<'g> Executor<'g> {
         &self,
         algorithm: &A,
     ) -> Result<TracedRun<<A::Node as NodeProgram>::Output>, RuntimeError> {
+        self.run_traced_with(algorithm, TraceConfig::default())
+    }
+
+    /// Like [`run_traced`](Self::run_traced) with an explicit [`TraceConfig`] (e.g. to
+    /// capture per-round halted-vertex identities, which are off by default).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::RoundLimitExceeded`] if the algorithm does not terminate within
+    /// the configured round limit.
+    pub fn run_traced_with<A: Algorithm>(
+        &self,
+        algorithm: &A,
+        config: TraceConfig,
+    ) -> Result<TracedRun<<A::Node as NodeProgram>::Output>, RuntimeError> {
         let mut recorder = TraceRecorder::new();
-        let result = self.run_inner(algorithm, Some(&mut recorder))?;
+        let result = self.run_inner(algorithm, Some((&mut recorder, config)))?;
         Ok((result, recorder))
     }
 
     fn run_inner<A: Algorithm>(
         &self,
         algorithm: &A,
-        mut trace: Option<&mut TraceRecorder>,
+        trace: Option<(&mut TraceRecorder, TraceConfig)>,
     ) -> Result<ExecutionResult<<A::Node as NodeProgram>::Output>, RuntimeError> {
+        let span = obs::exec_span(algorithm.name());
+        let (mut trace, trace_config) = match trace {
+            Some((recorder, config)) => (Some(recorder), config),
+            None => (None, TraceConfig::default()),
+        };
         let graph = self.graph;
         let n = graph.n();
         let id_space = id_space_of(graph);
@@ -214,7 +235,12 @@ impl<'g> Executor<'g> {
             any_outgoing |= !outbox.is_empty();
             deliver(graph, v, &mut outbox, &mut pending, &mut report, &mut frontier, &mut meter);
         }
-        meter.finish_round(graph, report.rounds + 1, self.cost_mode, &mut report)?;
+        // Delivery-side trace attribution: round `r` records the messages and bits it
+        // *delivers* (sent in round `r − 1`; round 1 carries the `init` sends), so the
+        // per-round columns sum bit-exactly to the headline report.
+        let mut carry_messages = report.messages;
+        let mut carry_bits =
+            meter.finish_round(graph, report.rounds + 1, self.cost_mode, &mut report)?;
 
         // Main loop: one iteration = one synchronous round.
         while active.count() > 0 || any_outgoing {
@@ -234,6 +260,7 @@ impl<'g> Executor<'g> {
             let active_at_start = active.count();
             let messages_before = report.messages;
             let mut halted_this_round: Vec<usize> = Vec::new();
+            let mut halts_this_round = 0usize;
             let mut stepped = 0usize;
 
             any_outgoing = false;
@@ -253,7 +280,8 @@ impl<'g> Executor<'g> {
                 let woke = contexts[v].take_wake();
                 if status == Status::Halted {
                     active.halt(v);
-                    if trace.is_some() {
+                    halts_this_round += 1;
+                    if trace_config.capture_halted && trace.is_some() {
                         halted_this_round.push(v);
                     }
                 } else if woke {
@@ -277,15 +305,18 @@ impl<'g> Executor<'g> {
                     round: report.rounds,
                     active_nodes: active_at_start,
                     frontier: stepped,
-                    messages: report.messages - messages_before,
-                    total_bits: round_bits.total,
-                    max_edge_bits: round_bits.max_edge,
+                    messages: carry_messages,
+                    total_bits: carry_bits.total,
+                    max_edge_bits: carry_bits.max_edge,
+                    halts: halts_this_round,
                     halted: halted_this_round,
                     wall_ns: round_started
                         .map(|t| t.elapsed().as_nanos().min(u64::MAX as u128) as u64)
                         .unwrap_or(0),
                 });
             }
+            carry_messages = report.messages - messages_before;
+            carry_bits = round_bits;
             if active.count() == 0 {
                 break;
             }
@@ -293,6 +324,11 @@ impl<'g> Executor<'g> {
 
         let outputs =
             nodes.iter().zip(contexts.iter()).map(|(node, ctx)| node.output(ctx)).collect();
+        span.charge(report);
+        if let Some(recorder) = trace {
+            span.attach_trace(recorder);
+        }
+        obs::record_run(&report);
         Ok(ExecutionResult { outputs, report })
     }
 }

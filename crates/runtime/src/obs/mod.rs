@@ -1,0 +1,545 @@
+//! Phase-attributed observability: spans, a metrics registry, and trace exporters.
+//!
+//! The executors report *aggregate* costs ([`RoundReport`]) and, when asked, a flat
+//! per-round stream ([`TraceRecorder`]) — but the paper's
+//! algorithms are *analyzed* phase by phase (H-partition → arbdefective coloring →
+//! legal-coloring cleanup for Barenboim–Elkin; a recursion of color-space-halving levels
+//! for Ghaffari–Kuhn), and none of the measured rounds, messages, or bits could so far be
+//! attributed to the phase that spent them.  This module closes that gap:
+//!
+//! * [`SpanCollector`] — a thread-safe hierarchical collector of [`SpanRecord`]s.  A
+//!   collector is *installed* on the current thread ([`install`]); while one is installed,
+//!   the span functions below record into it, and the executors feed the embedded
+//!   [`MetricsRegistry`].  Without an installed collector every
+//!   hook is a no-op, so uninstrumented runs pay one thread-local read per executor run.
+//! * [`phase`] — opens an RAII [`PhaseGuard`]: the span closes (and records its advisory
+//!   wall time) when the guard drops, and [`PhaseGuard::charge`] attributes a
+//!   deterministic [`RoundReport`] delta to it.  Spans nest: a span opened while another
+//!   is open becomes its child.
+//! * [`record_leaf`] — records an already-closed child span with a known report, for
+//!   attributions that are *computed* rather than measured in place (e.g. the per-iteration
+//!   H-partition share of Procedure Legal-Coloring, which interleaves with the rest of the
+//!   arbdefective work across branches and is separated out with [`residual`]).
+//! * [`phase_rollup`] — aggregates the direct phase children of a span by name, in
+//!   first-seen order.  Because the drivers charge spans with the exact ledger entries the
+//!   headline [`RoundReport`] is composed from, the rollup of a run's phases sums (via
+//!   [`RoundReport::then`]) to the headline report — the invariant experiment E23 and the
+//!   `obs_spans` suite assert across all three executors.
+//! * [`chrome`] — exports a collector as Chrome trace-event JSON (loadable in Perfetto:
+//!   spans as nested slices, traced rounds as instant events), and [`summary_table`]
+//!   renders the same tree as text together with the metrics registry.
+//!
+//! Wall-clock fields (`start_ns`, `wall_ns`) are advisory: they vary with hardware and are
+//! never gated or diffed.  The `report` field of every span is deterministic — for a fixed
+//! graph, algorithm, and seed it is bit-identical across the sequential, work-stealing,
+//! and reference executors at any thread count and chunk size.
+
+pub mod chrome;
+pub mod registry;
+
+pub use chrome::chrome_trace_json;
+pub use registry::{Histogram, MetricsRegistry};
+
+use crate::metrics::RoundReport;
+use crate::trace::TraceRecorder;
+use std::cell::RefCell;
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::Instant;
+
+/// What produced a span: a named algorithm phase, or an executor run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpanKind {
+    /// A driver-level algorithm phase (the spans [`phase_rollup`] aggregates).
+    Phase,
+    /// One executor run (recorded automatically by the executors; trace detail only).
+    Exec,
+}
+
+/// One traced round attached to an executor span as a Chrome instant event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RoundInstant {
+    /// The round number (1-based) within the run.
+    pub round: usize,
+    /// Vertices actually stepped in the round.
+    pub frontier: usize,
+    /// Messages sent in the round.
+    pub messages: usize,
+    /// Bits across the round's sends.
+    pub total_bits: u64,
+    /// Advisory wall-clock nanoseconds of the round.
+    pub wall_ns: u64,
+}
+
+/// One recorded span: a named slice of work with its deterministic cost delta.
+#[derive(Debug, Clone)]
+pub struct SpanRecord {
+    /// Span name (a phase name like `"h-partition"`, or an algorithm name for executor
+    /// spans).
+    pub name: String,
+    /// Whether this is a driver phase or an executor run.
+    pub kind: SpanKind,
+    /// Index of the enclosing span in the collector, if any.
+    pub parent: Option<usize>,
+    /// The deterministic cost attributed to this span (rounds/messages/bits).
+    pub report: RoundReport,
+    /// Advisory: nanoseconds from the collector's epoch to the span opening.
+    pub start_ns: u64,
+    /// Advisory: wall-clock nanoseconds the span was open (0 for recorded leaves).
+    pub wall_ns: u64,
+    /// Largest per-round frontier observed by traces attached to this span.
+    pub peak_frontier: usize,
+    /// Total vertex steps across traces attached to this span.
+    pub frontier_steps: usize,
+    /// Per-round instants from attached traces (empty unless a traced run fed the span).
+    pub rounds: Vec<RoundInstant>,
+    /// Whether the span is still open (exporters treat open spans as ending "now").
+    pub(crate) open: bool,
+}
+
+/// Shared mutable state of one collector.
+struct CollectorState {
+    spans: Vec<SpanRecord>,
+    stack: Vec<usize>,
+    metrics: MetricsRegistry,
+}
+
+/// A thread-safe hierarchical span collector with an embedded metrics registry.
+///
+/// Cheap to clone (all clones share the same state).  Install one with [`install`] to
+/// start recording; read it back with [`SpanCollector::snapshot`] and the exporters.
+#[derive(Clone)]
+pub struct SpanCollector {
+    epoch: Instant,
+    state: Arc<Mutex<CollectorState>>,
+}
+
+impl std::fmt::Debug for SpanCollector {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SpanCollector").field("spans", &self.len()).finish()
+    }
+}
+
+impl Default for SpanCollector {
+    fn default() -> Self {
+        SpanCollector::new()
+    }
+}
+
+impl SpanCollector {
+    /// An empty collector whose wall-clock epoch is "now".
+    pub fn new() -> Self {
+        SpanCollector {
+            epoch: Instant::now(),
+            state: Arc::new(Mutex::new(CollectorState {
+                spans: Vec::new(),
+                stack: Vec::new(),
+                metrics: MetricsRegistry::default(),
+            })),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, CollectorState> {
+        self.state.lock().expect("span-collector lock")
+    }
+
+    /// Number of spans recorded so far (open or closed).  Callers that want to attribute
+    /// only *their* spans take the length before running and pass it to [`phase_rollup`].
+    pub fn len(&self) -> usize {
+        self.lock().spans.len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A copy of all recorded spans, in open order (parents precede their children).
+    pub fn snapshot(&self) -> Vec<SpanRecord> {
+        self.lock().spans.clone()
+    }
+
+    /// A copy of the metrics registry the executors fed.
+    pub fn metrics(&self) -> MetricsRegistry {
+        self.lock().metrics.clone()
+    }
+
+    /// Advisory nanoseconds since the collector was created.
+    pub fn elapsed_ns(&self) -> u64 {
+        saturate_ns(self.epoch.elapsed().as_nanos())
+    }
+}
+
+fn saturate_ns(ns: u128) -> u64 {
+    ns.min(u64::MAX as u128) as u64
+}
+
+thread_local! {
+    /// The stack of collectors installed on this thread (innermost last).
+    static CURRENT: RefCell<Vec<SpanCollector>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Installs `collector` as the current thread's recording target until the returned guard
+/// drops (restoring whatever was installed before — installs nest).
+#[must_use = "recording stops when the guard drops"]
+pub fn install(collector: &SpanCollector) -> RecordingGuard {
+    CURRENT.with(|c| c.borrow_mut().push(collector.clone()));
+    RecordingGuard { _private: () }
+}
+
+/// The currently installed collector of this thread, if any.
+pub fn current() -> Option<SpanCollector> {
+    CURRENT.with(|c| c.borrow().last().cloned())
+}
+
+/// Restores the previously installed collector (if any) on drop.  Returned by [`install`].
+#[derive(Debug)]
+pub struct RecordingGuard {
+    _private: (),
+}
+
+impl Drop for RecordingGuard {
+    fn drop(&mut self) {
+        CURRENT.with(|c| {
+            c.borrow_mut().pop();
+        });
+    }
+}
+
+/// Opens a driver-phase span named `name` on the installed collector (no-op without one).
+///
+/// The span closes when the guard drops; attribute its deterministic cost with
+/// [`PhaseGuard::charge`].
+pub fn phase(name: impl Into<String>) -> PhaseGuard {
+    open_span(name.into(), SpanKind::Phase)
+}
+
+/// Opens an executor-run span (the executors call this; [`SpanKind::Exec`] spans are trace
+/// detail and are skipped by [`phase_rollup`]).
+pub fn exec_span(name: impl Into<String>) -> PhaseGuard {
+    open_span(name.into(), SpanKind::Exec)
+}
+
+fn open_span(name: String, kind: SpanKind) -> PhaseGuard {
+    let Some(collector) = current() else { return PhaseGuard { target: None } };
+    let start_ns = collector.elapsed_ns();
+    let mut state = collector.lock();
+    let parent = state.stack.last().copied();
+    let index = state.spans.len();
+    state.spans.push(SpanRecord {
+        name,
+        kind,
+        parent,
+        report: RoundReport::zero(),
+        start_ns,
+        wall_ns: 0,
+        peak_frontier: 0,
+        frontier_steps: 0,
+        rounds: Vec::new(),
+        open: true,
+    });
+    state.stack.push(index);
+    drop(state);
+    PhaseGuard { target: Some((collector, index)) }
+}
+
+/// Records an already-closed child span of the currently open span, carrying a computed
+/// report (no-op without an installed collector).  Used for exact attributions that are
+/// derived after the fact rather than measured in place — see [`residual`].
+pub fn record_leaf(name: impl Into<String>, report: RoundReport) {
+    let Some(collector) = current() else { return };
+    let start_ns = collector.elapsed_ns();
+    let mut state = collector.lock();
+    let parent = state.stack.last().copied();
+    state.spans.push(SpanRecord {
+        name: name.into(),
+        kind: SpanKind::Phase,
+        parent,
+        report,
+        start_ns,
+        wall_ns: 0,
+        peak_frontier: 0,
+        frontier_steps: 0,
+        rounds: Vec::new(),
+        open: false,
+    });
+}
+
+/// Feeds the executor counters and histograms of the installed collector's metrics
+/// registry with one finished run (no-op without a collector).  All three executors call
+/// this once per successful run.
+pub fn record_run(report: &RoundReport) {
+    let Some(collector) = current() else { return };
+    let mut state = collector.lock();
+    let metrics = &mut state.metrics;
+    metrics.incr("executor.runs", 1);
+    metrics.incr("executor.rounds", report.rounds as u64);
+    metrics.incr("executor.messages", report.messages as u64);
+    metrics.incr("executor.total_bits", report.total_bits);
+    metrics.observe("executor.rounds_per_run", report.rounds as u64);
+    metrics.observe("executor.messages_per_run", report.messages as u64);
+}
+
+/// The exact remainder of `total` after removing the `part` attributed elsewhere:
+/// rounds/messages/bits subtract (saturating), while `max_edge_bits` keeps `total`'s peak
+/// so that `part.then(residual(total, part))` reproduces `total` exactly.
+pub fn residual(total: RoundReport, part: RoundReport) -> RoundReport {
+    RoundReport {
+        rounds: total.rounds.saturating_sub(part.rounds),
+        messages: total.messages.saturating_sub(part.messages),
+        total_bits: total.total_bits.saturating_sub(part.total_bits),
+        max_edge_bits: total.max_edge_bits,
+    }
+}
+
+/// Aggregates the direct [`SpanKind::Phase`] children of span `parent` by name, in
+/// first-seen order, composing repeated names sequentially with [`RoundReport::then`].
+///
+/// When the drivers charge their phase spans with the ledger entries the headline report
+/// is composed from, the `then`-fold of the returned reports equals the headline
+/// [`RoundReport`] exactly.
+pub fn phase_rollup(spans: &[SpanRecord], parent: usize) -> Vec<(String, RoundReport)> {
+    let mut rollup: Vec<(String, RoundReport)> = Vec::new();
+    for span in spans {
+        if span.parent != Some(parent) || span.kind != SpanKind::Phase {
+            continue;
+        }
+        match rollup.iter_mut().find(|(name, _)| *name == span.name) {
+            Some((_, report)) => *report = report.then(span.report),
+            None => rollup.push((span.name.clone(), span.report)),
+        }
+    }
+    rollup
+}
+
+/// RAII handle of an open span; the span closes when the guard drops.
+///
+/// All methods are no-ops when the guard was created without an installed collector.
+#[derive(Debug)]
+pub struct PhaseGuard {
+    target: Option<(SpanCollector, usize)>,
+}
+
+impl PhaseGuard {
+    /// Attributes a deterministic cost delta to this span (accumulating via
+    /// [`RoundReport::then`] when called repeatedly).
+    pub fn charge(&self, report: RoundReport) {
+        if let Some((collector, index)) = &self.target {
+            let mut state = collector.lock();
+            let span = &mut state.spans[*index];
+            span.report = span.report.then(report);
+        }
+    }
+
+    /// Attaches a recorded per-round trace: frontier statistics fold into the span and
+    /// every round becomes a [`RoundInstant`] (a Chrome instant event on export).
+    pub fn attach_trace(&self, trace: &TraceRecorder) {
+        if let Some((collector, index)) = &self.target {
+            let mut state = collector.lock();
+            let span = &mut state.spans[*index];
+            for round in trace.rounds() {
+                span.peak_frontier = span.peak_frontier.max(round.frontier);
+                span.frontier_steps += round.frontier;
+                span.rounds.push(RoundInstant {
+                    round: round.round,
+                    frontier: round.frontier,
+                    messages: round.messages,
+                    total_bits: round.total_bits,
+                    wall_ns: round.wall_ns,
+                });
+            }
+        }
+    }
+}
+
+impl Drop for PhaseGuard {
+    fn drop(&mut self) {
+        if let Some((collector, index)) = self.target.take() {
+            let end_ns = collector.elapsed_ns();
+            let mut state = collector.lock();
+            let start_ns = state.spans[index].start_ns;
+            state.spans[index].wall_ns = end_ns.saturating_sub(start_ns);
+            state.spans[index].open = false;
+            // Well-nested by RAII; `retain` keeps this robust if a guard outlives an
+            // inner one across an unwind.
+            state.stack.retain(|&i| i != index);
+        }
+    }
+}
+
+/// Renders the span tree and the metrics registry as an indented text table — the
+/// human-readable companion of the Chrome export.
+pub fn summary_table(collector: &SpanCollector) -> String {
+    use std::fmt::Write as _;
+    let spans = collector.snapshot();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<40} {:>8} {:>12} {:>14} {:>10}",
+        "span", "rounds", "messages", "total_bits", "wall_ms"
+    );
+    let mut depths: Vec<usize> = Vec::with_capacity(spans.len());
+    for (i, span) in spans.iter().enumerate() {
+        let depth = span.parent.map(|p| depths[p] + 1).unwrap_or(0);
+        depths.push(depth);
+        let label = format!("{}{}", "  ".repeat(depth), span.name);
+        let _ = writeln!(
+            out,
+            "{:<40} {:>8} {:>12} {:>14} {:>10.3}",
+            label,
+            span.report.rounds,
+            span.report.messages,
+            span.report.total_bits,
+            span.wall_ns as f64 / 1e6,
+        );
+        let _ = i;
+    }
+    let metrics = collector.metrics();
+    if !metrics.is_empty() {
+        let _ = writeln!(out, "\nmetrics:");
+        out.push_str(&metrics.render());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_nest_charge_and_restore_on_drop() {
+        let collector = SpanCollector::new();
+        let guard = install(&collector);
+        {
+            let outer = phase("outer");
+            outer.charge(RoundReport::new(2, 10));
+            {
+                let inner = phase("inner");
+                inner.charge(RoundReport::new(1, 3));
+            }
+            record_leaf("leaf", RoundReport::new(4, 4));
+        }
+        drop(guard);
+        // Recording is off again: this span must not land in the collector.
+        let _ = phase("after");
+        let spans = collector.snapshot();
+        assert_eq!(spans.len(), 3);
+        assert_eq!(spans[0].name, "outer");
+        assert_eq!(spans[0].parent, None);
+        assert_eq!(spans[0].report, RoundReport::new(2, 10));
+        assert!(!spans[0].open);
+        assert_eq!(spans[1].name, "inner");
+        assert_eq!(spans[1].parent, Some(0));
+        assert_eq!(spans[2].name, "leaf");
+        assert_eq!(spans[2].parent, Some(0));
+        assert_eq!(spans[2].wall_ns, 0);
+    }
+
+    #[test]
+    fn installs_nest_and_restore_the_previous_collector() {
+        let a = SpanCollector::new();
+        let b = SpanCollector::new();
+        let ga = install(&a);
+        {
+            let gb = install(&b);
+            let _ = phase("in-b");
+            drop(gb);
+        }
+        let _ = phase("in-a");
+        drop(ga);
+        assert_eq!(a.snapshot().len(), 1);
+        assert_eq!(a.snapshot()[0].name, "in-a");
+        assert_eq!(b.snapshot()[0].name, "in-b");
+    }
+
+    #[test]
+    fn no_collector_means_no_ops() {
+        assert!(current().is_none());
+        let guard = phase("nowhere");
+        guard.charge(RoundReport::new(1, 1));
+        record_leaf("nowhere-leaf", RoundReport::zero());
+        record_run(&RoundReport::new(3, 3));
+    }
+
+    #[test]
+    fn residual_is_exact_under_then() {
+        let total = RoundReport { rounds: 10, messages: 100, total_bits: 400, max_edge_bits: 9 };
+        let part = RoundReport { rounds: 3, messages: 40, total_bits: 150, max_edge_bits: 4 };
+        let rest = residual(total, part);
+        assert_eq!(part.then(rest), total);
+        // Saturation never underflows.
+        assert_eq!(residual(part, total).rounds, 0);
+    }
+
+    #[test]
+    fn rollup_aggregates_phase_children_by_name_and_skips_exec_spans() {
+        let collector = SpanCollector::new();
+        let _guard = install(&collector);
+        let run = phase("run");
+        run.charge(RoundReport::new(9, 9));
+        record_leaf("a", RoundReport::new(2, 20));
+        {
+            let e = exec_span("flood");
+            e.charge(RoundReport::new(100, 100));
+        }
+        record_leaf("b", RoundReport::new(3, 30));
+        record_leaf("a", RoundReport::new(1, 10));
+        {
+            // Grandchildren are not part of the run's direct rollup.
+            let child = phase("b");
+            record_leaf("deep", RoundReport::new(7, 7));
+            child.charge(RoundReport::new(4, 40));
+        }
+        drop(run);
+        let spans = collector.snapshot();
+        let rollup = phase_rollup(&spans, 0);
+        assert_eq!(
+            rollup,
+            vec![
+                ("a".to_string(), RoundReport::new(3, 30)),
+                ("b".to_string(), RoundReport::new(7, 70)),
+            ]
+        );
+    }
+
+    #[test]
+    fn attach_trace_folds_frontier_stats_and_round_instants() {
+        use crate::trace::{RoundTrace, TraceRecorder};
+        let collector = SpanCollector::new();
+        let _guard = install(&collector);
+        let mut trace = TraceRecorder::new();
+        trace.record(RoundTrace {
+            round: 1,
+            frontier: 5,
+            messages: 9,
+            total_bits: 20,
+            ..RoundTrace::default()
+        });
+        trace.record(RoundTrace { round: 2, frontier: 2, ..RoundTrace::default() });
+        {
+            let span = exec_span("traced");
+            span.attach_trace(&trace);
+        }
+        let spans = collector.snapshot();
+        assert_eq!(spans[0].peak_frontier, 5);
+        assert_eq!(spans[0].frontier_steps, 7);
+        assert_eq!(spans[0].rounds.len(), 2);
+        assert_eq!(spans[0].rounds[0].messages, 9);
+        assert_eq!(spans[0].rounds[0].total_bits, 20);
+    }
+
+    #[test]
+    fn summary_table_lists_spans_with_indentation() {
+        let collector = SpanCollector::new();
+        let _guard = install(&collector);
+        {
+            let outer = phase("outer");
+            outer.charge(RoundReport::new(1, 2));
+            record_leaf("child", RoundReport::new(3, 4));
+        }
+        record_run(&RoundReport::new(1, 2));
+        let table = summary_table(&collector);
+        assert!(table.contains("outer"));
+        assert!(table.contains("  child"), "children indent under parents:\n{table}");
+        assert!(table.contains("executor.runs"));
+    }
+}

@@ -1,0 +1,154 @@
+//! A small hand-rolled metrics registry: named counters and power-of-two-bucket histograms.
+//!
+//! The registry lives inside a [`SpanCollector`](super::SpanCollector) and is fed by the
+//! executors via [`record_run`](super::record_run): per-run counters (runs, rounds,
+//! messages, bits) and per-run distributions (rounds per run, messages per run) in
+//! power-of-two buckets.  Everything is deterministic — wall time never enters the
+//! registry — and renders as text via [`MetricsRegistry::render`].
+
+use std::collections::BTreeMap;
+
+/// Number of histogram buckets: bucket `i` counts values whose bit length is `i`, i.e.
+/// bucket 0 holds the value 0 and bucket `i ≥ 1` holds `[2^(i-1), 2^i)`.
+const BUCKETS: usize = 65;
+
+/// A distribution over `u64` values in power-of-two buckets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    counts: Vec<u64>,
+    total: u64,
+    sum: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram { counts: vec![0; BUCKETS], total: 0, sum: 0 }
+    }
+}
+
+impl Histogram {
+    /// Records one observation.
+    pub fn observe(&mut self, value: u64) {
+        self.counts[Self::bucket(value)] += 1;
+        self.total += 1;
+        self.sum = self.sum.saturating_add(value);
+    }
+
+    /// The bucket index of `value`: its bit length (0 for the value 0).
+    fn bucket(value: u64) -> usize {
+        (u64::BITS - value.leading_zeros()) as usize
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Sum of all observed values (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// The non-empty buckets as `(upper_bound_exclusive, count)` pairs, in value order.
+    /// The upper bound of bucket 0 is 1 (it holds only the value 0).
+    pub fn buckets(&self) -> Vec<(u64, u64)> {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &count)| count > 0)
+            .map(|(i, &count)| {
+                let bound = if i >= 64 { u64::MAX } else { 1u64 << i };
+                (bound, count)
+            })
+            .collect()
+    }
+}
+
+/// Named counters and histograms.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<String, u64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl MetricsRegistry {
+    /// Adds `by` to the counter `name` (creating it at zero).
+    pub fn incr(&mut self, name: &str, by: u64) {
+        *self.counters.entry(name.to_string()).or_insert(0) += by;
+    }
+
+    /// Records `value` into the histogram `name` (creating it empty).
+    pub fn observe(&mut self, name: &str, value: u64) {
+        self.histograms.entry(name.to_string()).or_default().observe(value);
+    }
+
+    /// The counters, sorted by name.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(name, &value)| (name.as_str(), value))
+    }
+
+    /// The histograms, sorted by name.
+    pub fn histograms(&self) -> impl Iterator<Item = (&str, &Histogram)> {
+        self.histograms.iter().map(|(name, histogram)| (name.as_str(), histogram))
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Renders counters and histograms as indented text lines.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for (name, value) in self.counters() {
+            let _ = writeln!(out, "  {name} = {value}");
+        }
+        for (name, histogram) in self.histograms() {
+            let _ = writeln!(out, "  {name}: count={} sum={}", histogram.count(), histogram.sum());
+            for (bound, count) in histogram.buckets() {
+                let _ = writeln!(out, "    < {bound}: {count}");
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut registry = MetricsRegistry::default();
+        assert!(registry.is_empty());
+        registry.incr("runs", 1);
+        registry.incr("runs", 2);
+        registry.incr("rounds", 7);
+        let counters: Vec<_> = registry.counters().collect();
+        assert_eq!(counters, vec![("rounds", 7), ("runs", 3)]);
+    }
+
+    #[test]
+    fn histogram_buckets_by_bit_length() {
+        let mut h = Histogram::default();
+        for v in [0, 1, 2, 3, 4, 1000] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.sum(), 1010);
+        // 0 → bucket 0 (<1); 1 → <2; 2,3 → <4; 4 → <8; 1000 → <1024.
+        assert_eq!(h.buckets(), vec![(1, 1), (2, 1), (4, 2), (8, 1), (1024, 1)]);
+    }
+
+    #[test]
+    fn render_lists_counters_then_histograms() {
+        let mut registry = MetricsRegistry::default();
+        registry.incr("executor.runs", 2);
+        registry.observe("rounds_per_run", 5);
+        let text = registry.render();
+        assert!(text.contains("executor.runs = 2"));
+        assert!(text.contains("rounds_per_run: count=1 sum=5"));
+        assert!(text.contains("< 8: 1"));
+    }
+}

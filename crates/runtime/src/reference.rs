@@ -17,8 +17,12 @@
 
 use crate::cost::{default_cost_mode, BandwidthMeter, CostMode, MessageCost};
 use crate::metrics::RoundReport;
-use crate::network::{id_space_of, neighbor_id_table, node_ctx, ExecutionResult, RuntimeError};
+use crate::network::{
+    id_space_of, neighbor_id_table, node_ctx, ExecutionResult, RuntimeError, TracedRun,
+};
 use crate::node::{Algorithm, Inbox, NodeProgram, Outbox, Status};
+use crate::obs;
+use crate::trace::{RoundTrace, TraceConfig, TraceRecorder};
 use arbcolor_graph::Graph;
 
 /// Runs [`Algorithm`]s with per-vertex `Vec` mailboxes and linear-scan routing (see the
@@ -71,6 +75,51 @@ impl<'g> ReferenceExecutor<'g> {
         &self,
         algorithm: &A,
     ) -> Result<ExecutionResult<<A::Node as NodeProgram>::Output>, RuntimeError> {
+        self.run_inner(algorithm, None)
+    }
+
+    /// Runs `algorithm` like [`run`](Self::run), additionally recording one
+    /// [`RoundTrace`] per round.  All deterministic trace columns are bit-identical to the
+    /// flat executors' **except** `frontier`: this executor has no frontier — it steps every
+    /// active vertex each round — so its `frontier` equals `active_nodes`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::RoundLimitExceeded`] if the algorithm does not terminate
+    /// within the configured round limit.
+    pub fn run_traced<A: Algorithm>(
+        &self,
+        algorithm: &A,
+    ) -> Result<TracedRun<<A::Node as NodeProgram>::Output>, RuntimeError> {
+        self.run_traced_with(algorithm, TraceConfig::default())
+    }
+
+    /// Like [`run_traced`](Self::run_traced) with an explicit [`TraceConfig`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::RoundLimitExceeded`] if the algorithm does not terminate
+    /// within the configured round limit.
+    pub fn run_traced_with<A: Algorithm>(
+        &self,
+        algorithm: &A,
+        config: TraceConfig,
+    ) -> Result<TracedRun<<A::Node as NodeProgram>::Output>, RuntimeError> {
+        let mut recorder = TraceRecorder::new();
+        let result = self.run_inner(algorithm, Some((&mut recorder, config)))?;
+        Ok((result, recorder))
+    }
+
+    fn run_inner<A: Algorithm>(
+        &self,
+        algorithm: &A,
+        trace: Option<(&mut TraceRecorder, TraceConfig)>,
+    ) -> Result<ExecutionResult<<A::Node as NodeProgram>::Output>, RuntimeError> {
+        let span = obs::exec_span(algorithm.name());
+        let (mut trace, trace_config) = match trace {
+            Some((recorder, config)) => (Some(recorder), config),
+            None => (None, TraceConfig::default()),
+        };
         let graph = self.graph;
         let n = graph.n();
         let id_space = id_space_of(graph);
@@ -101,7 +150,11 @@ impl<'g> ReferenceExecutor<'g> {
             any_outgoing |= !outbox.is_empty();
             deliver_by_scan(graph, v, outbox, &mut pending, &mut report, &mut meter);
         }
-        meter.finish_round(graph, report.rounds + 1, self.cost_mode, &mut report)?;
+        // Delivery-side trace attribution, as in the flat executors: round `r` records what
+        // it delivers (the sends of round `r − 1`; round 1 carries `init`).
+        let mut carry_messages = report.messages;
+        let mut carry_bits =
+            meter.finish_round(graph, report.rounds + 1, self.cost_mode, &mut report)?;
 
         // Main loop: one iteration = one synchronous round.
         while active.iter().any(|&a| a) || any_outgoing {
@@ -114,21 +167,52 @@ impl<'g> ReferenceExecutor<'g> {
             report.rounds += 1;
             swap_mailboxes(&mut pending, &mut inboxes);
 
+            let round_started = trace.as_ref().map(|_| std::time::Instant::now());
+            let active_at_start = active.iter().filter(|&&a| a).count();
+            let messages_before = report.messages;
+            let mut halted_this_round: Vec<usize> = Vec::new();
+            let mut halts_this_round = 0usize;
+            let mut stepped = 0usize;
+
             any_outgoing = false;
             for v in 0..n {
                 if !active[v] {
                     continue;
                 }
+                stepped += 1;
                 let inbox = Inbox::new(&inboxes[v]);
                 let mut outbox = Outbox::new(contexts[v].degree);
                 let status = nodes[v].round(&contexts[v], &inbox, &mut outbox);
                 if status == Status::Halted {
                     active[v] = false;
+                    halts_this_round += 1;
+                    if trace_config.capture_halted && trace.is_some() {
+                        halted_this_round.push(v);
+                    }
                 }
                 any_outgoing |= !outbox.is_empty();
                 deliver_by_scan(graph, v, outbox, &mut pending, &mut report, &mut meter);
             }
-            meter.finish_round(graph, report.rounds + 1, self.cost_mode, &mut report)?;
+            let round_bits =
+                meter.finish_round(graph, report.rounds + 1, self.cost_mode, &mut report)?;
+            if let Some(recorder) = trace.as_deref_mut() {
+                recorder.record(RoundTrace {
+                    round: report.rounds,
+                    active_nodes: active_at_start,
+                    // No frontier here: every active vertex is stepped.
+                    frontier: stepped,
+                    messages: carry_messages,
+                    total_bits: carry_bits.total,
+                    max_edge_bits: carry_bits.max_edge,
+                    halts: halts_this_round,
+                    halted: halted_this_round,
+                    wall_ns: round_started
+                        .map(|t| t.elapsed().as_nanos().min(u64::MAX as u128) as u64)
+                        .unwrap_or(0),
+                });
+            }
+            carry_messages = report.messages - messages_before;
+            carry_bits = round_bits;
             if !active.iter().any(|&a| a) {
                 break;
             }
@@ -136,6 +220,11 @@ impl<'g> ReferenceExecutor<'g> {
 
         let outputs =
             nodes.iter().zip(contexts.iter()).map(|(node, ctx)| node.output(ctx)).collect();
+        span.charge(report);
+        if let Some(recorder) = trace {
+            span.attach_trace(recorder);
+        }
+        obs::record_run(&report);
         Ok(ExecutionResult { outputs, report })
     }
 }

@@ -69,10 +69,12 @@ use crate::frontier::{ActiveSet, Frontier};
 use crate::metrics::RoundReport;
 use crate::network::{
     arc_owner, id_space_of, neighbor_id_table, node_ctx, ArcMailboxes, ExecutionResult, Executor,
-    RuntimeError,
+    RuntimeError, TracedRun,
 };
 use crate::node::{Algorithm, NodeCtx, NodeProgram, Outbox, Status};
+use crate::obs;
 use crate::reference::ReferenceExecutor;
+use crate::trace::{RoundTrace, TraceConfig, TraceRecorder};
 use arbcolor_graph::{ArcIdx, Graph, Vertex};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Mutex, RwLock};
@@ -362,11 +364,13 @@ struct ChunkOut<M> {
     outgoing: Vec<(ArcIdx, M)>,
     halts: Vec<Vertex>,
     wakeups: Vec<Vertex>,
+    /// Vertices actually stepped in this chunk (the chunk's share of the round frontier).
+    stepped: usize,
 }
 
 impl<M> ChunkOut<M> {
     fn new() -> Self {
-        ChunkOut { outgoing: Vec::new(), halts: Vec::new(), wakeups: Vec::new() }
+        ChunkOut { outgoing: Vec::new(), halts: Vec::new(), wakeups: Vec::new(), stepped: 0 }
     }
 }
 
@@ -474,14 +478,84 @@ impl<'g> ShardedExecutor<'g> {
         <A::Node as NodeProgram>::Msg: Send + Sync,
         <A::Node as NodeProgram>::Output: Send,
     {
+        self.run_inner(algorithm, None)
+    }
+
+    /// Runs `algorithm` like [`run`](Self::run), additionally recording one
+    /// [`RoundTrace`] per round.  The deterministic trace columns (round, active nodes,
+    /// frontier, messages, bits, halts) are bit-identical to the sequential
+    /// [`Executor::run_traced`] at any thread count and chunk size; only `wall_ns` differs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::RoundLimitExceeded`] if the algorithm does not terminate
+    /// within the configured round limit.
+    pub fn run_traced<A>(
+        &self,
+        algorithm: &A,
+    ) -> Result<TracedRun<<A::Node as NodeProgram>::Output>, RuntimeError>
+    where
+        A: Algorithm + Sync,
+        A::Node: Send,
+        <A::Node as NodeProgram>::Msg: Send + Sync,
+        <A::Node as NodeProgram>::Output: Send,
+    {
+        self.run_traced_with(algorithm, TraceConfig::default())
+    }
+
+    /// Like [`run_traced`](Self::run_traced) with an explicit [`TraceConfig`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::RoundLimitExceeded`] if the algorithm does not terminate
+    /// within the configured round limit.
+    pub fn run_traced_with<A>(
+        &self,
+        algorithm: &A,
+        config: TraceConfig,
+    ) -> Result<TracedRun<<A::Node as NodeProgram>::Output>, RuntimeError>
+    where
+        A: Algorithm + Sync,
+        A::Node: Send,
+        <A::Node as NodeProgram>::Msg: Send + Sync,
+        <A::Node as NodeProgram>::Output: Send,
+    {
+        let mut recorder = TraceRecorder::new();
+        let result = self.run_inner(algorithm, Some((&mut recorder, config)))?;
+        Ok((result, recorder))
+    }
+
+    fn run_inner<A>(
+        &self,
+        algorithm: &A,
+        trace: Option<(&mut TraceRecorder, TraceConfig)>,
+    ) -> Result<ExecutionResult<<A::Node as NodeProgram>::Output>, RuntimeError>
+    where
+        A: Algorithm + Sync,
+        A::Node: Send,
+        <A::Node as NodeProgram>::Msg: Send + Sync,
+        <A::Node as NodeProgram>::Output: Send,
+    {
         let graph = self.graph;
         let n = graph.n();
         if n <= self.sequential_cutoff {
-            return Executor::new(graph)
+            let sequential = Executor::new(graph)
                 .with_max_rounds(self.max_rounds)
-                .with_cost_mode(self.cost_mode)
-                .run(algorithm);
+                .with_cost_mode(self.cost_mode);
+            return match trace {
+                None => sequential.run(algorithm),
+                Some((recorder, config)) => {
+                    let (result, recorded) = sequential.run_traced_with(algorithm, config)?;
+                    *recorder = recorded;
+                    Ok(result)
+                }
+            };
         }
+        let span = obs::exec_span(algorithm.name());
+        let (mut trace, trace_config) = match trace {
+            Some((recorder, config)) => (Some(recorder), config),
+            None => (None, TraceConfig::default()),
+        };
 
         let chunk = self.chunk_size.max(1);
         let id_space = id_space_of(graph);
@@ -570,9 +644,15 @@ impl<'g> ShardedExecutor<'g> {
                 &mut frontier,
                 &mut active_lock.write().expect("active lock"),
                 &mut meter,
-            );
+                None,
+            )
+            .messages;
             report.messages += init_messages;
-            meter.finish_round(graph, report.rounds + 1, self.cost_mode, &mut report)?;
+            // Delivery-side trace attribution, as in the sequential executor: round `r`
+            // records what it delivers (the sends of round `r − 1`; round 1 carries `init`).
+            let mut carry_messages = init_messages;
+            let mut carry_bits =
+                meter.finish_round(graph, report.rounds + 1, self.cost_mode, &mut report)?;
             let mut any_outgoing = init_messages > 0;
             let mut total_active = active_lock.read().expect("active lock").count();
 
@@ -586,6 +666,10 @@ impl<'g> ShardedExecutor<'g> {
                     });
                 }
                 report.rounds += 1;
+                let round_started = trace.as_ref().map(|_| std::time::Instant::now());
+                let active_at_start = total_active;
+                let messages_before = report.messages;
+                let mut halted_this_round: Vec<Vertex> = Vec::new();
 
                 // Flip the mailbox double buffer and publish the round's sorted frontier.
                 {
@@ -619,6 +703,7 @@ impl<'g> ShardedExecutor<'g> {
                                 // counted at send time), as in the sequential executor.
                                 continue;
                             }
+                            out.stepped += 1;
                             let arcs = graph.arc_range(v);
                             let window = inboxes.window_of(arcs.clone());
                             let inbox = inboxes.read(window, arcs);
@@ -641,17 +726,38 @@ impl<'g> ShardedExecutor<'g> {
                     produced
                 });
 
-                let round_messages = commit_chunks(
+                let halted_sink = (trace.is_some() && trace_config.capture_halted)
+                    .then_some(&mut halted_this_round);
+                let stats = commit_chunks(
                     graph,
                     produced,
                     &mut pending,
                     &mut frontier,
                     &mut active_lock.write().expect("active lock"),
                     &mut meter,
+                    halted_sink,
                 );
-                report.messages += round_messages;
-                meter.finish_round(graph, report.rounds + 1, self.cost_mode, &mut report)?;
-                any_outgoing = round_messages > 0;
+                report.messages += stats.messages;
+                let round_bits =
+                    meter.finish_round(graph, report.rounds + 1, self.cost_mode, &mut report)?;
+                if let Some(recorder) = trace.as_deref_mut() {
+                    recorder.record(RoundTrace {
+                        round: report.rounds,
+                        active_nodes: active_at_start,
+                        frontier: stats.stepped,
+                        messages: carry_messages,
+                        total_bits: carry_bits.total,
+                        max_edge_bits: carry_bits.max_edge,
+                        halts: stats.halts,
+                        halted: halted_this_round,
+                        wall_ns: round_started
+                            .map(|t| t.elapsed().as_nanos().min(u64::MAX as u128) as u64)
+                            .unwrap_or(0),
+                    });
+                }
+                carry_messages = report.messages - messages_before;
+                carry_bits = round_bits;
+                any_outgoing = stats.messages > 0;
                 total_active = active_lock.read().expect("active lock").count();
                 if total_active == 0 {
                     break;
@@ -665,6 +771,11 @@ impl<'g> ShardedExecutor<'g> {
             .zip(contexts.iter())
             .map(|(node, ctx)| node.lock().expect("node lock").output(ctx))
             .collect();
+        span.charge(report);
+        if let Some(recorder) = trace {
+            span.attach_trace(recorder);
+        }
+        obs::record_run(&report);
         Ok(ExecutionResult { outputs, report })
     }
 }
@@ -685,11 +796,23 @@ fn route_outbox<M: Clone>(
     }
 }
 
+/// What [`commit_chunks`] applied, summed over the committed chunks.
+#[derive(Debug, Default, Clone, Copy)]
+struct CommitStats {
+    /// Messages pushed into the pending mailboxes.
+    messages: usize,
+    /// Vertices the workers actually stepped (the round's frontier).
+    stepped: usize,
+    /// Vertices that halted.
+    halts: usize,
+}
+
 /// Commits the chunks produced by one fork/join step **in chunk order**: pushes the
 /// outgoing messages into the pending mailboxes (ascending sender order — the order the
 /// sequential delivery loop produces), charges each message's measured width to its arc in
 /// `meter`, marks every receiver and self-scheduled wakeup in the frontier, and applies the
-/// halts.  Returns the number of messages committed.
+/// halts.  When `halted_sink` is given, the halted vertices are also collected into it (in
+/// chunk order = ascending vertex order, matching the sequential trace).
 fn commit_chunks<M: MessageCost>(
     graph: &Graph,
     produced: Vec<Vec<(usize, ChunkOut<M>)>>,
@@ -697,16 +820,22 @@ fn commit_chunks<M: MessageCost>(
     frontier: &mut Frontier,
     active: &mut ActiveSet,
     meter: &mut BandwidthMeter,
-) -> usize {
+    mut halted_sink: Option<&mut Vec<Vertex>>,
+) -> CommitStats {
     let mut chunks: Vec<(usize, ChunkOut<M>)> = produced.into_iter().flatten().collect();
     chunks.sort_unstable_by_key(|&(c, _)| c);
-    let mut messages = 0usize;
+    let mut stats = CommitStats::default();
     for (_, out) in chunks {
-        messages += out.outgoing.len();
+        stats.messages += out.outgoing.len();
+        stats.stepped += out.stepped;
+        stats.halts += out.halts.len();
         for (arc, message) in out.outgoing {
             meter.add(arc, message.encoded_bits());
             pending.push(arc, message);
             frontier.mark(arc_owner(graph, arc));
+        }
+        if let Some(sink) = halted_sink.as_deref_mut() {
+            sink.extend_from_slice(&out.halts);
         }
         for v in out.halts {
             active.halt(v);
@@ -715,7 +844,7 @@ fn commit_chunks<M: MessageCost>(
             frontier.mark(v);
         }
     }
-    messages
+    stats
 }
 
 #[cfg(test)]

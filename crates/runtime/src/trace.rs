@@ -8,6 +8,26 @@
 
 use serde::{Deserialize, Serialize};
 
+/// What a traced run should capture beyond the always-on per-round counters.
+///
+/// `run_traced` on all three executors uses the default configuration; the
+/// `run_traced_with` variants accept an explicit one.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TraceConfig {
+    /// Capture the identities of the vertices that halted each round in
+    /// [`RoundTrace::halted`].  Off by default: million-vertex traced runs would otherwise
+    /// pay a per-round `Vec<usize>` allocation, and [`RoundTrace::halts`] (a plain counter,
+    /// always filled) covers [`TraceRecorder::completion_round`].
+    pub capture_halted: bool,
+}
+
+impl TraceConfig {
+    /// A configuration that captures per-round halted-vertex identities.
+    pub fn with_halted() -> Self {
+        TraceConfig { capture_halted: true }
+    }
+}
+
 /// What happened in one synchronous round.
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct RoundTrace {
@@ -19,15 +39,22 @@ pub struct RoundTrace {
     /// mail or a self-scheduled wakeup that had not halted.  This, not `active_nodes`, is
     /// what a round's work is proportional to under frontier-driven execution.
     pub frontier: usize,
-    /// Number of messages delivered in this round.
+    /// Number of messages delivered in this round (sent in round `round − 1`; round 1
+    /// delivers the `init` sends).  Summing this column over a full trace reproduces
+    /// `RoundReport::messages` bit-exactly — the invariant `tests/obs_spans.rs` pins.
     pub messages: usize,
-    /// Bits across this round's sends, as measured by
-    /// [`MessageCost`](crate::cost::MessageCost) (delivered at the start of the next round,
-    /// matching the send-side accounting of `messages`).
+    /// Bits across this round's deliveries, as measured by
+    /// [`MessageCost`](crate::cost::MessageCost) (same delivery-side attribution as
+    /// `messages`, so the column sums to `RoundReport::total_bits`).
     pub total_bits: u64,
-    /// The largest bit load a single edge (per direction) carried among this round's sends.
+    /// The largest bit load a single edge (per direction) carried among this round's
+    /// deliveries.
     pub max_edge_bits: u64,
-    /// Vertices that halted during this round.
+    /// Number of vertices that halted during this round (always filled by the executors).
+    pub halts: usize,
+    /// Vertices that halted during this round.  Filled only when
+    /// [`TraceConfig::capture_halted`] is set — empty does **not** mean nobody halted;
+    /// check [`RoundTrace::halts`].
     pub halted: Vec<usize>,
     /// Wall-clock nanoseconds the executor spent stepping this round (advisory; 0 when the
     /// recorder was filled by hand).
@@ -71,9 +98,11 @@ impl TraceRecorder {
         self.rounds.iter().map(|r| r.messages).sum()
     }
 
-    /// The round in which the last node halted, if any node halted at all.
+    /// The round in which the last node halted, if any node halted at all.  Uses the
+    /// always-on [`RoundTrace::halts`] counter, falling back to the opt-in
+    /// [`RoundTrace::halted`] list for hand-built traces that only filled the latter.
     pub fn completion_round(&self) -> Option<usize> {
-        self.rounds.iter().rev().find(|r| !r.halted.is_empty()).map(|r| r.round)
+        self.rounds.iter().rev().find(|r| r.halts > 0 || !r.halted.is_empty()).map(|r| r.round)
     }
 
     /// The per-round frontier sizes (vertices actually stepped), in round order.
@@ -170,6 +199,17 @@ mod tests {
         assert_eq!(t.activity_profile(10), "#+.");
         assert_eq!(t.activity_profile(0), "   ");
         assert_eq!(TraceRecorder::new().activity_profile(5), "");
+    }
+
+    #[test]
+    fn completion_round_prefers_the_halt_counter() {
+        let mut t = TraceRecorder::new();
+        t.record(RoundTrace { round: 1, halts: 0, ..RoundTrace::default() });
+        t.record(RoundTrace { round: 2, halts: 3, ..RoundTrace::default() });
+        t.record(RoundTrace { round: 3, halts: 0, ..RoundTrace::default() });
+        assert_eq!(t.completion_round(), Some(2), "counter works without halted identities");
+        assert_eq!(TraceConfig::default(), TraceConfig { capture_halted: false });
+        assert!(TraceConfig::with_halted().capture_halted);
     }
 
     #[test]

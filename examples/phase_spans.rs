@@ -1,0 +1,69 @@
+//! Phase-attributed observability: where do a headliner's rounds and bits actually go?
+//!
+//! The paper *analyzes* Barenboim–Elkin phase by phase (forest decomposition →
+//! arbdefective coloring → legal-coloring cleanup), and the instrumented drivers record
+//! exactly that decomposition as RAII spans whenever an [`obs::SpanCollector`] is
+//! installed.  This example runs all three headliners on one graph, prints each one's
+//! per-phase breakdown via [`obs::phase_rollup`], and asserts the attribution invariant
+//! the test suite pins: the phases sum *bit-exactly* to the headline [`RoundReport`] —
+//! attribution never invents or loses a round, a message, or a bit.
+//!
+//! The same collector renders as a text summary table ([`obs::summary_table`]) and as
+//! Chrome trace-event JSON ([`obs::chrome_trace_json`], the format behind
+//! `experiments --trace-out`, viewable at <https://ui.perfetto.dev>).
+//!
+//! Run with: `cargo run --release --example phase_spans`
+
+use arbcolor_baselines::registry::congest_headliners;
+use arbcolor_graph::generators;
+use arbcolor_runtime::{obs, RoundReport};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let g = generators::union_of_random_forests(3_000, 3, 57)?.with_shuffled_ids(4);
+    println!("phase attribution on a forest union: n = {}, Δ = {}\n", g.n(), g.max_degree());
+
+    let collector = obs::SpanCollector::new();
+    let _recording = obs::install(&collector);
+
+    for algorithm in congest_headliners(42) {
+        // Wrap the whole run in a span: the driver's phase spans nest under it, so
+        // `phase_rollup` can aggregate the direct children into a per-phase table.
+        let parent = collector.len();
+        let span = obs::phase(algorithm.name());
+        let outcome = algorithm.run(&g).map_err(|e| format!("{} failed: {e}", algorithm.name()))?;
+        span.charge(outcome.report);
+        drop(span);
+
+        assert!(outcome.coloring.is_legal(&g));
+        println!(
+            "{} — {} colors, {} rounds, {} messages, {} bits",
+            outcome.name,
+            outcome.colors,
+            outcome.report.rounds,
+            outcome.report.messages,
+            outcome.report.total_bits
+        );
+        let phases = obs::phase_rollup(&collector.snapshot(), parent);
+        for (name, report) in &phases {
+            println!(
+                "  {:<24} {:>6} rounds {:>9} messages {:>11} bits",
+                name, report.rounds, report.messages, report.total_bits
+            );
+        }
+        let sum = phases.iter().fold(RoundReport::zero(), |acc, (_, r)| acc.then(*r));
+        assert_eq!(
+            (sum.rounds, sum.messages, sum.total_bits),
+            (outcome.report.rounds, outcome.report.messages, outcome.report.total_bits),
+            "phases must sum bit-exactly to the headline report"
+        );
+        println!("  (phases sum bit-exactly to the headline report)\n");
+    }
+
+    println!("{}", obs::summary_table(&collector));
+    println!("{}", collector.metrics().render());
+    let trace = obs::chrome_trace_json(&collector);
+    println!("Chrome trace export: {} bytes of trace-event JSON", trace.len());
+    println!("(`experiments -- E21,E23 --trace-out trace.json` writes the same format;");
+    println!(" load it at ui.perfetto.dev)");
+    Ok(())
+}
