@@ -1,0 +1,76 @@
+//! Criterion benchmarks for the bitset palette engine (experiment E24's wall-clock side):
+//! raw [`PaletteSet`] strike/pick micro-costs, and the bitset pick path of
+//! [`ScheduledListColor`] against the preserved `Vec`-scan reference
+//! ([`VecScanListColor`]) on identical greedy-scheduled sweeps.
+
+use arbcolor_baselines::greedy::sequential_greedy;
+use arbcolor_graph::{generators, PaletteSet};
+use arbcolor_runtime::algorithms::{
+    ListColorSchedule, ListColorSlot, ScheduledListColor, VecScanListColor,
+};
+use arbcolor_runtime::Executor;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_palette_set(c: &mut Criterion) {
+    let mut group = c.benchmark_group("palette_set_strike_pick");
+    group.sample_size(10);
+    for bound in [64u64, 1024, 16384] {
+        group.bench_with_input(BenchmarkId::from_parameter(bound), &bound, |b, &bound| {
+            let mut set = PaletteSet::new(bound);
+            b.iter(|| {
+                // Strike every other color, pick, epoch-clear — the hot node-program cycle.
+                for color in (0..bound).step_by(2) {
+                    set.strike(color);
+                }
+                let picked = set.first_unstruck().expect("odd colors survive");
+                set.clear();
+                picked
+            })
+        });
+    }
+    group.finish();
+}
+
+fn greedy_slots(n: usize) -> (arbcolor_graph::Graph, Vec<ListColorSlot>) {
+    let g = generators::random_regular_like(n, 32, 103).unwrap().with_shuffled_ids(17);
+    let schedule_coloring = sequential_greedy(&g, None);
+    let slots = g
+        .vertices()
+        .map(|v| ListColorSlot {
+            slot: schedule_coloring.color(v) as usize,
+            palette: (0..=g.degree(v) as u64).collect(),
+            forbidden: Vec::new(),
+        })
+        .collect();
+    (g, slots)
+}
+
+fn bench_bitset_pick_path(c: &mut Criterion) {
+    let mut group = c.benchmark_group("palette_pick_bitset");
+    group.sample_size(10);
+    for n in [1_000usize, 4_000] {
+        let (g, slots) = greedy_slots(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &(), |b, ()| {
+            b.iter(|| {
+                let schedule = ListColorSchedule::from_slots(&slots);
+                Executor::new(&g).run(&ScheduledListColor::new(&schedule)).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_vecscan_pick_path(c: &mut Criterion) {
+    let mut group = c.benchmark_group("palette_pick_vecscan");
+    group.sample_size(10);
+    for n in [1_000usize, 4_000] {
+        let (g, slots) = greedy_slots(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &(), |b, ()| {
+            b.iter(|| Executor::new(&g).run(&VecScanListColor::new(&slots)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_palette_set, bench_bitset_pick_path, bench_vecscan_pick_path);
+criterion_main!(benches);

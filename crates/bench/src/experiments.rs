@@ -819,7 +819,7 @@ pub fn e20_dynamic_recoloring(_sz: SizeClass) -> Vec<Row> {
 pub fn e21_frontier_collapse(sz: SizeClass) -> Vec<Row> {
     use arbcolor_baselines::greedy::sequential_greedy;
     use arbcolor_graph::Coloring;
-    use arbcolor_runtime::algorithms::{ListColorSlot, ScheduledListColor};
+    use arbcolor_runtime::algorithms::{ListColorSchedule, ListColorSlot, ScheduledListColor};
     use arbcolor_runtime::{ActivitySummary, Executor, ShardedExecutor};
 
     let n = match sz {
@@ -837,7 +837,8 @@ pub fn e21_frontier_collapse(sz: SizeClass) -> Vec<Row> {
             forbidden: Vec::new(),
         })
         .collect();
-    let algorithm = ScheduledListColor::new(&slots);
+    let schedule = ListColorSchedule::from_slots(&slots);
+    let algorithm = ScheduledListColor::new(&schedule);
 
     let start = Instant::now();
     let (result, trace) = Executor::new(&g).run_traced(&algorithm).expect("sweep terminates");
@@ -1060,6 +1061,102 @@ pub fn e23_phase_breakdown(sz: SizeClass) -> Vec<Row> {
     rows
 }
 
+/// E24 — the palette-engine pick-path race: the word-parallel bitset
+/// [`ScheduledListColor`] against the preserved `Vec`-scan reference
+/// ([`VecScanListColor`]) on the same greedy-scheduled sweep, over the three degree
+/// profiles of the E18 routing race (≈32-regular dense, sparse G(n,p), power-law).
+///
+/// Each row races both pick paths on an identical [`ListColorSlot`] input (slots from the
+/// sequential greedy baseline, palette `{0, …, deg(v)}`) and asserts **bit-identical**
+/// colors, rounds, and messages before it is emitted — the engine swap must be invisible
+/// in every deterministic column.  The `picks_served` / `colors_struck` columns come from
+/// the schedule's [`PaletteStats`] counters and are deterministic, so the perf gate tracks
+/// them; the `wall_ms_*` and `speedup_vs_vecscan` columns are advisory.  At `Scale(1)` the
+/// sweep runs at `n = 10⁵`, where the bitset path must beat the `Vec` scan on the dense
+/// family; the smoke tier shrinks it to 1 500 vertices.
+///
+/// [`ScheduledListColor`]: arbcolor_runtime::algorithms::ScheduledListColor
+/// [`VecScanListColor`]: arbcolor_runtime::algorithms::VecScanListColor
+/// [`ListColorSlot`]: arbcolor_runtime::algorithms::ListColorSlot
+/// [`PaletteStats`]: arbcolor_graph::PaletteStats
+pub fn e24_palette_engine(sz: SizeClass) -> Vec<Row> {
+    use arbcolor_baselines::greedy::sequential_greedy;
+    use arbcolor_graph::Coloring;
+    use arbcolor_runtime::algorithms::{
+        ListColorSchedule, ListColorSlot, ScheduledListColor, VecScanListColor,
+    };
+    use arbcolor_runtime::Executor;
+
+    let n = match sz {
+        SizeClass::Smoke => 1_500,
+        SizeClass::Scale(factor) => 100_000 * factor.max(1),
+    };
+    type FamilyGen = fn(usize) -> Graph;
+    let families: Vec<(&str, FamilyGen)> = vec![
+        ("dense", |n| generators::random_regular_like(n, 32, 103).unwrap().with_shuffled_ids(17)),
+        ("random", |n| generators::gnp(n, 8.0 / n as f64, 107).unwrap().with_shuffled_ids(18)),
+        ("power-law", |n| generators::barabasi_albert(n, 4, 109).unwrap().with_shuffled_ids(19)),
+    ];
+    let mut rows = Vec::new();
+    for (family, generate) in &families {
+        let g = &generate(n);
+        let schedule_coloring = sequential_greedy(g, None);
+        let slots: Vec<ListColorSlot> = g
+            .vertices()
+            .map(|v| ListColorSlot {
+                slot: schedule_coloring.color(v) as usize,
+                // One more color than the degree, so the sweep always succeeds.
+                palette: (0..=g.degree(v) as u64).collect(),
+                forbidden: Vec::new(),
+            })
+            .collect();
+
+        let schedule = ListColorSchedule::from_slots(&slots);
+        // Untimed warm-up lap of both paths: the first execution on a freshly generated
+        // graph pays one-time page-fault and cache-warming costs that would otherwise be
+        // charged to whichever path happens to run first.
+        Executor::new(g).run(&ScheduledListColor::new(&schedule)).expect("sweep terminates");
+        Executor::new(g).run(&VecScanListColor::new(&slots)).expect("sweep terminates");
+        let _ = schedule.stats().take();
+
+        let start = Instant::now();
+        let bitset =
+            Executor::new(g).run(&ScheduledListColor::new(&schedule)).expect("sweep terminates");
+        let wall_bitset = start.elapsed().as_secs_f64() * 1e3;
+        let stats = schedule.stats().snapshot();
+
+        let start = Instant::now();
+        let vecscan =
+            Executor::new(g).run(&VecScanListColor::new(&slots)).expect("sweep terminates");
+        let wall_vecscan = start.elapsed().as_secs_f64() * 1e3;
+
+        assert_eq!(bitset.outputs, vecscan.outputs, "pick paths diverged on {family} n={n}");
+        assert_eq!(bitset.report, vecscan.report, "cost diverged between pick paths on {family}");
+
+        let colors: Vec<u64> =
+            bitset.outputs.iter().map(|c| c.expect("list exceeds degree")).collect();
+        let final_coloring = Coloring::new(g, colors).expect("one color per vertex");
+        assert!(final_coloring.is_legal(g), "sweep must produce a legal coloring on {family}");
+
+        rows.push(
+            Row::new("E24", format!("{family} n={n} · pick-path race"))
+                .with("n", n as f64)
+                .with("avg_degree", g.average_degree())
+                .with("colors", final_coloring.distinct_colors() as f64)
+                .with("rounds", bitset.report.rounds as f64)
+                .with("messages", bitset.report.messages as f64)
+                .with("picks_served", stats.picks_served as f64)
+                .with("colors_struck", stats.colors_struck as f64)
+                .with("identical", 1.0)
+                .with("legal", 1.0)
+                .with("wall_ms_bitset", wall_bitset)
+                .with("wall_ms_vecscan", wall_vecscan)
+                .with("speedup_vs_vecscan", wall_vecscan / wall_bitset.max(1e-9)),
+        );
+    }
+    rows
+}
+
 /// The base graph with every batch applied (identifiers preserved); `None` when there is
 /// nothing to add.
 fn rebuilt(base: &Graph, batches: &[Vec<(usize, usize)>]) -> Option<Graph> {
@@ -1111,6 +1208,7 @@ pub fn catalog() -> Vec<(&'static str, ExperimentFn)> {
         ("E21", e21_frontier_collapse),
         ("E22", e22_congest_bandwidth_race),
         ("E23", e23_phase_breakdown),
+        ("E24", e24_palette_engine),
     ]
 }
 
@@ -1145,8 +1243,21 @@ mod tests {
         // here we only pin their catalog identities so `experiments -- E17`/`E18` resolve.
         let ids: Vec<&str> = catalog().iter().map(|(id, _)| *id).collect();
         assert_eq!(ids.first(), Some(&"E1"));
-        assert_eq!(ids.last(), Some(&"E23"));
-        assert_eq!(ids.len(), 23);
+        assert_eq!(ids.last(), Some(&"E24"));
+        assert_eq!(ids.len(), 24);
+    }
+
+    #[test]
+    fn e24_races_the_pick_paths_bit_identically() {
+        // The experiment asserts bit-identity before emitting; re-check the emitted columns.
+        let rows = e24_palette_engine(SizeClass::Smoke);
+        assert_eq!(rows.len(), 3, "one row per degree profile");
+        for row in &rows {
+            assert_eq!(row.values["identical"], 1.0);
+            assert_eq!(row.values["legal"], 1.0);
+            assert_eq!(row.values["picks_served"], row.values["n"], "one pick per vertex");
+            assert!(row.values["colors_struck"] > 0.0);
+        }
     }
 
     #[test]

@@ -21,9 +21,9 @@ use std::fmt::Write as _;
 
 /// The experiments whose rows are collected into the perf document: the sharded-scale and
 /// routing races (PR 3/4), the ingestion and dynamic-recoloring workloads (PR 5), the
-/// frontier-collapse activity trace (PR 6), the CONGEST bandwidth race (PR 7), and the
-/// per-phase cost breakdown (PR 8).
-pub const PERF_EXPERIMENTS: [&str; 7] = ["E17", "E18", "E19", "E20", "E21", "E22", "E23"];
+/// frontier-collapse activity trace (PR 6), the CONGEST bandwidth race (PR 7), the
+/// per-phase cost breakdown (PR 8), and the palette-engine pick-path race (PR 9).
+pub const PERF_EXPERIMENTS: [&str; 8] = ["E17", "E18", "E19", "E20", "E21", "E22", "E23", "E24"];
 
 /// Value columns that must not worsen between PRs (the stack is deterministic, so any
 /// change is a real behavioural difference).  Lower is better for all of these —

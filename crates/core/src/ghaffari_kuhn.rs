@@ -40,9 +40,9 @@ use crate::report::ColoringRun;
 use arbcolor_decompose::defective::defective_coloring;
 use arbcolor_decompose::linial::linial_coloring;
 use arbcolor_decompose::reduction::kw_reduce;
-use arbcolor_graph::{Coloring, Graph, InducedSubgraph, Vertex};
+use arbcolor_graph::{ColorPool, Coloring, Graph, InducedSubgraph, Vertex};
 use arbcolor_runtime::algorithms::{
-    HalvingSplit, ListColorSlot, ScheduledListColor, SplitChoice, SplitSlot,
+    HalvingSplit, ListColorSchedule, ScheduledListColor, SplitChoice, SplitSlot,
 };
 use arbcolor_runtime::{obs, parallel_max, run_algorithm, CostLedger, RoundReport};
 
@@ -54,10 +54,11 @@ const BASE_SPACE: u64 = 8;
 const MAX_SLOTS: usize = 64;
 
 /// One sub-instance of the recursion: a set of original-graph vertices, their remaining
-/// lists, and the color-space interval `[lo, hi)` the lists live in.
+/// lists (a flat [`ColorPool`], one list per kept vertex in order), and the color-space
+/// interval `[lo, hi)` the lists live in.
 struct Instance {
     vertices: Vec<Vertex>,
-    lists: Vec<Vec<u64>>,
+    lists: ColorPool,
     lo: u64,
     hi: u64,
 }
@@ -118,7 +119,7 @@ pub fn ghaffari_kuhn_list_coloring(
     let mut deferred: Vec<Vertex> = Vec::new();
     let mut active = vec![Instance {
         vertices: graph.vertices().collect(),
-        lists: lists.lists().to_vec(),
+        lists: lists.pool().clone(),
         lo: 0,
         hi: space,
     }];
@@ -137,7 +138,7 @@ pub fn ghaffari_kuhn_list_coloring(
             }
             let sub = InducedSubgraph::new(graph, &inst.vertices);
             if inst.hi - inst.lo <= BASE_SPACE || sub.graph.m() == 0 {
-                let (leaf_colors, report) = scheduled_sweep(&sub.graph, &inst.lists, None)?;
+                let (leaf_colors, report) = scheduled_sweep(&sub.graph, inst.lists, None)?;
                 for (child, c) in leaf_colors.into_iter().enumerate() {
                     colors[sub.map.to_parent(child)] = Some(c);
                 }
@@ -159,7 +160,7 @@ pub fn ghaffari_kuhn_list_coloring(
             let slots: Vec<SplitSlot> = (0..sub.graph.n())
                 .map(|child| {
                     let class = defective.output.coloring.color(child) as usize;
-                    let list = &inst.lists[child];
+                    let list = inst.lists.list(child);
                     let low_count = list.partition_point(|&c| c < mid);
                     SplitSlot {
                         slot: class % num_slots,
@@ -173,21 +174,21 @@ pub fn ghaffari_kuhn_list_coloring(
             split_reports.push(defective.output.report.then(result.report));
 
             let mut low =
-                Instance { vertices: Vec::new(), lists: Vec::new(), lo: inst.lo, hi: mid };
+                Instance { vertices: Vec::new(), lists: ColorPool::new(), lo: inst.lo, hi: mid };
             let mut high =
-                Instance { vertices: Vec::new(), lists: Vec::new(), lo: mid, hi: inst.hi };
+                Instance { vertices: Vec::new(), lists: ColorPool::new(), lo: mid, hi: inst.hi };
             for (child, choice) in result.outputs.iter().enumerate() {
                 let parent = sub.map.to_parent(child);
-                let list = &inst.lists[child];
+                let list = inst.lists.list(child);
                 let low_count = list.partition_point(|&c| c < mid);
                 match choice {
                     SplitChoice::Low => {
                         low.vertices.push(parent);
-                        low.lists.push(list[..low_count].to_vec());
+                        low.lists.push_slice(&list[..low_count]);
                     }
                     SplitChoice::High => {
                         high.vertices.push(parent);
-                        high.lists.push(list[low_count..].to_vec());
+                        high.lists.push_slice(&list[low_count..]);
                     }
                     SplitChoice::Deferred => deferred.push(parent),
                 }
@@ -215,16 +216,14 @@ pub fn ghaffari_kuhn_list_coloring(
     if !deferred.is_empty() {
         let cleanup_span = obs::phase("deferred-cleanup");
         let sub = InducedSubgraph::new(graph, &deferred);
-        let cleanup_lists: Vec<Vec<u64>> =
-            (0..sub.graph.n()).map(|child| lists.list(sub.map.to_parent(child)).to_vec()).collect();
-        let forbidden: Vec<Vec<u64>> = (0..sub.graph.n())
-            .map(|child| {
-                let parent = sub.map.to_parent(child);
-                graph.neighbors(parent).iter().filter_map(|&u| colors[u]).collect()
-            })
-            .collect();
-        let (cleanup_colors, report) =
-            scheduled_sweep(&sub.graph, &cleanup_lists, Some(forbidden))?;
+        let mut cleanup_lists = ColorPool::new();
+        let mut forbidden = ColorPool::new();
+        for child in 0..sub.graph.n() {
+            let parent = sub.map.to_parent(child);
+            cleanup_lists.push_slice(lists.list(parent));
+            forbidden.push_iter(graph.neighbors(parent).iter().filter_map(|&u| colors[u]));
+        }
+        let (cleanup_colors, report) = scheduled_sweep(&sub.graph, cleanup_lists, Some(forbidden))?;
         for (child, c) in cleanup_colors.into_iter().enumerate() {
             colors[sub.map.to_parent(child)] = Some(c);
         }
@@ -242,12 +241,15 @@ pub fn ghaffari_kuhn_list_coloring(
 /// Greedily list colors a (sub)graph over a legal schedule: Linial plus Kuhn–Wattenhofer
 /// produce a `(Δ+1)`-coloring whose classes become the announcement slots of one
 /// [`ScheduledListColor`] sweep.  `forbidden` carries externally excluded colors per vertex.
+///
+/// The list and forbidden pools are moved into the run's [`ListColorSchedule`] arena
+/// wholesale — no per-vertex list is ever copied.
 fn scheduled_sweep(
     graph: &Graph,
-    lists: &[Vec<u64>],
-    forbidden: Option<Vec<Vec<u64>>>,
+    lists: ColorPool,
+    forbidden: Option<ColorPool>,
 ) -> Result<(Vec<u64>, RoundReport), CoreError> {
-    let forbidden = forbidden.unwrap_or_else(|| vec![Vec::new(); graph.n()]);
+    let forbidden = forbidden.unwrap_or_else(|| ColorPool::empty_lists(graph.n()));
     let (slots, schedule_report) = if graph.m() == 0 {
         (vec![0usize; graph.n()], RoundReport::zero())
     } else {
@@ -256,16 +258,9 @@ fn scheduled_sweep(
         let slots = (0..graph.n()).map(|v| reduced.coloring.color(v) as usize).collect();
         (slots, linial.report.then(reduced.report))
     };
-    let inputs: Vec<ListColorSlot> = slots
-        .into_iter()
-        .zip(lists.iter().zip(forbidden))
-        .map(|(slot, (palette, forbidden))| ListColorSlot {
-            slot,
-            palette: palette.clone(),
-            forbidden,
-        })
-        .collect();
-    let result = run_algorithm(graph, &ScheduledListColor::new(&inputs))?;
+    let schedule = ListColorSchedule::new(slots, lists, forbidden);
+    let result = run_algorithm(graph, &ScheduledListColor::new(&schedule))?;
+    obs::record_palette(schedule.stats());
     let mut out = Vec::with_capacity(graph.n());
     for (v, chosen) in result.outputs.into_iter().enumerate() {
         match chosen {

@@ -31,13 +31,14 @@ use crate::error::CoreError;
 use crate::ghaffari_kuhn::ghaffari_kuhn_list_coloring;
 use crate::list_coloring::ColorLists;
 use crate::report::ColoringRun;
-use arbcolor_graph::{Coloring, Graph, InducedSubgraph, Vertex};
+use arbcolor_graph::{Coloring, Graph, InducedSubgraph, PaletteSet, PaletteStats, Vertex};
 use arbcolor_runtime::{
     obs, run_algorithm, Algorithm, CostLedger, Inbox, MessageCost, NodeCtx, NodeProgram, Outbox,
     Status,
 };
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
+use std::sync::Arc;
 
 /// A message of the trial protocol: a color candidate or a permanent adoption.
 ///
@@ -60,17 +61,37 @@ impl MessageCost for TrialMsg {
     }
 }
 
-/// The multi-trial sampling phase of HKMT as a distributed algorithm: after
-/// [`trials`](RandomTrials::trials) failed trials a vertex gives up and leaves itself to
-/// the deterministic fallback (output `None`).
-#[derive(Debug, Clone)]
+/// The multi-trial sampling phase of HKMT as a distributed algorithm: after the trial
+/// budget is exhausted a vertex gives up and leaves itself to the deterministic fallback
+/// (output `None`).
+///
+/// Nodes borrow their list straight from the instance's flat pool and mark adopted
+/// neighbor colors in a position-indexed [`PaletteSet`] instead of compacting a cloned
+/// `Vec`; candidate draws select the `k`-th surviving position by popcount, which is
+/// bit-identical to drawing from the compacted list.
+#[derive(Debug)]
 pub struct RandomTrials<'a> {
     /// Global seed; per-vertex generators are derived from it and the vertex identifier.
-    pub seed: u64,
+    seed: u64,
     /// Maximum number of trials before a vertex defers to the fallback.
-    pub trials: usize,
+    trials: usize,
     /// The list-coloring instance (one palette per vertex).
-    pub lists: &'a ColorLists,
+    lists: &'a ColorLists,
+    /// Reuse counters fed by the nodes; flushed by the driver after the run.  Shared by
+    /// refcount because the nodes outlive the `&self` borrow of [`Algorithm::node`].
+    stats: Arc<PaletteStats>,
+}
+
+impl<'a> RandomTrials<'a> {
+    /// Creates the sampling phase over `lists` with the given seed and trial budget.
+    pub fn new(seed: u64, trials: usize, lists: &'a ColorLists) -> Self {
+        RandomTrials { seed, trials, lists, stats: Arc::new(PaletteStats::default()) }
+    }
+
+    /// The reuse counters fed by this algorithm's nodes.
+    pub fn stats(&self) -> &PaletteStats {
+        &self.stats
+    }
 }
 
 /// Phase alternation of the trial protocol.
@@ -84,10 +105,15 @@ enum Phase {
 
 /// Per-vertex state of [`RandomTrials`].
 #[derive(Debug, Clone)]
-pub struct TrialNode {
+pub struct TrialNode<'a> {
     rng: ChaCha8Rng,
-    /// Colors of the list not yet adopted by a neighbor, ascending.
-    list: Vec<u64>,
+    /// The vertex's full sorted list, borrowed from the instance pool.
+    list: &'a [u64],
+    /// List *positions* whose colors were adopted by a neighbor.
+    struck: PaletteSet,
+    /// Number of surviving positions (`list.len() − struck_count`).
+    live: usize,
+    stats: Arc<PaletteStats>,
     candidate: u64,
     color: Option<u64>,
     phase: Phase,
@@ -95,10 +121,17 @@ pub struct TrialNode {
     trials: usize,
 }
 
-impl TrialNode {
-    /// Draws a fresh candidate and broadcasts it; the caller set up `self.list`.
+impl TrialNode<'_> {
+    /// Draws a fresh candidate from the surviving positions and broadcasts it.
+    ///
+    /// `select_unstruck(k)` returns the `k`-th surviving position in ascending order —
+    /// exactly the element `compacted[k]` of the old remove-as-you-go `Vec`, so the draw
+    /// (and the whole rng stream) is bit-identical to the pre-bitset path.
     fn propose(&mut self, ctx: &NodeCtx, outbox: &mut Outbox<TrialMsg>) -> Status {
-        self.candidate = self.list[self.rng.gen_range(0..self.list.len())];
+        let k = self.rng.gen_range(0..self.live) as u64;
+        let pos = self.struck.select_unstruck(k).expect("live > 0 surviving positions");
+        self.candidate = self.list[pos as usize];
+        self.stats.record_pick_only();
         outbox.broadcast(TrialMsg::Propose(self.candidate));
         self.phase = Phase::Resolve;
         ctx.wake_next_round();
@@ -106,12 +139,12 @@ impl TrialNode {
     }
 }
 
-impl NodeProgram for TrialNode {
+impl NodeProgram for TrialNode<'_> {
     type Msg = TrialMsg;
     type Output = Option<u64>;
 
     fn init(&mut self, ctx: &NodeCtx, outbox: &mut Outbox<TrialMsg>) -> Status {
-        if self.list.is_empty() {
+        if self.live == 0 {
             // Defensive: an uncolorable vertex defers to the fallback's validation.
             return Status::Halted;
         }
@@ -152,12 +185,18 @@ impl NodeProgram for TrialNode {
             Phase::Propose => {
                 for (_, m) in inbox.iter() {
                     if let TrialMsg::Keep(c) = m {
+                        // Striking a position is idempotent, so a color adopted by two
+                        // neighbors (legal across resolve generations) is removed once —
+                        // same behavior as the old remove + failing re-search.
                         if let Ok(at) = self.list.binary_search(c) {
-                            self.list.remove(at);
+                            if self.struck.strike(at as u64) {
+                                self.live -= 1;
+                                self.stats.record_strikes(1);
+                            }
                         }
                     }
                 }
-                if self.list.is_empty() {
+                if self.live == 0 {
                     return Status::Halted;
                 }
                 self.propose(ctx, outbox)
@@ -170,17 +209,21 @@ impl NodeProgram for TrialNode {
     }
 }
 
-impl Algorithm for RandomTrials<'_> {
-    type Node = TrialNode;
+impl<'a> Algorithm for RandomTrials<'a> {
+    type Node = TrialNode<'a>;
 
-    fn node(&self, ctx: &NodeCtx) -> TrialNode {
+    fn node(&self, ctx: &NodeCtx) -> TrialNode<'a> {
         // Seed per vertex from (global seed, vertex identifier): the draw sequence belongs
         // to the vertex, not to any scheduling order, which is what makes the randomized
         // execution bit-identical across executors and thread counts.
         let rng = ChaCha8Rng::seed_from_u64(self.seed ^ ctx.id.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let list = self.lists.list(ctx.vertex);
         TrialNode {
             rng,
-            list: self.lists.list(ctx.vertex).to_vec(),
+            list,
+            struck: PaletteSet::new(list.len() as u64),
+            live: list.len(),
+            stats: Arc::clone(&self.stats),
             candidate: 0,
             color: None,
             phase: Phase::Propose,
@@ -236,8 +279,9 @@ pub fn hkmt_list_coloring(
 
     let mut ledger = CostLedger::new();
     let trials_span = obs::phase("random-trials");
-    let sampling =
-        run_algorithm(graph, &RandomTrials { seed, trials: default_trials(graph.n()), lists })?;
+    let trials = RandomTrials::new(seed, default_trials(graph.n()), lists);
+    let sampling = run_algorithm(graph, &trials)?;
+    obs::record_palette(trials.stats());
     ledger.push("random-trials", sampling.report);
     trials_span.charge(sampling.report);
     drop(trials_span);
@@ -252,14 +296,29 @@ pub fn hkmt_list_coloring(
         // "gk-fallback", so there is no double counting.
         let fallback_span = obs::phase("gk-fallback");
         let sub = InducedSubgraph::new(graph, &leftover);
+        // One strike-set scratch reused across all leftover vertices: strike the colors
+        // adopted around `parent`, filter its list with word lookups, epoch-clear, repeat.
+        let stats = PaletteStats::default();
+        let mut taken = PaletteSet::new(lists.color_space());
         let reduced: Vec<Vec<u64>> = (0..sub.graph.n())
             .map(|child| {
                 let parent = sub.map.to_parent(child);
-                let taken: Vec<u64> =
-                    graph.neighbors(parent).iter().filter_map(|&u| colors[u]).collect();
-                lists.list(parent).iter().copied().filter(|c| !taken.contains(c)).collect()
+                let mut struck = 0;
+                for &u in graph.neighbors(parent) {
+                    if let Some(c) = colors[u] {
+                        if taken.strike(c) {
+                            struck += 1;
+                        }
+                    }
+                }
+                stats.record_strikes(struck);
+                let list: Vec<u64> =
+                    lists.list(parent).iter().copied().filter(|&c| !taken.is_struck(c)).collect();
+                stats.record_words_cleared(taken.clear());
+                list
             })
             .collect();
+        obs::record_palette(&stats);
         let sub_lists = ColorLists::new(&sub.graph, reduced)?;
         let fallback = ghaffari_kuhn_list_coloring(&sub.graph, &sub_lists)?;
         for child in 0..sub.graph.n() {

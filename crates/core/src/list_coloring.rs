@@ -9,21 +9,23 @@
 //! the harder, fully local variant (a vertex generates its list from its own degree, with no
 //! global knowledge beyond the color-space bound).
 //!
-//! [`ColorLists`] is the shared instance type: it owns the per-vertex lists (sorted and
-//! deduplicated), checks the greedy-slack condition, and independently verifies that a
+//! [`ColorLists`] is the shared instance type: it owns the per-vertex lists — stored as one
+//! CSR-shaped [`ColorPool`] (an offsets array plus a flat colors array, the same layout as
+//! the graph's neighbor-id table), with the sorted/deduplicated invariant guaranteed at
+//! construction — checks the greedy-slack condition, and independently verifies that a
 //! produced coloring is both legal and list-respecting.
 
 use crate::error::CoreError;
-use arbcolor_graph::{Color, Coloring, Graph, Vertex};
+use arbcolor_graph::{Color, ColorPool, Coloring, Graph, Vertex};
 
 /// A list-coloring instance: one sorted, deduplicated color list per vertex of a specific
-/// [`Graph`].
+/// [`Graph`], stored in a flat [`ColorPool`].
 ///
 /// Like [`Coloring`], the instance does not hold a reference to its graph; the same graph
 /// value must be passed to the query methods.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ColorLists {
-    lists: Vec<Vec<Color>>,
+    pool: ColorPool,
 }
 
 impl ColorLists {
@@ -34,36 +36,45 @@ impl ColorLists {
     ///
     /// Returns [`CoreError::InvalidParameter`] if the number of lists differs from the number
     /// of vertices or some list is empty.
-    pub fn new(graph: &Graph, mut lists: Vec<Vec<Color>>) -> Result<Self, CoreError> {
+    pub fn new(graph: &Graph, lists: Vec<Vec<Color>>) -> Result<Self, CoreError> {
         if lists.len() != graph.n() {
             return Err(CoreError::InvalidParameter {
                 reason: format!("got {} lists for {} vertices", lists.len(), graph.n()),
             });
         }
-        for (v, list) in lists.iter_mut().enumerate() {
-            list.sort_unstable();
-            list.dedup();
+        let total = lists.iter().map(Vec::len).sum();
+        let mut pool = ColorPool::with_capacity(lists.len(), total);
+        for (v, list) in lists.into_iter().enumerate() {
             if list.is_empty() {
                 return Err(CoreError::InvalidParameter {
                     reason: format!("vertex {v} has an empty color list"),
                 });
             }
+            pool.push_iter(list);
+            pool.sort_dedup_list(v);
         }
-        Ok(ColorLists { lists })
+        Ok(ColorLists { pool })
     }
 
     /// The uniform `(Δ+1)`-coloring instance: every vertex lists `{0, …, Δ}`.
     pub fn delta_plus_one(graph: &Graph) -> Self {
-        let palette: Vec<Color> = (0..=graph.max_degree() as Color).collect();
-        ColorLists { lists: vec![palette; graph.n()] }
+        let delta = graph.max_degree() as Color;
+        let mut pool = ColorPool::with_capacity(graph.n(), graph.n() * (delta as usize + 1));
+        for _ in 0..graph.n() {
+            pool.push_iter(0..=delta);
+        }
+        ColorLists { pool }
     }
 
     /// The locally generated `(deg+1)`-list instance: vertex `v` lists `{0, …, deg(v)}`.
     ///
     /// Every list is contained in `{0, …, Δ}`, so any solution uses at most `Δ + 1` colors.
     pub fn degree_plus_one(graph: &Graph) -> Self {
-        let lists = graph.vertices().map(|v| (0..=graph.degree(v) as Color).collect()).collect();
-        ColorLists { lists }
+        let mut pool = ColorPool::with_capacity(graph.n(), 2 * graph.m() + graph.n());
+        for v in graph.vertices() {
+            pool.push_iter(0..=graph.degree(v) as Color);
+        }
+        ColorLists { pool }
     }
 
     /// The list of vertex `v`, sorted and deduplicated.
@@ -72,22 +83,27 @@ impl ColorLists {
     ///
     /// Panics if `v` is out of range.
     pub fn list(&self, v: Vertex) -> &[Color] {
-        &self.lists[v]
+        self.pool.list(v)
     }
 
-    /// All lists, indexed by vertex.
-    pub fn lists(&self) -> &[Vec<Color>] {
-        &self.lists
+    /// The underlying flat pool of all lists, indexed by vertex.
+    pub fn pool(&self) -> &ColorPool {
+        &self.pool
+    }
+
+    /// Iterates over the lists in vertex order.
+    pub fn iter(&self) -> impl Iterator<Item = &[Color]> + '_ {
+        self.pool.iter()
     }
 
     /// Number of vertices covered by this instance.
     pub fn n(&self) -> usize {
-        self.lists.len()
+        self.pool.len()
     }
 
     /// One more than the largest listed color: every solution lives in `[0, color_space)`.
     pub fn color_space(&self) -> u64 {
-        self.lists.iter().filter_map(|l| l.last().copied()).max().map_or(0, |c| c + 1)
+        self.pool.iter().filter_map(|l| l.last().copied()).max().map_or(0, |c| c + 1)
     }
 
     /// The minimum greedy slack `|Ψ(v)| − deg(v) − 1` over all vertices.  The `(deg+1)`-list
@@ -95,7 +111,7 @@ impl ColorLists {
     pub fn min_slack(&self, graph: &Graph) -> i64 {
         graph
             .vertices()
-            .map(|v| self.lists[v].len() as i64 - graph.degree(v) as i64 - 1)
+            .map(|v| self.pool.list(v).len() as i64 - graph.degree(v) as i64 - 1)
             .min()
             .unwrap_or(0)
     }
@@ -106,27 +122,30 @@ impl ColorLists {
     }
 
     /// Independently checks that `coloring` is legal on `graph` and colors every vertex from
-    /// its own list.
+    /// its own list.  Both checks short-circuit on the first violation — no conflict vector
+    /// is materialized.
     ///
     /// # Errors
     ///
     /// Returns [`CoreError::InvariantViolated`] naming the first offending vertex or edge.
     pub fn verify(&self, graph: &Graph, coloring: &Coloring) -> Result<(), CoreError> {
         for v in graph.vertices() {
-            if self.lists[v].binary_search(&coloring.color(v)).is_err() {
+            if self.pool.list(v).binary_search(&coloring.color(v)).is_err() {
                 return Err(CoreError::InvariantViolated {
                     reason: format!(
                         "vertex {v} is colored {} but its list is {:?}",
                         coloring.color(v),
-                        self.lists[v]
+                        self.pool.list(v)
                     ),
                 });
             }
-        }
-        if let Some(&(u, v)) = coloring.conflicts(graph).first() {
-            return Err(CoreError::InvariantViolated {
-                reason: format!("edge ({u}, {v}) is monochromatic"),
-            });
+            for &u in graph.neighbors(v) {
+                if u > v && coloring.color(u) == coloring.color(v) {
+                    return Err(CoreError::InvariantViolated {
+                        reason: format!("edge ({v}, {u}) is monochromatic"),
+                    });
+                }
+            }
         }
         Ok(())
     }
@@ -145,6 +164,16 @@ mod tests {
         assert_eq!(lists.color_space(), 6);
         assert!(ColorLists::new(&g, vec![vec![1]]).is_err());
         assert!(ColorLists::new(&g, vec![vec![1], vec![], vec![2]]).is_err());
+    }
+
+    #[test]
+    fn pool_layout_matches_the_per_vertex_views() {
+        let g = generators::path(3).unwrap();
+        let lists = ColorLists::new(&g, vec![vec![5, 1, 5], vec![2, 0], vec![3]]).unwrap();
+        assert_eq!(lists.pool().len(), 3);
+        assert_eq!(lists.pool().total_colors(), 5, "duplicates are gone from the flat pool");
+        let collected: Vec<&[u64]> = lists.iter().collect();
+        assert_eq!(collected, vec![&[1u64, 5][..], &[0, 2][..], &[3][..]]);
     }
 
     #[test]

@@ -18,7 +18,7 @@
 use crate::error::DecomposeError;
 use crate::hpartition::h_partition;
 use crate::linial::linial_coloring;
-use crate::reduction::{run_greedy_sweep, SweepSlot};
+use crate::reduction::{run_greedy_sweep, SweepSchedule, SweepSlot};
 use arbcolor_graph::{Coloring, Graph, InducedSubgraph};
 use arbcolor_runtime::{obs, CostLedger, RoundReport};
 
@@ -101,7 +101,8 @@ pub fn arboricity_linear_coloring(
                 }
             })
             .collect();
-        let (bucket_colors, sweep_report) = run_greedy_sweep(&sub.graph, &slots)?;
+        let (bucket_colors, sweep_report) =
+            run_greedy_sweep(&sub.graph, &SweepSchedule::new(&slots))?;
         ledger.push("bucket-sweep", sweep_report);
         obs::record_leaf("bucket-sweep", sweep_report);
         for (child, &c) in bucket_colors.iter().enumerate() {

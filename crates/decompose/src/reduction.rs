@@ -4,7 +4,10 @@
 //!   slot it picks the smallest color of its private palette range that is not forbidden and
 //!   not announced by a neighbor that already picked, then announces its choice.  When the
 //!   slots come from a legal coloring (neighbors never share a slot) and the palette is large
-//!   enough, the result is a legal coloring.  Cost: `max_slot + 1` rounds.
+//!   enough, the result is a legal coloring.  Cost: `max_slot + 1` rounds.  Slot data lives
+//!   flattened in a shared [`SweepSchedule`] arena, and announced colors are struck into a
+//!   per-vertex [`PaletteSet`] bitset shifted by the palette offset, so a pick is a single
+//!   word scan over the range instead of nested `Vec` scans.
 //! * [`greedy_reduce`] reduces a legal `k`-coloring to a `palette`-coloring in `O(k)` rounds
 //!   (one class per round) — the folklore reduction.
 //! * [`kw_reduce`] reduces a legal `k`-coloring to a `(Δ+1)`-coloring in
@@ -12,10 +15,11 @@
 //!   (Kuhn–Wattenhofer PODC'06).
 
 use crate::error::DecomposeError;
-use arbcolor_graph::{Coloring, Graph};
+use arbcolor_graph::{ColorPool, Coloring, Graph, PaletteSet, PaletteStats};
 use arbcolor_runtime::{run_algorithm, Algorithm, Inbox, NodeCtx, Outbox, RoundReport, Status};
 
-/// Per-vertex input of the greedy sweep.
+/// Per-vertex input of the greedy sweep (the construction-time view; at run time the data
+/// lives flattened inside a [`SweepSchedule`]).
 #[derive(Debug, Clone)]
 pub struct SweepSlot {
     /// The round in which this vertex picks its color (vertices with slot 0 pick immediately).
@@ -29,45 +33,101 @@ pub struct SweepSlot {
     pub forbidden: Vec<u64>,
 }
 
-/// The greedy sweep algorithm (node-program factory).
-#[derive(Debug, Clone)]
-pub struct GreedySweep<'a> {
-    slots: &'a [SweepSlot],
+/// The shared per-execution arena of one [`GreedySweep`] run: the scalar slot data per
+/// vertex, the forbidden sets in one flat [`ColorPool`], and the [`PaletteStats`] reuse
+/// counters the nodes feed.
+#[derive(Debug)]
+pub struct SweepSchedule {
+    slots: Vec<usize>,
+    offsets: Vec<u64>,
+    sizes: Vec<u64>,
+    forbidden: ColorPool,
+    stats: PaletteStats,
 }
 
-impl<'a> GreedySweep<'a> {
-    /// Creates the sweep from one [`SweepSlot`] per vertex.
-    pub fn new(slots: &'a [SweepSlot]) -> Self {
-        GreedySweep { slots }
+impl SweepSchedule {
+    /// Flattens one [`SweepSlot`] per vertex into a schedule.
+    pub fn new(inputs: &[SweepSlot]) -> Self {
+        let mut forbidden =
+            ColorPool::with_capacity(inputs.len(), inputs.iter().map(|s| s.forbidden.len()).sum());
+        for input in inputs {
+            forbidden.push_slice(&input.forbidden);
+        }
+        SweepSchedule {
+            slots: inputs.iter().map(|s| s.slot).collect(),
+            offsets: inputs.iter().map(|s| s.palette_offset).collect(),
+            sizes: inputs.iter().map(|s| s.palette_size).collect(),
+            forbidden,
+            stats: PaletteStats::default(),
+        }
+    }
+
+    /// Number of vertices the schedule covers.
+    pub fn n(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// The reuse counters fed by this schedule's nodes; [`run_greedy_sweep`] flushes them
+    /// into the installed metrics registry after the run.
+    pub fn stats(&self) -> &PaletteStats {
+        &self.stats
     }
 }
 
-/// Node program of [`GreedySweep`].
+/// The greedy sweep algorithm (node-program factory).
 #[derive(Debug, Clone)]
-pub struct GreedySweepNode {
-    input: SweepSlot,
-    taken: Vec<u64>,
+pub struct GreedySweep<'a> {
+    schedule: &'a SweepSchedule,
+}
+
+impl<'a> GreedySweep<'a> {
+    /// Creates the sweep over a shared [`SweepSchedule`] arena.
+    pub fn new(schedule: &'a SweepSchedule) -> Self {
+        GreedySweep { schedule }
+    }
+}
+
+/// Node program of [`GreedySweep`]: strikes forbidden and announced colors, shifted by the
+/// palette offset, into a [`PaletteSet`] over `[0, palette_size)`.
+///
+/// The offset shift matters: [`kw_reduce`] hands out ranges like `block · (Δ+1)` for large
+/// block indices, so an unshifted bitset over absolute colors would be as long as the whole
+/// color space instead of one palette range.
+#[derive(Debug, Clone)]
+pub struct GreedySweepNode<'a> {
+    slot: usize,
+    offset: u64,
+    stats: &'a PaletteStats,
+    struck: PaletteSet,
     chosen: Option<u64>,
     round: usize,
 }
 
-impl GreedySweepNode {
+impl GreedySweepNode<'_> {
+    fn strike(&mut self, color: u64) {
+        // Colors outside [offset, offset + size) can never be picked; ignore them.
+        if color >= self.offset {
+            self.struck.strike(color - self.offset);
+        }
+    }
+
     fn pick(&mut self) -> Option<u64> {
-        let range = self.input.palette_offset..self.input.palette_offset + self.input.palette_size;
-        let choice =
-            range.clone().find(|c| !self.input.forbidden.contains(c) && !self.taken.contains(c));
+        // Smallest unstruck color of the range — identical to the Vec-scan
+        // `range.find(|c| !forbidden.contains(c) && !taken.contains(c))`.
+        let choice = self.struck.first_unstruck().map(|c| c + self.offset);
         self.chosen = choice;
+        self.stats.record_pick(self.struck.struck_count());
         choice
     }
 }
 
-impl arbcolor_runtime::node::NodeProgram for GreedySweepNode {
+impl arbcolor_runtime::node::NodeProgram for GreedySweepNode<'_> {
     type Msg = u64;
     type Output = Option<u64>;
 
     fn init(&mut self, ctx: &NodeCtx, outbox: &mut Outbox<u64>) -> Status {
         self.round = 0;
-        if self.input.slot == 0 {
+        if self.slot == 0 {
             if let Some(c) = self.pick() {
                 outbox.broadcast(c);
             }
@@ -83,9 +143,9 @@ impl arbcolor_runtime::node::NodeProgram for GreedySweepNode {
     fn round(&mut self, ctx: &NodeCtx, inbox: &Inbox<'_, u64>, outbox: &mut Outbox<u64>) -> Status {
         self.round += 1;
         for (_, &c) in inbox.iter() {
-            self.taken.push(c);
+            self.strike(c);
         }
-        if self.round == self.input.slot {
+        if self.round == self.slot {
             if let Some(c) = self.pick() {
                 outbox.broadcast(c);
             }
@@ -101,16 +161,24 @@ impl arbcolor_runtime::node::NodeProgram for GreedySweepNode {
     }
 }
 
-impl Algorithm for GreedySweep<'_> {
-    type Node = GreedySweepNode;
+impl<'a> Algorithm for GreedySweep<'a> {
+    type Node = GreedySweepNode<'a>;
 
-    fn node(&self, ctx: &NodeCtx) -> GreedySweepNode {
-        GreedySweepNode {
-            input: self.slots[ctx.vertex].clone(),
-            taken: Vec::new(),
+    fn node(&self, ctx: &NodeCtx) -> GreedySweepNode<'a> {
+        let v = ctx.vertex;
+        let offset = self.schedule.offsets[v];
+        let mut node = GreedySweepNode {
+            slot: self.schedule.slots[v],
+            offset,
+            stats: self.schedule.stats(),
+            struck: PaletteSet::new(self.schedule.sizes[v]),
             chosen: None,
             round: 0,
+        };
+        for &c in self.schedule.forbidden.list(v) {
+            node.strike(c);
         }
+        node
     }
 
     fn name(&self) -> &'static str {
@@ -118,7 +186,8 @@ impl Algorithm for GreedySweep<'_> {
     }
 }
 
-/// Runs a greedy sweep and returns the chosen colors.
+/// Runs a greedy sweep over a [`SweepSchedule`] and returns the chosen colors, flushing the
+/// schedule's palette counters into the installed metrics registry.
 ///
 /// # Errors
 ///
@@ -126,11 +195,12 @@ impl Algorithm for GreedySweep<'_> {
 /// its palette (the caller supplied an insufficient palette), and propagates runtime errors.
 pub fn run_greedy_sweep(
     graph: &Graph,
-    slots: &[SweepSlot],
+    schedule: &SweepSchedule,
 ) -> Result<(Vec<u64>, RoundReport), DecomposeError> {
-    assert_eq!(slots.len(), graph.n(), "one sweep slot per vertex");
-    let algorithm = GreedySweep::new(slots);
+    assert_eq!(schedule.n(), graph.n(), "one sweep slot per vertex");
+    let algorithm = GreedySweep::new(schedule);
     let result = run_algorithm(graph, &algorithm)?;
+    arbcolor_runtime::obs::record_palette(schedule.stats());
     let mut colors = Vec::with_capacity(graph.n());
     for (v, chosen) in result.outputs.into_iter().enumerate() {
         match chosen {
@@ -190,7 +260,7 @@ pub fn greedy_reduce(
             forbidden: Vec::new(),
         })
         .collect();
-    let (colors, report) = run_greedy_sweep(graph, &slots)?;
+    let (colors, report) = run_greedy_sweep(graph, &SweepSchedule::new(&slots))?;
     let coloring = Coloring::new(graph, colors)?;
     debug_assert!(coloring.is_legal(graph));
     Ok(ReducedColoring { coloring, report })
@@ -229,7 +299,7 @@ pub fn kw_reduce(graph: &Graph, coloring: &Coloring) -> Result<ReducedColoring, 
                 }
             })
             .collect();
-        let (colors, report) = run_greedy_sweep(graph, &slots)?;
+        let (colors, report) = run_greedy_sweep(graph, &SweepSchedule::new(&slots))?;
         total = total.then(report);
         let reduced = Coloring::new(graph, colors)?;
         debug_assert!(reduced.is_legal(graph));
@@ -306,11 +376,14 @@ mod tests {
             SweepSlot { slot: 1, palette_offset: 10, palette_size: 3, forbidden: vec![] },
             SweepSlot { slot: 2, palette_offset: 10, palette_size: 3, forbidden: vec![10, 11] },
         ];
-        let (colors, report) = run_greedy_sweep(&g, &slots).unwrap();
+        let schedule = SweepSchedule::new(&slots);
+        let (colors, report) = run_greedy_sweep(&g, &schedule).unwrap();
         assert_eq!(colors[0], 11);
         assert_ne!(colors[1], colors[0]);
         assert_eq!(colors[2], 12);
         assert!(report.rounds >= 2);
+        // One pick per vertex was served from the offset-shifted bitset.
+        assert_eq!(schedule.stats().snapshot().picks_served, 0, "flushed by run_greedy_sweep");
     }
 
     #[test]
@@ -319,7 +392,7 @@ mod tests {
         let slots: Vec<SweepSlot> = (0..3)
             .map(|v| SweepSlot { slot: v, palette_offset: 0, palette_size: 2, forbidden: vec![] })
             .collect();
-        let err = run_greedy_sweep(&g, &slots).unwrap_err();
+        let err = run_greedy_sweep(&g, &SweepSchedule::new(&slots)).unwrap_err();
         assert!(matches!(err, DecomposeError::InvariantViolated { .. }));
     }
 }

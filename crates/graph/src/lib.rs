@@ -23,6 +23,9 @@
 //! * [`io`] — streaming parsers and writers for the on-disk formats real datasets ship in
 //!   (whitespace edge lists, DIMACS `.col`, METIS), feeding the CSR builder directly with
 //!   typed errors for every malformed input.
+//! * [`palette`] — the word-level bitset palette engine: epoch-stamped strike sets
+//!   ([`PaletteSet`]), the CSR-shaped flat color-list arena ([`ColorPool`]), and the shared
+//!   reuse counters ([`PaletteStats`]) every pick path of the coloring algorithms runs on.
 //!
 //! # Example
 //!
@@ -47,6 +50,7 @@ pub mod generators;
 pub mod graph;
 pub mod io;
 pub mod orientation;
+pub mod palette;
 pub mod properties;
 pub mod subgraph;
 
@@ -54,4 +58,5 @@ pub use coloring::{Color, Coloring};
 pub use error::GraphError;
 pub use graph::{ArcIdx, EdgeIdx, Graph, GraphBuilder, Vertex};
 pub use orientation::{EdgeDirection, Orientation};
+pub use palette::{ColorPool, PaletteSet, PaletteStats, PaletteStatsSnapshot};
 pub use subgraph::{InducedSubgraph, PartitionScratch, VertexMap};

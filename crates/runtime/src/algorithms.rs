@@ -2,24 +2,30 @@
 //!
 //! The first half of this module holds tiny reference algorithms used by tests, documentation
 //! examples and the runtime's own test-suite; they double as templates for how node programs
-//! are written.  The second half holds two generic *scheduled* building blocks shared by the
+//! are written.  The second half holds the generic *scheduled* building blocks shared by the
 //! list-coloring drivers in higher crates:
 //!
 //! * [`ScheduledListColor`] — slot-scheduled greedy list coloring: every vertex is given a
 //!   *slot* and a private candidate list; in its slot it adopts the first list color not
 //!   announced by a neighbor and not externally forbidden.  When the slots come from a legal
 //!   coloring (neighbors never share a slot) and every list is larger than the vertex degree,
-//!   every vertex succeeds.
+//!   every vertex succeeds.  Slot data lives in a shared [`ListColorSchedule`] arena (flat
+//!   [`ColorPool`]s) that nodes *borrow*, and announced colors are struck into a per-vertex
+//!   [`PaletteSet`] bitset, so a pick is a word scan instead of nested `Vec` scans.
+//! * [`VecScanListColor`] — the pre-palette-engine pick path, kept verbatim (per-vertex
+//!   cloned `Vec`s, `contains` scans, duplicate-accumulating `taken`) as the raced reference
+//!   of experiment E24, exactly like the `ReferenceExecutor` is kept as the executor oracle.
 //! * [`HalvingSplit`] — slot-scheduled color-space bipartition: every vertex is given a slot
 //!   plus the sizes of its palette's intersection with the lower and upper halves of the
 //!   current color space; in its slot it commits to the half with the larger remaining margin
 //!   (palette share minus neighbors already committed there), and after all slots have fired
 //!   it self-defers if its committed half cannot guarantee a proper greedy completion.
 //!
-//! Both programs take per-vertex inputs at construction time, exactly like the procedures of
+//! All programs take per-vertex inputs at construction time, exactly like the procedures of
 //! the paper (the output of one phase is locally known to each vertex when the next starts).
 
 use crate::node::{Algorithm, Inbox, NodeCtx, NodeProgram, Outbox, Status};
+use arbcolor_graph::{ColorPool, PaletteSet, PaletteStats};
 
 /// One-round algorithm: every vertex learns the maximum identifier in its closed neighborhood.
 #[derive(Debug, Clone, Copy, Default)]
@@ -135,7 +141,8 @@ impl Algorithm for FloodMaxId {
     }
 }
 
-/// Per-vertex input of [`ScheduledListColor`].
+/// Per-vertex input of [`ScheduledListColor`] (the construction-time view; at run time the
+/// data lives flattened inside a [`ListColorSchedule`]).
 #[derive(Debug, Clone)]
 pub struct ListColorSlot {
     /// The round in which this vertex picks its color (slot 0 picks immediately).
@@ -147,31 +154,191 @@ pub struct ListColorSlot {
     pub forbidden: Vec<u64>,
 }
 
-/// Slot-scheduled greedy list coloring (node-program factory).
+/// The shared per-execution arena of one [`ScheduledListColor`] run: slots, palettes and
+/// forbidden sets for *all* vertices in flat [`ColorPool`]s, plus the per-vertex strike
+/// bound and the [`PaletteStats`] reuse counters the nodes feed.
+///
+/// Node programs borrow slices out of this arena instead of cloning per-vertex `Vec`s, so
+/// constructing a node allocates only its [`PaletteSet`] scratch.
+#[derive(Debug)]
+pub struct ListColorSchedule {
+    slots: Vec<usize>,
+    /// One past the largest palette color per vertex — the strike-space bound (colors a
+    /// palette cannot contain are never struck: they cannot be picked either way).
+    bounds: Vec<u64>,
+    palettes: ColorPool,
+    forbidden: ColorPool,
+    stats: PaletteStats,
+}
+
+impl ListColorSchedule {
+    /// Assembles a schedule from pre-flattened parts; the pools must hold one list per slot.
+    pub fn new(slots: Vec<usize>, palettes: ColorPool, forbidden: ColorPool) -> Self {
+        assert_eq!(slots.len(), palettes.len(), "one palette per vertex");
+        assert_eq!(slots.len(), forbidden.len(), "one forbidden set per vertex");
+        let bounds = (0..palettes.len())
+            .map(|v| palettes.list(v).iter().copied().max().map_or(0, |c| c + 1))
+            .collect();
+        ListColorSchedule { slots, bounds, palettes, forbidden, stats: PaletteStats::default() }
+    }
+
+    /// Flattens one [`ListColorSlot`] per vertex into a schedule (the nested-input API).
+    pub fn from_slots(inputs: &[ListColorSlot]) -> Self {
+        let mut palettes =
+            ColorPool::with_capacity(inputs.len(), inputs.iter().map(|s| s.palette.len()).sum());
+        let mut forbidden =
+            ColorPool::with_capacity(inputs.len(), inputs.iter().map(|s| s.forbidden.len()).sum());
+        for input in inputs {
+            palettes.push_slice(&input.palette);
+            forbidden.push_slice(&input.forbidden);
+        }
+        ListColorSchedule::new(inputs.iter().map(|s| s.slot).collect(), palettes, forbidden)
+    }
+
+    /// Number of vertices the schedule covers.
+    pub fn n(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// The reuse counters fed by this schedule's nodes; drivers flush them into the
+    /// metrics registry via `obs::record_palette`.
+    pub fn stats(&self) -> &PaletteStats {
+        &self.stats
+    }
+}
+
+/// Slot-scheduled greedy list coloring (node-program factory) on the bitset pick path.
 ///
 /// Cost: `max_slot + 1` rounds and one broadcast per vertex.
 #[derive(Debug, Clone)]
 pub struct ScheduledListColor<'a> {
-    slots: &'a [ListColorSlot],
+    schedule: &'a ListColorSchedule,
 }
 
 impl<'a> ScheduledListColor<'a> {
-    /// Creates the algorithm from one [`ListColorSlot`] per vertex.
-    pub fn new(slots: &'a [ListColorSlot]) -> Self {
-        ScheduledListColor { slots }
+    /// Creates the algorithm over a shared [`ListColorSchedule`] arena.
+    pub fn new(schedule: &'a ListColorSchedule) -> Self {
+        ScheduledListColor { schedule }
     }
 }
 
-/// Node program of [`ScheduledListColor`].
+/// Node program of [`ScheduledListColor`]: borrows its palette from the schedule arena and
+/// strikes forbidden plus announced colors into a [`PaletteSet`].
 #[derive(Debug, Clone)]
-pub struct ScheduledListColorNode {
+pub struct ScheduledListColorNode<'a> {
+    palette: &'a [u64],
+    slot: usize,
+    stats: &'a PaletteStats,
+    struck: PaletteSet,
+    chosen: Option<u64>,
+    round: usize,
+}
+
+impl ScheduledListColorNode<'_> {
+    fn pick(&mut self) -> Option<u64> {
+        // The first unstruck color in preference order — identical to the Vec-scan
+        // `find(|c| !forbidden.contains(c) && !taken.contains(c))`, because the strike set
+        // is exactly `forbidden ∪ taken`.
+        let choice = self.struck.first_unstruck_of(self.palette);
+        self.chosen = choice;
+        self.stats.record_pick(self.struck.struck_count());
+        choice
+    }
+}
+
+impl NodeProgram for ScheduledListColorNode<'_> {
+    type Msg = u64;
+    type Output = Option<u64>;
+
+    fn init(&mut self, ctx: &NodeCtx, outbox: &mut Outbox<u64>) -> Status {
+        self.round = 0;
+        if self.slot == 0 {
+            if let Some(c) = self.pick() {
+                outbox.broadcast(c);
+            }
+            Status::Halted
+        } else {
+            // `round` counts rounds up to the slot, so the vertex must be stepped every
+            // round, mail or not: self-schedule while active.
+            ctx.wake_next_round();
+            Status::Active
+        }
+    }
+
+    fn round(&mut self, ctx: &NodeCtx, inbox: &Inbox<'_, u64>, outbox: &mut Outbox<u64>) -> Status {
+        self.round += 1;
+        for (_, &c) in inbox.iter() {
+            self.struck.strike(c);
+        }
+        if self.round == self.slot {
+            if let Some(c) = self.pick() {
+                outbox.broadcast(c);
+            }
+            Status::Halted
+        } else {
+            ctx.wake_next_round();
+            Status::Active
+        }
+    }
+
+    fn output(&self, _ctx: &NodeCtx) -> Option<u64> {
+        self.chosen
+    }
+}
+
+impl<'a> Algorithm for ScheduledListColor<'a> {
+    type Node = ScheduledListColorNode<'a>;
+
+    fn node(&self, ctx: &NodeCtx) -> ScheduledListColorNode<'a> {
+        let v = ctx.vertex;
+        let mut struck = PaletteSet::new(self.schedule.bounds[v]);
+        for &c in self.schedule.forbidden.list(v) {
+            struck.strike(c);
+        }
+        ScheduledListColorNode {
+            palette: self.schedule.palettes.list(v),
+            slot: self.schedule.slots[v],
+            stats: self.schedule.stats(),
+            struck,
+            chosen: None,
+            round: 0,
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "scheduled-list-color"
+    }
+}
+
+/// The pre-palette-engine pick path of [`ScheduledListColor`], preserved verbatim: the node
+/// clones its [`ListColorSlot`], accumulates announced colors (duplicates included) in a
+/// `Vec`, and picks with nested `contains` scans.
+///
+/// Kept as the raced baseline of experiment E24 and the `palette` Criterion group — the
+/// same role the `ReferenceExecutor` plays for the executors.  Outputs are bit-identical
+/// to [`ScheduledListColor`] on every input.
+#[derive(Debug, Clone)]
+pub struct VecScanListColor<'a> {
+    slots: &'a [ListColorSlot],
+}
+
+impl<'a> VecScanListColor<'a> {
+    /// Creates the algorithm from one [`ListColorSlot`] per vertex.
+    pub fn new(slots: &'a [ListColorSlot]) -> Self {
+        VecScanListColor { slots }
+    }
+}
+
+/// Node program of [`VecScanListColor`].
+#[derive(Debug, Clone)]
+pub struct VecScanListColorNode {
     input: ListColorSlot,
     taken: Vec<u64>,
     chosen: Option<u64>,
     round: usize,
 }
 
-impl ScheduledListColorNode {
+impl VecScanListColorNode {
     fn pick(&mut self) -> Option<u64> {
         let choice = self
             .input
@@ -184,7 +351,7 @@ impl ScheduledListColorNode {
     }
 }
 
-impl NodeProgram for ScheduledListColorNode {
+impl NodeProgram for VecScanListColorNode {
     type Msg = u64;
     type Output = Option<u64>;
 
@@ -196,8 +363,6 @@ impl NodeProgram for ScheduledListColorNode {
             }
             Status::Halted
         } else {
-            // `round` counts rounds up to the slot, so the vertex must be stepped every
-            // round, mail or not: self-schedule while active.
             ctx.wake_next_round();
             Status::Active
         }
@@ -224,11 +389,11 @@ impl NodeProgram for ScheduledListColorNode {
     }
 }
 
-impl Algorithm for ScheduledListColor<'_> {
-    type Node = ScheduledListColorNode;
+impl Algorithm for VecScanListColor<'_> {
+    type Node = VecScanListColorNode;
 
-    fn node(&self, ctx: &NodeCtx) -> ScheduledListColorNode {
-        ScheduledListColorNode {
+    fn node(&self, ctx: &NodeCtx) -> VecScanListColorNode {
+        VecScanListColorNode {
             input: self.slots[ctx.vertex].clone(),
             taken: Vec::new(),
             chosen: None,
@@ -237,7 +402,7 @@ impl Algorithm for ScheduledListColor<'_> {
     }
 
     fn name(&self) -> &'static str {
-        "scheduled-list-color"
+        "vecscan-list-color"
     }
 }
 
@@ -272,7 +437,8 @@ pub enum SplitChoice {
 ///
 /// Runs for exactly `num_slots` rounds; every vertex broadcasts its committed half once, in
 /// its slot, and listens for the whole execution so it can count how many neighbors ended up
-/// on its half.
+/// on its half.  Nodes borrow their [`SplitSlot`] from the shared slice — a split slot is
+/// all-scalar, so node construction is allocation-free.
 #[derive(Debug, Clone)]
 pub struct HalvingSplit<'a> {
     slots: &'a [SplitSlot],
@@ -294,8 +460,8 @@ impl<'a> HalvingSplit<'a> {
 
 /// Node program of [`HalvingSplit`].
 #[derive(Debug, Clone)]
-pub struct HalvingSplitNode {
-    input: SplitSlot,
+pub struct HalvingSplitNode<'a> {
+    input: &'a SplitSlot,
     num_slots: usize,
     committed_low: usize,
     committed_high: usize,
@@ -304,7 +470,7 @@ pub struct HalvingSplitNode {
     round: usize,
 }
 
-impl HalvingSplitNode {
+impl HalvingSplitNode<'_> {
     /// Commits to the half with the larger remaining margin (palette share minus the
     /// neighbors already committed there).
     fn decide(&mut self) -> bool {
@@ -336,7 +502,7 @@ impl HalvingSplitNode {
     }
 }
 
-impl NodeProgram for HalvingSplitNode {
+impl NodeProgram for HalvingSplitNode<'_> {
     type Msg = bool;
     type Output = SplitChoice;
 
@@ -392,12 +558,12 @@ impl NodeProgram for HalvingSplitNode {
     }
 }
 
-impl Algorithm for HalvingSplit<'_> {
-    type Node = HalvingSplitNode;
+impl<'a> Algorithm for HalvingSplit<'a> {
+    type Node = HalvingSplitNode<'a>;
 
-    fn node(&self, ctx: &NodeCtx) -> HalvingSplitNode {
+    fn node(&self, ctx: &NodeCtx) -> HalvingSplitNode<'a> {
         HalvingSplitNode {
-            input: self.slots[ctx.vertex].clone(),
+            input: &self.slots[ctx.vertex],
             num_slots: self.num_slots,
             committed_low: 0,
             committed_high: 0,
@@ -442,23 +608,43 @@ mod tests {
         assert!(result.outputs.iter().all(|&x| x == global_max));
     }
 
+    fn four_cycle_slots() -> Vec<ListColorSlot> {
+        vec![
+            ListColorSlot { slot: 0, palette: vec![9, 5], forbidden: vec![9] },
+            ListColorSlot { slot: 1, palette: vec![5, 7], forbidden: vec![] },
+            ListColorSlot { slot: 0, palette: vec![5, 6], forbidden: vec![] },
+            ListColorSlot { slot: 1, palette: vec![5, 8], forbidden: vec![] },
+        ]
+    }
+
     #[test]
     fn scheduled_list_color_respects_lists_and_schedule() {
         // A 4-cycle scheduled by a proper 2-coloring; lists are disjoint from {9} via the
         // forbidden set of vertex 0.
         let g = generators::cycle(4).unwrap();
-        let slots = vec![
-            ListColorSlot { slot: 0, palette: vec![9, 5], forbidden: vec![9] },
-            ListColorSlot { slot: 1, palette: vec![5, 7], forbidden: vec![] },
-            ListColorSlot { slot: 0, palette: vec![5, 6], forbidden: vec![] },
-            ListColorSlot { slot: 1, palette: vec![5, 8], forbidden: vec![] },
-        ];
-        let result = Executor::new(&g).run(&ScheduledListColor::new(&slots)).unwrap();
+        let schedule = ListColorSchedule::from_slots(&four_cycle_slots());
+        let result = Executor::new(&g).run(&ScheduledListColor::new(&schedule)).unwrap();
         // Vertex 0 avoids forbidden 9 and takes 5; vertex 2 takes 5 (not adjacent to 0);
         // vertices 1 and 3 see both announcements and fall back to their second choice.
         assert_eq!(result.outputs, vec![Some(5), Some(7), Some(5), Some(8)]);
         // The slot-1 vertices pick (and halt) in round 1, so the whole sweep costs one round.
         assert_eq!(result.report.rounds, 1);
+        // Four picks were served from the bitset; vertex 0's forbidden 9 plus the two
+        // announcements received by each slot-1 vertex were struck.
+        let stats = schedule.stats().snapshot();
+        assert_eq!(stats.picks_served, 4);
+        assert!(stats.colors_struck >= 3);
+    }
+
+    #[test]
+    fn bitset_and_vecscan_pick_paths_are_bit_identical() {
+        let g = generators::cycle(4).unwrap();
+        let slots = four_cycle_slots();
+        let schedule = ListColorSchedule::from_slots(&slots);
+        let bitset = Executor::new(&g).run(&ScheduledListColor::new(&schedule)).unwrap();
+        let vecscan = Executor::new(&g).run(&VecScanListColor::new(&slots)).unwrap();
+        assert_eq!(bitset.outputs, vecscan.outputs);
+        assert_eq!(bitset.report, vecscan.report);
     }
 
     #[test]
@@ -468,9 +654,12 @@ mod tests {
             ListColorSlot { slot: 0, palette: vec![1], forbidden: vec![] },
             ListColorSlot { slot: 1, palette: vec![1], forbidden: vec![] },
         ];
-        let result = Executor::new(&g).run(&ScheduledListColor::new(&slots)).unwrap();
+        let schedule = ListColorSchedule::from_slots(&slots);
+        let result = Executor::new(&g).run(&ScheduledListColor::new(&schedule)).unwrap();
         assert_eq!(result.outputs[0], Some(1));
         assert_eq!(result.outputs[1], None);
+        let vecscan = Executor::new(&g).run(&VecScanListColor::new(&slots)).unwrap();
+        assert_eq!(result.outputs, vecscan.outputs);
     }
 
     #[test]

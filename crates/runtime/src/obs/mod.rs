@@ -279,6 +279,32 @@ pub fn record_run(report: &RoundReport) {
     metrics.observe("executor.messages_per_run", report.messages as u64);
 }
 
+/// Drains the given palette-engine reuse counters into the installed collector's metrics
+/// registry (no-op without a collector): global `palette.*` counters plus per-phase
+/// copies tagged with the name of the innermost open span, so `--trace-out` runs
+/// attribute pick-path work to the phase that performed it.
+///
+/// Takes the counters via [`arbcolor_graph::PaletteStats::take`], so drivers can flush the
+/// same shared stats object once per phase without double counting.
+pub fn record_palette(stats: &arbcolor_graph::PaletteStats) {
+    let snap = stats.take();
+    if snap == arbcolor_graph::PaletteStatsSnapshot::default() {
+        return;
+    }
+    let Some(collector) = current() else { return };
+    let mut state = collector.lock();
+    let phase = state.stack.last().copied().map(|i| state.spans[i].name.clone());
+    let metrics = &mut state.metrics;
+    metrics.incr("palette.picks_served", snap.picks_served);
+    metrics.incr("palette.colors_struck", snap.colors_struck);
+    metrics.incr("palette.words_cleared", snap.words_cleared);
+    if let Some(phase) = phase {
+        metrics.incr(&format!("palette.{phase}.picks_served"), snap.picks_served);
+        metrics.incr(&format!("palette.{phase}.colors_struck"), snap.colors_struck);
+        metrics.incr(&format!("palette.{phase}.words_cleared"), snap.words_cleared);
+    }
+}
+
 /// The exact remainder of `total` after removing the `part` attributed elsewhere:
 /// rounds/messages/bits subtract (saturating), while `max_edge_bits` keeps `total`'s peak
 /// so that `part.then(residual(total, part))` reproduces `total` exactly.

@@ -1,0 +1,110 @@
+//! Regression pins for the bitset palette engine.
+//!
+//! The engine swap (PR 9) replaced every `Vec`-scan pick/strike path of the headliners with
+//! word-parallel [`PaletteSet`](arbcolor_graph::PaletteSet) operations over the flat
+//! [`ColorPool`](arbcolor_graph::ColorPool) arena.  The swap is supposed to be **invisible**
+//! in every output: these tests pin FNV-1a fingerprints of the full color vectors plus the
+//! cost counters of Ghaffari–Kuhn and HKMT runs, captured on the pre-engine code, so any
+//! future change to the pick paths that shifts even one color on one vertex fails loudly.
+//! A second suite races the bitset [`ScheduledListColor`] against the preserved
+//! [`VecScanListColor`] reference on fresh inputs.
+//!
+//! [`ScheduledListColor`]: arbcolor_runtime::algorithms::ScheduledListColor
+//! [`VecScanListColor`]: arbcolor_runtime::algorithms::VecScanListColor
+
+use arbcolor::ghaffari_kuhn::ghaffari_kuhn_coloring;
+use arbcolor::hkmt::hkmt_coloring;
+use arbcolor::report::ColoringRun;
+use arbcolor_baselines::greedy::sequential_greedy;
+use arbcolor_graph::{generators, Graph};
+use arbcolor_runtime::algorithms::{
+    ListColorSchedule, ListColorSlot, ScheduledListColor, VecScanListColor,
+};
+use arbcolor_runtime::Executor;
+
+/// FNV-1a over the color vector: one shifted color anywhere changes the fingerprint.
+fn fnv(colors: &[u64]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &c in colors {
+        h ^= c;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+/// The four fingerprint families, exactly as captured pre-engine.
+fn families() -> Vec<(&'static str, Graph)> {
+    vec![
+        ("gnp", generators::gnp(400, 0.05, 17).unwrap().with_shuffled_ids(3)),
+        ("ba", generators::barabasi_albert(500, 3, 23).unwrap().with_shuffled_ids(5)),
+        ("regular", generators::random_regular_like(600, 8, 103).unwrap().with_shuffled_ids(17)),
+        ("star-forest", generators::star_forest_union(400, 2, 4, 19).unwrap().with_shuffled_ids(4)),
+    ]
+}
+
+/// `(family, algo, colors-fnv, colors_used, rounds, messages, total_bits)` captured on the
+/// pre-palette-engine code (commit `4aacd29`): the engine must reproduce every field.
+const PINNED: &[(&str, &str, u64, usize, usize, usize, u64)] = &[
+    ("gnp", "gk", 0xb1fcc4cfbf84bc61, 19, 81, 16252, 43070),
+    ("gnp", "hkmt-42", 0x49ebad75f7ecbfac, 30, 7, 22792, 103737),
+    ("gnp", "hkmt-7", 0x0491f4a4d49fb6e1, 30, 9, 21711, 100861),
+    ("ba", "gk", 0xbd7b27300f0362b0, 16, 80, 14714, 43723),
+    ("ba", "hkmt-42", 0x24bca800fe7db6a4, 24, 9, 7452, 27144),
+    ("ba", "hkmt-7", 0xddb57f0fbdfdaee6, 25, 9, 7587, 28205),
+    ("regular", "gk", 0xcb0bb38c4b7354db, 8, 41, 14460, 60703),
+    ("regular", "hkmt-42", 0xc20f1dea2f0fc753, 9, 9, 13887, 47097),
+    ("regular", "hkmt-7", 0xcea404c0620cac81, 9, 9, 14734, 50729),
+    ("star-forest", "gk", 0x2b503d103dce6efe, 6, 35, 1640, 1798),
+    ("star-forest", "hkmt-42", 0xd3629a08f6d9b17f, 11, 3, 3340, 16262),
+    ("star-forest", "hkmt-7", 0x5b799825941a9be4, 11, 3, 3286, 15308),
+];
+
+fn check_pin(family: &str, algo: &str, run: &ColoringRun) {
+    let pin = PINNED
+        .iter()
+        .find(|(f, a, ..)| *f == family && *a == algo)
+        .unwrap_or_else(|| panic!("no pin for {family}/{algo}"));
+    let (_, _, fp, colors_used, rounds, messages, total_bits) = *pin;
+    assert_eq!(fnv(run.coloring.colors()), fp, "{family}/{algo}: colors diverged from pre-engine");
+    assert_eq!(run.colors_used, colors_used, "{family}/{algo}: colors_used diverged");
+    assert_eq!(run.report.rounds, rounds, "{family}/{algo}: rounds diverged");
+    assert_eq!(run.report.messages, messages, "{family}/{algo}: messages diverged");
+    assert_eq!(run.report.total_bits, total_bits, "{family}/{algo}: total_bits diverged");
+}
+
+#[test]
+fn ghaffari_kuhn_outputs_are_bit_identical_to_the_pre_engine_code() {
+    for (family, g) in &families() {
+        check_pin(family, "gk", &ghaffari_kuhn_coloring(g).unwrap());
+    }
+}
+
+#[test]
+fn hkmt_outputs_are_bit_identical_to_the_pre_engine_code_for_both_seeds() {
+    for (family, g) in &families() {
+        for seed in [42u64, 7] {
+            check_pin(family, &format!("hkmt-{seed}"), &hkmt_coloring(g, seed).unwrap());
+        }
+    }
+}
+
+#[test]
+fn bitset_and_vecscan_pick_paths_agree_on_greedy_schedules() {
+    for (_, g) in &families() {
+        let schedule_coloring = sequential_greedy(g, None);
+        let slots: Vec<ListColorSlot> = g
+            .vertices()
+            .map(|v| ListColorSlot {
+                slot: schedule_coloring.color(v) as usize,
+                palette: (0..=g.degree(v) as u64).collect(),
+                forbidden: Vec::new(),
+            })
+            .collect();
+        let schedule = ListColorSchedule::from_slots(&slots);
+        let bitset = Executor::new(g).run(&ScheduledListColor::new(&schedule)).unwrap();
+        let vecscan = Executor::new(g).run(&VecScanListColor::new(&slots)).unwrap();
+        assert_eq!(bitset.outputs, vecscan.outputs, "pick paths diverged");
+        assert_eq!(bitset.report, vecscan.report, "cost diverged between pick paths");
+        assert!(schedule.stats().snapshot().picks_served >= g.n() as u64);
+    }
+}

@@ -13,7 +13,8 @@
 /// Everything a property-test file needs, mirroring `proptest::prelude`.
 pub mod prelude {
     pub use crate::{
-        prop_assert, prop_assert_eq, prop_assert_ne, proptest, ProptestConfig, Strategy, TestRng,
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Just, ProptestConfig,
+        Strategy, TestRng,
     };
 }
 
@@ -159,6 +160,85 @@ impl_strategy_for_tuple!(
     (A: 0, B: 1, C: 2, D: 3, E: 4),
     (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5),
 );
+
+/// One sampling arm of a [`Union`]: a boxed closure drawing a value from the arm's
+/// underlying strategy.
+pub type UnionArm<T> = Box<dyn Fn(&mut TestRng) -> T>;
+
+/// A uniform choice between same-valued strategies (built by [`prop_oneof!`]).
+pub struct Union<T> {
+    arms: Vec<UnionArm<T>>,
+}
+
+impl<T> std::fmt::Debug for Union<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Union").field("arms", &self.arms.len()).finish()
+    }
+}
+
+impl<T> Union<T> {
+    /// A union over the given sampling arms; must be non-empty.
+    #[must_use]
+    pub fn new(arms: Vec<UnionArm<T>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! requires at least one arm");
+        Union { arms }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        let x = rng.next_u64() as u128;
+        let i = ((x * self.arms.len() as u128) >> 64) as usize;
+        (self.arms[i])(rng)
+    }
+}
+
+/// Picks uniformly among the listed strategies (mirrors `proptest::prop_oneof!`; the real
+/// macro's per-arm weights are not supported).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {{
+        let mut arms: ::std::vec::Vec<
+            ::std::boxed::Box<dyn Fn(&mut $crate::TestRng) -> _>,
+        > = ::std::vec::Vec::new();
+        $({
+            let s = $strat;
+            arms.push(::std::boxed::Box::new(move |rng: &mut $crate::TestRng| {
+                $crate::Strategy::sample(&s, rng)
+            }));
+        })+
+        $crate::Union::new(arms)
+    }};
+}
+
+/// Strategies over collections, mirroring `proptest::collection`.
+pub mod collection {
+    use crate::{Strategy, TestRng};
+
+    /// Strategy returned by [`vec()`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        lengths: core::ops::Range<usize>,
+    }
+
+    /// Samples a `Vec` whose length is drawn from `lengths` and whose elements come from
+    /// `element` (mirrors `proptest::collection::vec`).
+    pub fn vec<S: Strategy>(element: S, lengths: core::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, lengths }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.lengths.clone().sample(rng);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
 
 /// Defines property tests: each `fn name(bindings in strategies) { body }`
 /// becomes a `#[test]` sampling its strategies `config.cases` times.
