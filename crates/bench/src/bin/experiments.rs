@@ -38,8 +38,9 @@
 //! `--perf-out FILE` (or `--perf-out=FILE`) additionally writes the performance-tracking
 //! rows (the experiments in `arbcolor_bench::perf::PERF_EXPERIMENTS` — currently the
 //! E17/E18 scale and routing races, the E19/E20 ingestion and dynamic-recoloring
-//! workloads, the E21 frontier-collapse trace, the E22 CONGEST bandwidth race, and the E23
-//! per-phase cost breakdown) as one machine-readable JSON document (schema
+//! workloads, the E21 frontier-collapse trace, the E22 CONGEST bandwidth race, the E23
+//! per-phase cost breakdown, the E24 palette-engine race, and the E25 sustained-update
+//! service benchmark) as one machine-readable JSON document (schema
 //! `arbcolor-perf-v1`).  The CI `bench-smoke` job archives one per PR under the
 //! `BENCH_PR<N>.json` naming scheme and the `perf_gate` binary diffs its deterministic
 //! columns against the committed baseline of the previous PR, failing the build on
@@ -142,7 +143,7 @@ fn main() {
         })
         .unwrap_or_else(|| vec!["ALL".to_string()]);
     if which.is_empty() {
-        eprintln!("empty experiment selection; known ids are E1..E23 or 'all'");
+        eprintln!("empty experiment selection; known ids are E1..E25 or 'all'");
         std::process::exit(1);
     }
     let all = which.iter().any(|id| id == "ALL");
@@ -157,7 +158,7 @@ fn main() {
     let unknown: Vec<&String> =
         which.iter().filter(|w| *w != "ALL" && !catalog.iter().any(|(id, _)| id == w)).collect();
     if !unknown.is_empty() {
-        eprintln!("unknown experiment id(s) {unknown:?}; known ids are E1..E23 or 'all'");
+        eprintln!("unknown experiment id(s) {unknown:?}; known ids are E1..E25 or 'all'");
         std::process::exit(1);
     }
     let selected: Vec<_> =

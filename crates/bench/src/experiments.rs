@@ -684,7 +684,7 @@ pub fn e19_real_graph_ingestion(_sz: SizeClass) -> Vec<Row> {
 /// asserted **bit-identical** — only the `wall_ms_*` columns may differ between runs.  The
 /// fixtures have fixed sizes, so the [`SizeClass`] is ignored.
 pub fn e20_dynamic_recoloring(_sz: SizeClass) -> Vec<Row> {
-    use arbcolor::dynamic::{BatchOutcome, DynamicColoring, RepairStrategy};
+    use arbcolor::dynamic::{BatchOutcome, DynamicColoring, GraphUpdate, RepairStrategy};
     use arbcolor::ghaffari_kuhn::ghaffari_kuhn_coloring;
     use arbcolor_graph::Coloring;
 
@@ -703,8 +703,9 @@ pub fn e20_dynamic_recoloring(_sz: SizeClass) -> Vec<Row> {
         let mut outcomes = Vec::new();
         let mut walls = Vec::new();
         for batch in batches {
+            let updates = [GraphUpdate::InsertEdges(batch.clone())];
             let start = Instant::now();
-            let outcome = dynamic.insert_edges(batch).expect("batch repair");
+            let outcome = dynamic.apply(&updates).expect("batch repair");
             walls.push(start.elapsed().as_secs_f64() * 1e3);
             outcomes.push(outcome);
         }
@@ -749,17 +750,12 @@ pub fn e20_dynamic_recoloring(_sz: SizeClass) -> Vec<Row> {
                 ds.name
             );
             for (a, b) in outcomes.iter().zip(&replay) {
-                assert_eq!(
-                    (a.frontier, a.repaired_vertices, a.strategy, a.report),
-                    (b.frontier, b.repaired_vertices, b.strategy, b.report),
-                    "batch outcome diverged between executors on {}",
-                    ds.name
-                );
+                assert_eq!(a, b, "batch outcome diverged between executors on {}", ds.name);
             }
         }
         assert!(final_coloring.is_legal(rebuilt(&base, &batches).as_ref().unwrap_or(&base)));
         assert!(
-            outcomes.iter().any(|o| o.repaired_vertices < full.n()),
+            outcomes.iter().any(|o| o.repaired_vertices() < full.n()),
             "{}: no batch repaired fewer vertices than a full recolor would touch",
             ds.name
         );
@@ -780,10 +776,10 @@ pub fn e20_dynamic_recoloring(_sz: SizeClass) -> Vec<Row> {
             rows.push(
                 Row::new("E20", format!("{} n={} · batch {}", ds.name, full.n(), b + 1))
                     .with("n", full.n() as f64)
-                    .with("inserted", outcome.inserted_edges as f64)
+                    .with("inserted", outcome.submitted_edges as f64)
                     .with("new_edges", outcome.new_edges as f64)
                     .with("frontier", outcome.frontier as f64)
-                    .with("repaired_vertices", outcome.repaired_vertices as f64)
+                    .with("repaired_vertices", outcome.repaired_vertices() as f64)
                     .with("full_recolor_vertices", full.n() as f64)
                     .with("strategy", strategy)
                     .with("rounds", outcome.report.rounds as f64)
@@ -1157,6 +1153,281 @@ pub fn e24_palette_engine(sz: SizeClass) -> Vec<Row> {
     rows
 }
 
+/// E25 — the sustained-update service benchmark: seeded mixed insert/delete/query
+/// workloads replayed through [`ColoringService`](arbcolor_service::server::ColoringService).
+///
+/// Three families cover the long-lived-service regimes:
+///
+/// * **churn** — balanced insertions and removals with skewed (hub-heavy) endpoints, the
+///   steady-state regime;
+/// * **growth** — insert-dominated traffic, the regime E20 measured, now through the
+///   service's `Apply` path;
+/// * **decay** — a complete graph stripped down to a Hamiltonian path by deletion batches,
+///   then compacted: the palette must shrink **strictly** (the slack-reclamation claim,
+///   gated via `colors_after_compact`).
+///
+/// Each replayed family asserts, before emitting its row:
+///
+/// * the final coloring is legal (the service's own `Verify` verb);
+/// * a second same-seed replay under the *reference* executor is **bit-identical** — final
+///   colors and every per-batch `(frontier, repaired, strategy)` triple (`replay_identical`);
+/// * the incrementally patched CSR equals a from-scratch rebuild of the model edge set,
+///   field for field (`patch_identical`).
+///
+/// Deterministic columns (operation/edge/repair tallies, strategy counts, colors, the
+/// post-compaction palette) are gated by the perf pipeline; `wall_updates_per_sec`,
+/// `wall_ms_p99_apply`, and `wall_ms_total` are advisory.
+pub fn e25_service_sustained_updates(sz: SizeClass) -> Vec<Row> {
+    use arbcolor::dynamic::RepairStrategy;
+    use arbcolor_service::protocol::{Request, Response};
+    use arbcolor_service::server::{ColoringService, ServiceConfig};
+    use arbcolor_service::workload::{generate, WorkloadConfig, WorkloadOp};
+    use std::collections::BTreeSet;
+
+    /// Everything one replay of a workload produces.
+    struct Replay {
+        colors: Vec<u64>,
+        /// One `(frontier, repaired, strategy)` triple per apply batch.
+        batches: Vec<(u64, u64, u64)>,
+        applies: u64,
+        queries: u64,
+        compactions: u64,
+        new_edges: u64,
+        removed_edges: u64,
+        colors_final: u64,
+        colors_after_compact: u64,
+        legal: bool,
+        patch_identical: bool,
+        apply_walls_ms: Vec<f64>,
+        wall_ms_total: f64,
+    }
+
+    /// Replays `ops` against a fresh service on `n` vertices under `kind`; the final
+    /// `Compact` request is issued explicitly so every family reports a post-compaction
+    /// palette.
+    fn replay(kind: ExecutorKind, n: usize, ops: &[WorkloadOp]) -> Replay {
+        let previous = default_executor();
+        set_default_executor(kind);
+        let mut service =
+            ColoringService::empty(n, ServiceConfig::default()).expect("service starts");
+        let mut model: BTreeSet<(usize, usize)> = BTreeSet::new();
+        let mut batches = Vec::new();
+        let (mut applies, mut queries, mut compactions) = (0u64, 0u64, 0u64);
+        let mut apply_walls_ms = Vec::new();
+        let start_total = Instant::now();
+        for op in ops {
+            match op {
+                WorkloadOp::Apply(updates) => {
+                    for update in updates {
+                        for &edge in update.edges() {
+                            if update.is_insert() {
+                                model.insert(edge);
+                            } else {
+                                model.remove(&edge);
+                            }
+                        }
+                    }
+                    let start = Instant::now();
+                    let reply = service.handle(Request::Apply(updates.clone()));
+                    apply_walls_ms.push(start.elapsed().as_secs_f64() * 1e3);
+                    let Response::Applied { frontier, repaired, strategy, .. } = reply else {
+                        panic!("apply failed during replay: {reply:?}");
+                    };
+                    let strategy = match strategy {
+                        RepairStrategy::NoConflict => 0u64,
+                        RepairStrategy::LocalRepair => 1,
+                        RepairStrategy::FullRecolor => 2,
+                    };
+                    batches.push((frontier, repaired, strategy));
+                    applies += 1;
+                }
+                WorkloadOp::QueryColors(vertices) => {
+                    let reply = service.handle(Request::QueryColors(vertices.clone()));
+                    assert!(matches!(reply, Response::Colors(_)), "query failed: {reply:?}");
+                    queries += 1;
+                }
+                WorkloadOp::Compact => {
+                    let reply = service.handle(Request::Compact);
+                    assert!(matches!(reply, Response::Compacted { .. }));
+                    compactions += 1;
+                }
+            }
+        }
+        let colors_final = service.dynamic().coloring().distinct_colors() as u64;
+        let colors_after_compact = match service.handle(Request::Compact) {
+            Response::Compacted { colors_after, .. } => colors_after,
+            other => panic!("final compaction failed: {other:?}"),
+        };
+        let wall_ms_total = start_total.elapsed().as_secs_f64() * 1e3;
+        let legal = matches!(
+            service.handle(Request::Verify),
+            Response::Verified { legal: true, conflicts: 0 }
+        );
+        // The incremental CSR patch path must equal a from-scratch rebuild of the model
+        // edge set — the whole Graph (offsets, adjacency, ports, ids), not just the edges.
+        let rebuilt = Graph::from_edges(n, model.iter().copied().collect::<Vec<_>>())
+            .expect("model edges are valid");
+        let patch_identical = *service.dynamic().graph() == rebuilt;
+        let stats = match service.handle(Request::Stats) {
+            Response::Stats(stats) => stats,
+            other => panic!("stats failed: {other:?}"),
+        };
+        set_default_executor(previous);
+        Replay {
+            colors: service.dynamic().coloring().colors().to_vec(),
+            batches,
+            applies,
+            queries,
+            compactions,
+            new_edges: stats.new_edges,
+            removed_edges: stats.removed_edges,
+            colors_final,
+            colors_after_compact,
+            legal,
+            patch_identical,
+            apply_walls_ms,
+            wall_ms_total,
+        }
+    }
+
+    /// p99 of the per-apply wall times (advisory).
+    fn p99_ms(walls: &[f64]) -> f64 {
+        if walls.is_empty() {
+            return 0.0;
+        }
+        let mut sorted = walls.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite wall times"));
+        sorted[((sorted.len() as f64 * 0.99).ceil() as usize).clamp(1, sorted.len()) - 1]
+    }
+
+    let n = sz.n(240);
+    let families = [
+        (
+            "churn",
+            WorkloadConfig {
+                n,
+                ops: 3 * n,
+                batch_size: 8,
+                insert_weight: 1,
+                remove_weight: 1,
+                query_weight: 1,
+                compact_every: n,
+                skew: 1.5,
+                seed: 1025,
+            },
+        ),
+        (
+            "growth",
+            WorkloadConfig {
+                n,
+                ops: 3 * n,
+                batch_size: 8,
+                insert_weight: 5,
+                remove_weight: 1,
+                query_weight: 1,
+                compact_every: 0,
+                skew: 1.2,
+                seed: 2025,
+            },
+        ),
+    ];
+
+    let mut rows = Vec::new();
+    let ambient = default_executor();
+    for (family, config) in families {
+        let ops = generate(&config);
+        assert_eq!(ops, generate(&config), "the workload stream must be replayable");
+        let run = replay(ambient, config.n, &ops);
+        let reference = replay(ExecutorKind::Reference, config.n, &ops);
+        let replay_identical = run.colors == reference.colors && run.batches == reference.batches;
+        assert!(replay_identical, "{family}: same-seed replay diverged between executors");
+        assert!(run.legal, "{family}: final coloring is illegal");
+        assert!(run.patch_identical, "{family}: patched CSR diverged from a full rebuild");
+        let full_recolors = run.batches.iter().filter(|(_, _, s)| *s == 2).count();
+        let frontier_total: u64 = run.batches.iter().map(|(f, _, _)| f).sum();
+        let repaired_total: u64 = run.batches.iter().map(|(_, r, _)| r).sum();
+        let updates = run.new_edges + run.removed_edges;
+        rows.push(
+            Row::new("E25", format!("{family} n={n} · sustained updates"))
+                .with("n", n as f64)
+                .with("ops", ops.len() as f64)
+                .with("applies", run.applies as f64)
+                .with("queries", run.queries as f64)
+                .with("compactions", run.compactions as f64)
+                .with("new_edges", run.new_edges as f64)
+                .with("removed_edges", run.removed_edges as f64)
+                .with("frontier_total", frontier_total as f64)
+                .with("repaired_total", repaired_total as f64)
+                .with("full_recolors", full_recolors as f64)
+                .with("colors", run.colors_final as f64)
+                .with("colors_after_compact", run.colors_after_compact as f64)
+                .with("replay_identical", 1.0)
+                .with("patch_identical", 1.0)
+                .with("legal", 1.0)
+                .with("wall_updates_per_sec", updates as f64 / (run.wall_ms_total / 1e3).max(1e-9))
+                .with("wall_ms_p99_apply", p99_ms(&run.apply_walls_ms))
+                .with("wall_ms_total", run.wall_ms_total),
+        );
+    }
+
+    // Decay family: strip a complete graph down to a Hamiltonian path with deletion
+    // batches, then compact.  The palette starts at `c` colors (a clique needs them all)
+    // and must land at 2 after compaction — a *strict* reduction, gated.
+    let c = sz.n(60).min(64);
+    let complete = generators::complete(c).expect("complete graph");
+    let mut service = ColoringService::new(complete.clone(), ServiceConfig::default())
+        .expect("service starts on the clique");
+    let colors_initial = service.dynamic().coloring().distinct_colors() as u64;
+    let doomed: Vec<(usize, usize)> =
+        complete.edges().iter().copied().filter(|&(u, v)| v != u + 1).collect();
+    let mut applies = 0u64;
+    let mut apply_walls_ms = Vec::new();
+    let start_total = Instant::now();
+    for batch in doomed.chunks(64) {
+        let start = Instant::now();
+        let reply =
+            service.handle(Request::Apply(vec![arbcolor::dynamic::GraphUpdate::RemoveEdges(
+                batch.to_vec(),
+            )]));
+        apply_walls_ms.push(start.elapsed().as_secs_f64() * 1e3);
+        let Response::Applied { frontier: 0, repaired: 0, .. } = reply else {
+            panic!("a deletion batch cannot conflict, got {reply:?}");
+        };
+        applies += 1;
+    }
+    let colors_before = service.dynamic().coloring().distinct_colors() as u64;
+    let colors_after_compact = match service.handle(Request::Compact) {
+        Response::Compacted { colors_after, .. } => colors_after,
+        other => panic!("decay compaction failed: {other:?}"),
+    };
+    let wall_ms_total = start_total.elapsed().as_secs_f64() * 1e3;
+    assert!(
+        colors_after_compact < colors_before,
+        "decay: deletion batches must strictly reduce colors after compact() \
+         ({colors_before} -> {colors_after_compact})"
+    );
+    // Greedy compaction promises the (Δ+1)-bound of the *current* graph — 3 on a path —
+    // not the chromatic number.
+    assert!(colors_after_compact <= 3, "a path compacts to at most Δ+1 = 3 colors");
+    assert!(matches!(
+        service.handle(Request::Verify),
+        Response::Verified { legal: true, conflicts: 0 }
+    ));
+    rows.push(
+        Row::new("E25", format!("decay n={c} · clique to path"))
+            .with("n", c as f64)
+            .with("applies", applies as f64)
+            .with("removed_edges", doomed.len() as f64)
+            .with("colors_initial", colors_initial as f64)
+            .with("colors", colors_before as f64)
+            .with("colors_after_compact", colors_after_compact as f64)
+            .with("legal", 1.0)
+            .with("wall_ms_p99_apply", p99_ms(&apply_walls_ms))
+            .with("wall_ms_total", wall_ms_total),
+    );
+    rows
+}
+
 /// The base graph with every batch applied (identifiers preserved); `None` when there is
 /// nothing to add.
 fn rebuilt(base: &Graph, batches: &[Vec<(usize, usize)>]) -> Option<Graph> {
@@ -1209,6 +1480,7 @@ pub fn catalog() -> Vec<(&'static str, ExperimentFn)> {
         ("E22", e22_congest_bandwidth_race),
         ("E23", e23_phase_breakdown),
         ("E24", e24_palette_engine),
+        ("E25", e25_service_sustained_updates),
     ]
 }
 
@@ -1243,8 +1515,32 @@ mod tests {
         // here we only pin their catalog identities so `experiments -- E17`/`E18` resolve.
         let ids: Vec<&str> = catalog().iter().map(|(id, _)| *id).collect();
         assert_eq!(ids.first(), Some(&"E1"));
-        assert_eq!(ids.last(), Some(&"E24"));
-        assert_eq!(ids.len(), 24);
+        assert_eq!(ids.last(), Some(&"E25"));
+        assert_eq!(ids.len(), 25);
+    }
+
+    #[test]
+    fn e25_families_cover_churn_growth_and_decay() {
+        let rows = e25_service_sustained_updates(SizeClass::Smoke);
+        assert_eq!(rows.len(), 3, "one row per workload family");
+        for (row, family) in rows.iter().zip(["churn", "growth", "decay"]) {
+            assert!(row.workload.contains(family), "{}", row.workload);
+            assert_eq!(row.values["legal"], 1.0);
+            assert!(
+                row.values["colors_after_compact"] <= row.values["colors"],
+                "compaction must never add colors: {}",
+                row.workload
+            );
+        }
+        let churn = &rows[0];
+        assert_eq!(churn.values["replay_identical"], 1.0);
+        assert_eq!(churn.values["patch_identical"], 1.0);
+        assert!(churn.values["removed_edges"] > 0.0, "churn must actually delete edges");
+        let decay = &rows[2];
+        assert!(
+            decay.values["colors_after_compact"] < decay.values["colors"],
+            "the decay family must strictly reduce colors after compaction"
+        );
     }
 
     #[test]

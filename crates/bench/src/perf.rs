@@ -22,8 +22,10 @@ use std::fmt::Write as _;
 /// The experiments whose rows are collected into the perf document: the sharded-scale and
 /// routing races (PR 3/4), the ingestion and dynamic-recoloring workloads (PR 5), the
 /// frontier-collapse activity trace (PR 6), the CONGEST bandwidth race (PR 7), the
-/// per-phase cost breakdown (PR 8), and the palette-engine pick-path race (PR 9).
-pub const PERF_EXPERIMENTS: [&str; 8] = ["E17", "E18", "E19", "E20", "E21", "E22", "E23", "E24"];
+/// per-phase cost breakdown (PR 8), the palette-engine pick-path race (PR 9), and the
+/// sustained-update service benchmark (PR 10).
+pub const PERF_EXPERIMENTS: [&str; 9] =
+    ["E17", "E18", "E19", "E20", "E21", "E22", "E23", "E24", "E25"];
 
 /// Value columns that must not worsen between PRs (the stack is deterministic, so any
 /// change is a real behavioural difference).  Lower is better for all of these —
@@ -34,7 +36,10 @@ pub const PERF_EXPERIMENTS: [&str; 8] = ["E17", "E18", "E19", "E20", "E21", "E22
 /// the wire is a real behavioural regression.
 /// (`new_edges` is deliberately *not* here: it is fixed by graph + batch, so like `n`/`m`
 /// it gates on any change via the undirectioned fallback rather than passing decreases.)
-const GATED_LOWER_IS_BETTER: [&str; 9] = [
+/// (The E25 sustained-update columns follow the same logic: a smaller conflict frontier,
+/// fewer repaired vertices, fewer full-recolor escalations, and a tighter post-compaction
+/// palette are all unambiguous improvements on a fixed seeded workload.)
+const GATED_LOWER_IS_BETTER: [&str; 13] = [
     "colors",
     "rounds",
     "messages",
@@ -44,6 +49,10 @@ const GATED_LOWER_IS_BETTER: [&str; 9] = [
     "strategy",
     "total_bits",
     "max_edge_bits",
+    "colors_after_compact",
+    "frontier_total",
+    "repaired_total",
+    "full_recolors",
 ];
 
 /// Gated columns where *higher* is better (a drop fails the gate).

@@ -1,84 +1,183 @@
-//! Dynamic graphs: batched edge insertions with localized recoloring.
+//! Dynamic graphs: batched edge mutations with localized recoloring.
 //!
 //! A production coloring service rarely gets to re-color the world on every topology
 //! change.  [`DynamicColoring`] maintains a legal `(deg+1)`-bounded coloring across batches
-//! of edge insertions by repairing only the **conflict frontier** — the vertices incident
-//! to a newly monochromatic edge:
+//! of [`GraphUpdate`]s — mixed edge insertions and removals — by repairing only the
+//! **conflict frontier**, the vertices incident to a newly monochromatic edge:
 //!
-//! 1. the CSR graph is rebuilt with the batch applied (identifiers are preserved, so the
-//!    LOCAL model's view of every untouched vertex is unchanged);
-//! 2. the frontier is collected by checking exactly the inserted edges;
-//! 3. if the frontier is small, the induced subgraph on the frontier is re-colored with the
-//!    Ghaffari–Kuhn `(deg+1)`-list driver under
+//! 1. the batch is folded into a last-write-wins overlay and applied to the CSR through
+//!    [`Graph::patched`], an incremental merge that keeps identifiers stable and is
+//!    bit-identical to a from-scratch rebuild without re-sorting the whole edge list;
+//! 2. the frontier is collected by checking exactly the genuinely new edges — removals
+//!    never create conflicts, so deletion-only batches are repair-free by construction;
+//! 3. if the [`RepairPolicy`] selects a local repair, the induced subgraph on the frontier
+//!    is re-colored with the Ghaffari–Kuhn `(deg+1)`-list driver under
 //!    [`run_algorithm`](arbcolor_runtime::run_algorithm), where each frontier
 //!    vertex lists `{0, …, deg(v)}` minus the colors held by its non-frontier neighbors —
 //!    the list sizes stay ≥ subgraph-degree + 1, so the instance always has greedy slack,
 //!    and any solution is legal against both repaired and untouched neighbors;
-//! 4. if the frontier exceeds the configured threshold, the driver falls back to a full
-//!    re-coloring of the new graph (the localized instance would contend with most of the
-//!    graph anyway);
+//! 4. if the policy escalates (by default: frontier above a threshold), the driver falls
+//!    back to a full re-coloring of the new graph;
 //! 5. legality of the *entire* coloring is independently re-verified after every batch.
+//!
+//! Deletions free palette slack without spending it: after edges vanish, the maintained
+//! coloring may use far more colors than the shrunken maximum degree warrants.
+//! [`DynamicColoring::compact`] re-tightens the palette with a deterministic greedy
+//! descending-color sweep (every vertex ends at a color ≤ its degree, so the palette lands
+//! within `Δ+1`) followed by a rank relabeling that removes holes; no vertex's color ever
+//! increases.  [`DynamicColoring::with_auto_compact`] folds that sweep into `apply`
+//! whenever a batch with removals leaves the palette looser than `Δ+1`.
 //!
 //! Every step is deterministic and runs on whatever executor the process-wide
 //! [`ExecutorKind`](arbcolor_runtime::ExecutorKind) switch selects, so repair sequences are
 //! bit-identical across the sequential, sharded, and reference simulators — experiment E20
-//! asserts exactly that.
+//! asserts exactly that, and E25 replays mixed sustained-update workloads against the same
+//! invariant.  When an [`obs`] collector is installed, every batch
+//! decomposes into `dynamic-apply` / `csr-patch` / repair phase spans and feeds the
+//! `dynamic.*` metrics counters.
 //!
 //! ```
-//! use arbcolor::dynamic::DynamicColoring;
+//! use arbcolor::dynamic::{DynamicColoring, GraphUpdate};
 //! use arbcolor_graph::Graph;
 //!
 //! # fn main() -> Result<(), arbcolor::CoreError> {
 //! let g = Graph::from_edges(5, [(0, 1), (1, 2), (2, 3)])?;
 //! let mut dynamic = DynamicColoring::new(g)?;
-//! let batch = dynamic.insert_edges(&[(3, 4), (0, 4)])?;
-//! assert!(batch.repaired_vertices <= dynamic.graph().n());
+//! let batch = dynamic.apply(&[
+//!     GraphUpdate::InsertEdges(vec![(3, 4), (0, 4)]),
+//!     GraphUpdate::RemoveEdges(vec![(1, 2)]),
+//! ])?;
+//! assert_eq!(batch.new_edges, 2);
+//! assert_eq!(batch.removed_edges, 1);
 //! assert!(dynamic.coloring().is_legal(dynamic.graph()));
+//! let delta = dynamic.compact();
+//! assert!(delta.colors_after <= delta.colors_before);
 //! # Ok(())
 //! # }
 //! ```
 
+use std::collections::BTreeMap;
+
 use crate::error::CoreError;
 use crate::ghaffari_kuhn::{ghaffari_kuhn_coloring, ghaffari_kuhn_list_coloring};
 use crate::list_coloring::ColorLists;
-use arbcolor_graph::{Color, Coloring, Graph, GraphBuilder, InducedSubgraph, Vertex};
-use arbcolor_runtime::RoundReport;
+use arbcolor_graph::{Color, Coloring, Graph, InducedSubgraph, PaletteSet, Vertex};
+use arbcolor_runtime::{obs, RoundReport};
 
-/// How a batch of insertions was absorbed.
+/// One batched mutation of the maintained graph.
+///
+/// Batches are applied **in order** with last-write-wins semantics per edge: an edge
+/// removed and later re-inserted in the same [`DynamicColoring::apply`] call ends up
+/// present.  Inserting a present edge and removing an absent one are no-ops (they count
+/// toward [`BatchOutcome::submitted_edges`] but not toward the new/removed tallies).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphUpdate {
+    /// Insert the given undirected edges.  Endpoint order and duplicates are irrelevant.
+    InsertEdges(Vec<(Vertex, Vertex)>),
+    /// Remove the given undirected edges.  Endpoint order and duplicates are irrelevant.
+    RemoveEdges(Vec<(Vertex, Vertex)>),
+}
+
+impl GraphUpdate {
+    /// The edge list carried by this update.
+    pub fn edges(&self) -> &[(Vertex, Vertex)] {
+        match self {
+            GraphUpdate::InsertEdges(edges) | GraphUpdate::RemoveEdges(edges) => edges,
+        }
+    }
+
+    /// Whether this update inserts (rather than removes) its edges.
+    pub fn is_insert(&self) -> bool {
+        matches!(self, GraphUpdate::InsertEdges(_))
+    }
+}
+
+/// How the driver decides between a frontier-local repair and a full re-coloring.
+///
+/// Selected explicitly via [`DynamicColoring::with_repair_policy`]; the default is
+/// [`RepairPolicy::Auto`] with [`DynamicColoring::default_threshold`].  A batch whose
+/// frontier is empty is always absorbed as [`RepairStrategy::NoConflict`], whatever the
+/// policy says.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RepairPolicy {
+    /// Repair locally while the frontier has at most `frontier_threshold` vertices, fall
+    /// back to a full re-coloring above it.
+    Auto {
+        /// Frontiers larger than this trigger a full re-coloring.
+        frontier_threshold: usize,
+    },
+    /// Always repair the frontier locally, however large it grows.  The localized list
+    /// instance always has greedy slack, so this is safe — just potentially slower than a
+    /// full re-coloring once the frontier covers most of the graph.
+    AlwaysLocal,
+    /// Re-color the whole graph on every conflicting batch.
+    AlwaysFull,
+}
+
+/// How a batch of mutations was absorbed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RepairStrategy {
-    /// No inserted edge was monochromatic; the old coloring is still legal.
+    /// No new edge was monochromatic; the old coloring is still legal.
     NoConflict,
     /// Only the conflict frontier was re-colored (list coloring on the induced subgraph).
     LocalRepair,
-    /// The frontier exceeded the threshold; the whole graph was re-colored.
+    /// The policy escalated; the whole graph was re-colored.
     FullRecolor,
 }
 
-/// Per-batch summary returned by [`DynamicColoring::insert_edges`].
-#[derive(Debug, Clone)]
+/// The palette change produced by one [`DynamicColoring::compact`] sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompactionDelta {
+    /// Distinct colors in use before the sweep.
+    pub colors_before: usize,
+    /// Distinct colors in use after the sweep (never more than `colors_before`).
+    pub colors_after: usize,
+    /// Vertices whose color changed during the sweep.
+    pub recolored: usize,
+}
+
+/// Per-batch summary returned by [`DynamicColoring::apply`].
+///
+/// This is the stable observable surface of the dynamic driver: every field is
+/// deterministic (bit-identical across executors and across replays of the same update
+/// stream), so perf baselines and replay harnesses may diff outcomes directly.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BatchOutcome {
-    /// Edges submitted in the batch (before de-duplication).
-    pub inserted_edges: usize,
-    /// Edges of the batch that were genuinely new to the graph.
+    /// Total edges submitted across the batch's updates, before de-duplication and
+    /// overlay resolution.
+    pub submitted_edges: usize,
+    /// Distinct edges that were genuinely added to the graph.
     pub new_edges: usize,
+    /// Distinct edges that were genuinely removed from the graph.
+    pub removed_edges: usize,
     /// Vertices on the conflict frontier (incident to a newly monochromatic edge).
     pub frontier: usize,
-    /// Vertices whose color actually changed.
-    pub repaired_vertices: usize,
-    /// The strategy the driver chose.
+    /// The vertices whose color changed during conflict repair, in ascending order.
+    /// Compaction recolorings are reported separately in [`BatchOutcome::compaction`].
+    pub repaired: Vec<Vertex>,
+    /// The strategy the policy chose for this batch.
     pub strategy: RepairStrategy,
+    /// The palette change of the auto-compaction sweep, when one ran (see
+    /// [`DynamicColoring::with_auto_compact`]); `None` otherwise.
+    pub compaction: Option<CompactionDelta>,
     /// Simulated LOCAL cost of the repair (zero for [`RepairStrategy::NoConflict`]).
     pub report: RoundReport,
 }
 
-/// A legal coloring maintained across batched edge insertions.
+impl BatchOutcome {
+    /// Number of vertices whose color changed during conflict repair.
+    pub fn repaired_vertices(&self) -> usize {
+        self.repaired.len()
+    }
+}
+
+/// A legal coloring maintained across batched edge insertions and removals.
 #[derive(Debug, Clone)]
 pub struct DynamicColoring {
     graph: Graph,
     coloring: Coloring,
-    /// Frontiers larger than this fall back to a full re-coloring.
-    frontier_threshold: usize,
+    policy: RepairPolicy,
+    auto_compact: bool,
 }
 
 impl DynamicColoring {
@@ -111,15 +210,41 @@ impl DynamicColoring {
                 reason: "dynamic driver seeded with an illegal coloring".to_string(),
             });
         }
-        let threshold = Self::default_threshold(graph.n());
-        Ok(DynamicColoring { graph, coloring, frontier_threshold: threshold })
+        let policy = RepairPolicy::Auto { frontier_threshold: Self::default_threshold(graph.n()) };
+        Ok(DynamicColoring { graph, coloring, policy, auto_compact: false })
+    }
+
+    /// Selects how conflicting batches are repaired (see [`RepairPolicy`]).
+    #[must_use]
+    pub fn with_repair_policy(mut self, policy: RepairPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// The active repair policy.
+    pub fn repair_policy(&self) -> RepairPolicy {
+        self.policy
+    }
+
+    /// Enables (or disables) automatic palette compaction: after any batch that removed
+    /// edges and left the maximum color above the new maximum degree, `apply` runs a
+    /// [`compact`](DynamicColoring::compact) sweep and reports its
+    /// [`CompactionDelta`] in [`BatchOutcome::compaction`].
+    #[must_use]
+    pub fn with_auto_compact(mut self, enabled: bool) -> Self {
+        self.auto_compact = enabled;
+        self
     }
 
     /// Overrides the frontier threshold above which a batch triggers a full re-coloring.
+    #[deprecated(
+        since = "0.2.0",
+        note = "select the strategy explicitly with \
+                `with_repair_policy(RepairPolicy::Auto { frontier_threshold })`"
+    )]
     #[must_use]
-    pub fn with_frontier_threshold(mut self, threshold: usize) -> Self {
-        self.frontier_threshold = threshold;
-        self
+    pub fn with_frontier_threshold(self, threshold: usize) -> Self {
+        self.with_repair_policy(RepairPolicy::Auto { frontier_threshold: threshold })
     }
 
     /// The current graph.
@@ -132,74 +257,116 @@ impl DynamicColoring {
         &self.coloring
     }
 
-    /// Applies one batch of edge insertions and repairs the coloring.
+    /// Applies one batch of insertions to the graph and repairs the coloring.
+    #[deprecated(since = "0.2.0", note = "use `apply(&[GraphUpdate::InsertEdges(..)])`")]
+    pub fn insert_edges(&mut self, edges: &[(Vertex, Vertex)]) -> Result<BatchOutcome, CoreError> {
+        self.apply(&[GraphUpdate::InsertEdges(edges.to_vec())])
+    }
+
+    /// Applies one batch of [`GraphUpdate`]s — mixed insertions and removals — and repairs
+    /// the coloring.
+    ///
+    /// Updates resolve in order with last-write-wins semantics per edge; the net effect is
+    /// applied to the CSR in one [`Graph::patched`] merge.  Removals never create
+    /// conflicts, so only the genuinely new edges feed the conflict frontier.
     ///
     /// # Errors
     ///
     /// Returns the graph layer's typed errors for invalid edges (out-of-range endpoints,
-    /// self-loops), propagates the repair coloring's errors, and returns
-    /// [`CoreError::InvariantViolated`] if the post-repair legality check fails (a driver
-    /// bug by construction).
-    pub fn insert_edges(&mut self, edges: &[(Vertex, Vertex)]) -> Result<BatchOutcome, CoreError> {
-        // Rebuild the CSR with the batch applied, keeping identifiers stable.
-        let mut builder = GraphBuilder::new(self.graph.n());
-        builder.add_edges(self.graph.edges().iter().copied())?;
-        let old_m = self.graph.m();
-        builder.add_edges(edges.iter().copied())?;
-        let new_graph = builder.build().with_vertex_ids(self.graph.ids().to_vec())?;
-        let new_edges = new_graph.m() - old_m;
+    /// self-loops) before any state changes, propagates the repair coloring's errors, and
+    /// returns [`CoreError::InvariantViolated`] if the post-repair legality check fails (a
+    /// driver bug by construction).
+    pub fn apply(&mut self, updates: &[GraphUpdate]) -> Result<BatchOutcome, CoreError> {
+        let span = obs::phase("dynamic-apply");
 
-        // The conflict frontier: endpoints of newly monochromatic edges.  Checking the
-        // batch (not the whole graph) is what makes small batches cheap.
-        let mut frontier: Vec<Vertex> = edges
+        // Fold the batch into a last-write-wins overlay over canonical edges, validating
+        // every submitted edge up front so failed batches leave the state untouched.
+        let mut submitted_edges = 0usize;
+        let mut overlay: BTreeMap<(Vertex, Vertex), bool> = BTreeMap::new();
+        for update in updates {
+            for &(u, v) in update.edges() {
+                submitted_edges += 1;
+                let key = self.validated_canonical(u, v)?;
+                overlay.insert(key, update.is_insert());
+            }
+        }
+
+        // Resolve the overlay against the current graph into the net insert/remove sets.
+        let mut to_insert: Vec<(Vertex, Vertex)> = Vec::new();
+        let mut to_remove: Vec<(Vertex, Vertex)> = Vec::new();
+        for (&(u, v), &present) in &overlay {
+            match (present, self.graph.has_edge(u, v)) {
+                (true, false) => to_insert.push((u, v)),
+                (false, true) => to_remove.push((u, v)),
+                _ => {}
+            }
+        }
+        let new_graph = {
+            let _patch = obs::phase("csr-patch");
+            self.graph.patched(&to_insert, &to_remove)?
+        };
+
+        // The conflict frontier: endpoints of newly monochromatic edges.  Checking the new
+        // edges (not the whole graph) is what makes small batches cheap; removals cannot
+        // make a legal coloring illegal.
+        let mut frontier: Vec<Vertex> = to_insert
             .iter()
-            .filter(|&&(u, v)| u != v && self.coloring.color(u) == self.coloring.color(v))
+            .filter(|&&(u, v)| self.coloring.color(u) == self.coloring.color(v))
             .flat_map(|&(u, v)| [u, v])
             .collect();
         frontier.sort_unstable();
         frontier.dedup();
 
-        let outcome = if frontier.is_empty() {
+        let escalate = match self.policy {
+            RepairPolicy::Auto { frontier_threshold } => frontier.len() > frontier_threshold,
+            RepairPolicy::AlwaysLocal => false,
+            RepairPolicy::AlwaysFull => true,
+        };
+        let (repaired, strategy, report) = if frontier.is_empty() {
             self.graph = new_graph;
-            BatchOutcome {
-                inserted_edges: edges.len(),
-                new_edges,
-                frontier: 0,
-                repaired_vertices: 0,
-                strategy: RepairStrategy::NoConflict,
-                report: RoundReport::zero(),
-            }
-        } else if frontier.len() > self.frontier_threshold {
-            let run = ghaffari_kuhn_coloring(&new_graph)?;
-            let repaired = self
+            (Vec::new(), RepairStrategy::NoConflict, RoundReport::zero())
+        } else if escalate {
+            let run = {
+                let _full = obs::phase("full-recolor");
+                ghaffari_kuhn_coloring(&new_graph)?
+            };
+            let repaired: Vec<Vertex> = self
                 .coloring
                 .colors()
                 .iter()
                 .zip(run.coloring.colors())
-                .filter(|(old, new)| old != new)
-                .count();
+                .enumerate()
+                .filter(|(_, (old, new))| old != new)
+                .map(|(v, _)| v)
+                .collect();
             self.graph = new_graph;
             self.coloring = run.coloring;
-            BatchOutcome {
-                inserted_edges: edges.len(),
-                new_edges,
-                frontier: frontier.len(),
-                repaired_vertices: repaired,
-                strategy: RepairStrategy::FullRecolor,
-                report: run.report,
-            }
+            (repaired, RepairStrategy::FullRecolor, run.report)
         } else {
+            let _local = obs::phase("frontier-repair");
             let (repaired, report) = self.repair_frontier(&new_graph, &frontier)?;
             self.graph = new_graph;
-            BatchOutcome {
-                inserted_edges: edges.len(),
-                new_edges,
-                frontier: frontier.len(),
-                repaired_vertices: repaired,
-                strategy: RepairStrategy::LocalRepair,
-                report,
-            }
+            (repaired, RepairStrategy::LocalRepair, report)
         };
+        span.charge(report);
+
+        let mut outcome = BatchOutcome {
+            submitted_edges,
+            new_edges: to_insert.len(),
+            removed_edges: to_remove.len(),
+            frontier: frontier.len(),
+            repaired,
+            strategy,
+            compaction: None,
+            report,
+        };
+
+        if self.auto_compact
+            && outcome.removed_edges > 0
+            && self.coloring.max_color() as usize > self.graph.max_degree()
+        {
+            outcome.compaction = Some(self.compact());
+        }
 
         // Independent post-condition: the maintained coloring is legal on the new graph.
         if !self.coloring.is_legal(&self.graph) {
@@ -210,17 +377,122 @@ impl DynamicColoring {
                 ),
             });
         }
+
+        obs::incr_counter("dynamic.batches", 1);
+        obs::incr_counter("dynamic.new_edges", outcome.new_edges as u64);
+        obs::incr_counter("dynamic.removed_edges", outcome.removed_edges as u64);
+        obs::incr_counter("dynamic.repaired", outcome.repaired.len() as u64);
+        obs::observe_value("dynamic.frontier_per_batch", outcome.frontier as u64);
         Ok(outcome)
     }
 
+    /// Re-tightens the palette after deletions freed slack: deterministic greedy sweeps
+    /// in descending color order move every vertex to the smallest color its neighborhood
+    /// permits (never a larger one) until a pass changes nothing, then a rank relabeling
+    /// closes the remaining holes.  Idempotent: a second call is a no-op.
+    ///
+    /// Guarantees, unconditionally:
+    ///
+    /// * legality is preserved (each move avoids all current neighbor colors, and the
+    ///   relabeling is injective);
+    /// * no vertex's color increases, so the maximum color never grows;
+    /// * after the sweep every vertex sits at a color ≤ its degree, so the palette ends
+    ///   within `max_degree + 1` colors and is hole-free (`max_color == distinct - 1`).
+    ///
+    /// The sweep is centralized and executor-independent, so compaction is bit-identical
+    /// across executors and replays by construction.
+    pub fn compact(&mut self) -> CompactionDelta {
+        let _span = obs::phase("compaction");
+        let colors_before = self.coloring.distinct_colors();
+        let initial = self.coloring.colors().to_vec();
+
+        // Sweep to a fixpoint: descending current color, ties by ascending vertex index,
+        // so the loosest vertices move first, into the slack the tight ones never
+        // occupied.  Each improving pass strictly decreases the (integer) sum of colors,
+        // so the loop terminates; in practice two or three passes suffice.
+        let mut palette = PaletteSet::new(self.graph.max_degree() as u64 + 1);
+        loop {
+            let mut order: Vec<Vertex> = (0..self.graph.n()).collect();
+            order.sort_unstable_by_key(|&v| (std::cmp::Reverse(self.coloring.color(v)), v));
+            let mut moved = false;
+            for &v in &order {
+                palette.clear();
+                for &u in self.graph.neighbors(v) {
+                    palette.strike(self.coloring.color(u));
+                }
+                let free = palette
+                    .first_unstruck()
+                    .expect("deg(v) neighbors cannot strike all deg(v)+1 candidates");
+                if free < self.coloring.color(v) {
+                    self.coloring.set(v, free);
+                    moved = true;
+                }
+            }
+            if !moved {
+                break;
+            }
+        }
+
+        // Close the holes: relabel each used color by its rank.  rank(c) ≤ c, so this is
+        // still a per-vertex weak decrease, and injectivity preserves legality.
+        let max = self.coloring.max_color() as usize;
+        let mut used = vec![false; max + 1];
+        for &c in self.coloring.colors() {
+            used[c as usize] = true;
+        }
+        let mut rank = vec![0 as Color; max + 1];
+        let mut next = 0 as Color;
+        for (c, &in_use) in used.iter().enumerate() {
+            rank[c] = next;
+            if in_use {
+                next += 1;
+            }
+        }
+        let mut recolored = 0usize;
+        for v in 0..self.graph.n() {
+            let relabeled = rank[self.coloring.color(v) as usize];
+            if relabeled != self.coloring.color(v) {
+                self.coloring.set(v, relabeled);
+            }
+            if self.coloring.color(v) != initial[v] {
+                recolored += 1;
+            }
+        }
+
+        let delta = CompactionDelta {
+            colors_before,
+            colors_after: self.coloring.distinct_colors(),
+            recolored,
+        };
+        obs::incr_counter("dynamic.compactions", 1);
+        obs::incr_counter("dynamic.compaction_recolored", recolored as u64);
+        delta
+    }
+
+    /// Validates one submitted edge against the current graph and returns it in canonical
+    /// `u < v` order.
+    fn validated_canonical(&self, u: Vertex, v: Vertex) -> Result<(Vertex, Vertex), CoreError> {
+        let n = self.graph.n();
+        if u >= n {
+            return Err(arbcolor_graph::GraphError::VertexOutOfRange { vertex: u, n }.into());
+        }
+        if v >= n {
+            return Err(arbcolor_graph::GraphError::VertexOutOfRange { vertex: v, n }.into());
+        }
+        if u == v {
+            return Err(arbcolor_graph::GraphError::SelfLoop { vertex: u }.into());
+        }
+        Ok(if u < v { (u, v) } else { (v, u) })
+    }
+
     /// Re-colors the induced subgraph on `frontier` with a list-coloring instance that is
-    /// compatible with every non-frontier neighbor.  Returns how many vertices changed
-    /// color and the simulated cost.
+    /// compatible with every non-frontier neighbor.  Returns the ascending list of
+    /// vertices that changed color and the simulated cost.
     fn repair_frontier(
         &mut self,
         new_graph: &Graph,
         frontier: &[Vertex],
-    ) -> Result<(usize, RoundReport), CoreError> {
+    ) -> Result<(Vec<Vertex>, RoundReport), CoreError> {
         let sub = InducedSubgraph::new(new_graph, frontier);
         let lists: Vec<Vec<Color>> = frontier
             .iter()
@@ -241,12 +513,12 @@ impl DynamicColoring {
             .collect();
         let instance = ColorLists::new(&sub.graph, lists)?;
         let run = ghaffari_kuhn_list_coloring(&sub.graph, &instance)?;
-        let mut repaired = 0usize;
+        let mut repaired = Vec::new();
         for (child, &parent) in frontier.iter().enumerate() {
             let new_color = run.coloring.color(child);
             if self.coloring.color(parent) != new_color {
                 self.coloring.set(parent, new_color);
-                repaired += 1;
+                repaired.push(parent);
             }
         }
         Ok((repaired, run.report))
@@ -269,9 +541,9 @@ mod tests {
             .filter(|&(u, v)| dynamic.coloring().color(u) != dynamic.coloring().color(v))
             .collect();
         assert!(!batch.is_empty());
-        let outcome = dynamic.insert_edges(&batch).unwrap();
+        let outcome = dynamic.apply(&[GraphUpdate::InsertEdges(batch)]).unwrap();
         assert_eq!(outcome.strategy, RepairStrategy::NoConflict);
-        assert_eq!(outcome.repaired_vertices, 0);
+        assert_eq!(outcome.repaired_vertices(), 0);
         assert_eq!(dynamic.coloring(), &before);
         assert!(dynamic.coloring().is_legal(dynamic.graph()));
     }
@@ -293,22 +565,33 @@ mod tests {
             }
         }
         assert!(!batch.is_empty(), "no same-colored pair found");
-        let outcome = dynamic.insert_edges(&batch).unwrap();
+        let batch_len = batch.len();
+        let outcome = dynamic.apply(&[GraphUpdate::InsertEdges(batch)]).unwrap();
         assert_eq!(outcome.strategy, RepairStrategy::LocalRepair);
-        assert!(outcome.frontier <= 2 * batch.len());
-        assert!(outcome.repaired_vertices >= 1);
-        assert!(outcome.repaired_vertices <= outcome.frontier);
-        // Non-frontier vertices kept their colors.
-        let unchanged =
-            dynamic.coloring().colors().iter().zip(before.colors()).filter(|(a, b)| a == b).count();
-        assert!(unchanged >= dynamic.graph().n() - outcome.frontier);
+        assert!(outcome.frontier <= 2 * batch_len);
+        assert!(outcome.repaired_vertices() >= 1);
+        assert!(outcome.repaired_vertices() <= outcome.frontier);
+        // The repaired set is exactly the vertices whose color changed.
+        let changed: Vec<Vertex> = dynamic
+            .coloring()
+            .colors()
+            .iter()
+            .zip(before.colors())
+            .enumerate()
+            .filter(|(_, (a, b))| a != b)
+            .map(|(v, _)| v)
+            .collect();
+        assert_eq!(outcome.repaired, changed);
+        assert!(changed.len() <= outcome.frontier);
         assert!(dynamic.coloring().is_legal(dynamic.graph()));
     }
 
     #[test]
-    fn oversized_frontiers_fall_back_to_full_recolor() {
+    fn the_auto_policy_escalates_oversized_frontiers() {
         let g = generators::path(40).unwrap();
-        let mut dynamic = DynamicColoring::new(g).unwrap().with_frontier_threshold(1);
+        let mut dynamic = DynamicColoring::new(g)
+            .unwrap()
+            .with_repair_policy(RepairPolicy::Auto { frontier_threshold: 1 });
         let colors = dynamic.coloring().colors().to_vec();
         let mut batch = Vec::new();
         for u in 0..dynamic.graph().n() {
@@ -319,19 +602,167 @@ mod tests {
             }
         }
         assert!(batch.len() >= 2);
-        let outcome = dynamic.insert_edges(&batch).unwrap();
+        let outcome = dynamic.apply(&[GraphUpdate::InsertEdges(batch)]).unwrap();
         assert_eq!(outcome.strategy, RepairStrategy::FullRecolor);
         assert!(dynamic.coloring().is_legal(dynamic.graph()));
+    }
+
+    #[test]
+    fn explicit_policies_override_the_threshold() {
+        let build_batch = |dynamic: &DynamicColoring| {
+            let colors = dynamic.coloring().colors().to_vec();
+            let mut batch = Vec::new();
+            for u in 0..dynamic.graph().n() {
+                for v in (u + 1)..dynamic.graph().n() {
+                    if colors[u] == colors[v] && !dynamic.graph().has_edge(u, v) && batch.len() < 4
+                    {
+                        batch.push((u, v));
+                    }
+                }
+            }
+            batch
+        };
+
+        let g = generators::path(40).unwrap();
+        let mut local =
+            DynamicColoring::new(g.clone()).unwrap().with_repair_policy(RepairPolicy::AlwaysLocal);
+        let batch = build_batch(&local);
+        assert!(batch.len() >= 2);
+        let outcome = local.apply(&[GraphUpdate::InsertEdges(batch)]).unwrap();
+        assert_eq!(outcome.strategy, RepairStrategy::LocalRepair);
+        assert!(local.coloring().is_legal(local.graph()));
+
+        let mut full =
+            DynamicColoring::new(g).unwrap().with_repair_policy(RepairPolicy::AlwaysFull);
+        let batch = build_batch(&full);
+        let outcome = full.apply(&[GraphUpdate::InsertEdges(batch)]).unwrap();
+        assert_eq!(outcome.strategy, RepairStrategy::FullRecolor);
+        assert!(full.coloring().is_legal(full.graph()));
+    }
+
+    #[test]
+    fn removals_never_conflict_and_are_counted() {
+        let g = generators::complete(6).unwrap();
+        let mut dynamic = DynamicColoring::new(g).unwrap();
+        let outcome =
+            dynamic.apply(&[GraphUpdate::RemoveEdges(vec![(0, 1), (2, 3), (0, 1)])]).unwrap();
+        assert_eq!(outcome.strategy, RepairStrategy::NoConflict);
+        assert_eq!(outcome.submitted_edges, 3);
+        assert_eq!(outcome.removed_edges, 2);
+        assert_eq!(outcome.new_edges, 0);
+        assert_eq!(dynamic.graph().m(), 13);
+        assert!(dynamic.coloring().is_legal(dynamic.graph()));
+        // Removing an absent edge is a no-op, not an error.
+        let outcome = dynamic.apply(&[GraphUpdate::RemoveEdges(vec![(0, 1)])]).unwrap();
+        assert_eq!(outcome.removed_edges, 0);
+    }
+
+    #[test]
+    fn updates_resolve_in_order_with_last_write_wins() {
+        let g = generators::cycle(6).unwrap();
+        let mut dynamic = DynamicColoring::new(g).unwrap();
+        let outcome = dynamic
+            .apply(&[
+                GraphUpdate::InsertEdges(vec![(0, 2)]),
+                GraphUpdate::RemoveEdges(vec![(0, 2), (3, 4)]),
+                GraphUpdate::InsertEdges(vec![(3, 4)]),
+            ])
+            .unwrap();
+        // (0, 2) inserted then removed: net nothing.  (3, 4) removed then re-inserted:
+        // net nothing.  The graph is unchanged.
+        assert_eq!(outcome.new_edges, 0);
+        assert_eq!(outcome.removed_edges, 0);
+        assert_eq!(dynamic.graph().m(), 6);
+        assert!(dynamic.graph().has_edge(3, 4));
+        assert!(!dynamic.graph().has_edge(0, 2));
+    }
+
+    #[test]
+    fn compaction_reclaims_slack_after_deletions() {
+        // A clique forces 8 colors; deleting most of it leaves a sparse graph that needs
+        // far fewer.
+        let g = generators::complete(8).unwrap();
+        let mut dynamic = DynamicColoring::new(g).unwrap();
+        assert_eq!(dynamic.coloring().distinct_colors(), 8);
+        let doomed: Vec<(Vertex, Vertex)> = dynamic
+            .graph()
+            .edges()
+            .iter()
+            .copied()
+            .filter(|&(u, v)| v != u + 1) // keep the path 0-1-2-…-7
+            .collect();
+        dynamic.apply(&[GraphUpdate::RemoveEdges(doomed)]).unwrap();
+        assert_eq!(dynamic.coloring().distinct_colors(), 8, "deletions alone free no colors");
+        let delta = dynamic.compact();
+        assert_eq!(delta.colors_before, 8);
+        assert!(delta.colors_after <= dynamic.graph().max_degree() + 1);
+        assert_eq!(delta.colors_after, dynamic.coloring().distinct_colors());
+        // Hole-free palette: max color == distinct - 1.
+        assert_eq!(dynamic.coloring().max_color() as usize + 1, delta.colors_after);
+        assert!(dynamic.coloring().is_legal(dynamic.graph()));
+    }
+
+    #[test]
+    fn compaction_never_increases_colors_or_any_vertex() {
+        for seed in 0..4u64 {
+            for (family, g) in arbcolor_graph::generators::seeded_suite(48, seed) {
+                let mut dynamic = DynamicColoring::new(g).unwrap();
+                // Delete every third edge to open slack, then compact repeatedly.
+                let doomed: Vec<(Vertex, Vertex)> =
+                    dynamic.graph().edges().iter().copied().step_by(3).collect();
+                dynamic.apply(&[GraphUpdate::RemoveEdges(doomed)]).unwrap();
+                let before_colors = dynamic.coloring().colors().to_vec();
+                let before_distinct = dynamic.coloring().distinct_colors();
+                let delta = dynamic.compact();
+                assert!(
+                    delta.colors_after <= before_distinct,
+                    "distinct colors grew on {family} (seed {seed})"
+                );
+                assert!(
+                    dynamic
+                        .coloring()
+                        .colors()
+                        .iter()
+                        .zip(&before_colors)
+                        .all(|(after, before)| after <= before),
+                    "a vertex color grew on {family} (seed {seed})"
+                );
+                assert!(delta.colors_after <= dynamic.graph().max_degree() + 1);
+                assert!(dynamic.coloring().is_legal(dynamic.graph()));
+                // Idempotence: a second sweep has nothing left to reclaim.
+                let again = dynamic.compact();
+                assert_eq!(again.colors_after, delta.colors_after);
+            }
+        }
+    }
+
+    #[test]
+    fn auto_compact_rides_along_with_deletion_batches() {
+        let g = generators::complete(8).unwrap();
+        let mut dynamic = DynamicColoring::new(g).unwrap().with_auto_compact(true);
+        let doomed: Vec<(Vertex, Vertex)> =
+            dynamic.graph().edges().iter().copied().filter(|&(u, v)| v != u + 1).collect();
+        let outcome = dynamic.apply(&[GraphUpdate::RemoveEdges(doomed)]).unwrap();
+        let delta = outcome.compaction.expect("deletions freed slack, so a sweep must run");
+        assert!(delta.colors_after < delta.colors_before);
+        assert!(dynamic.coloring().distinct_colors() <= dynamic.graph().max_degree() + 1);
+        // Insert-only batches never auto-compact.
+        let outcome = dynamic.apply(&[GraphUpdate::InsertEdges(vec![(0, 2)])]).unwrap();
+        assert!(outcome.compaction.is_none());
     }
 
     #[test]
     fn invalid_batches_surface_typed_errors() {
         let g = generators::cycle(6).unwrap();
         let mut dynamic = DynamicColoring::new(g).unwrap();
-        assert!(dynamic.insert_edges(&[(0, 99)]).is_err());
-        assert!(dynamic.insert_edges(&[(2, 2)]).is_err());
+        assert!(dynamic.apply(&[GraphUpdate::InsertEdges(vec![(0, 99)])]).is_err());
+        assert!(dynamic.apply(&[GraphUpdate::InsertEdges(vec![(2, 2)])]).is_err());
+        // Invalid removals are rejected up front too, even for absent edges.
+        assert!(dynamic.apply(&[GraphUpdate::RemoveEdges(vec![(0, 99)])]).is_err());
+        assert!(dynamic.apply(&[GraphUpdate::RemoveEdges(vec![(3, 3)])]).is_err());
         // The failed batches left the state untouched and legal.
         assert_eq!(dynamic.graph().n(), 6);
+        assert_eq!(dynamic.graph().m(), 6);
         assert!(dynamic.coloring().is_legal(dynamic.graph()));
     }
 
@@ -340,7 +771,12 @@ mod tests {
         let g = generators::cycle(10).unwrap().with_shuffled_ids(3);
         let ids = g.ids().to_vec();
         let mut dynamic = DynamicColoring::new(g).unwrap();
-        dynamic.insert_edges(&[(0, 5)]).unwrap();
+        dynamic
+            .apply(&[
+                GraphUpdate::InsertEdges(vec![(0, 5)]),
+                GraphUpdate::RemoveEdges(vec![(1, 2)]),
+            ])
+            .unwrap();
         assert_eq!(dynamic.graph().ids(), &ids[..]);
     }
 
@@ -349,5 +785,21 @@ mod tests {
         let g = generators::cycle(4).unwrap();
         let illegal = Coloring::constant(&g);
         assert!(DynamicColoring::from_parts(g, illegal).is_err());
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn the_deprecated_shims_forward_to_the_new_api() {
+        let g = generators::cycle(8).unwrap();
+        let mut via_shim = DynamicColoring::new(g.clone()).unwrap().with_frontier_threshold(2);
+        assert_eq!(via_shim.repair_policy(), RepairPolicy::Auto { frontier_threshold: 2 });
+        let mut via_apply = DynamicColoring::new(g)
+            .unwrap()
+            .with_repair_policy(RepairPolicy::Auto { frontier_threshold: 2 });
+        let batch = [(0usize, 4usize), (1, 5)];
+        let a = via_shim.insert_edges(&batch).unwrap();
+        let b = via_apply.apply(&[GraphUpdate::InsertEdges(batch.to_vec())]).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(via_shim.coloring(), via_apply.coloring());
     }
 }

@@ -279,6 +279,26 @@ pub fn record_run(report: &RoundReport) {
     metrics.observe("executor.messages_per_run", report.messages as u64);
 }
 
+/// Increments an arbitrary named counter on the installed collector's metrics registry
+/// (no-op without a collector).  The dynamic-coloring driver and the serving layer feed
+/// their `dynamic.*` / `service.*` traffic counters through here; executor and
+/// palette-engine ingestion keep their dedicated [`record_run`] / [`record_palette`]
+/// entry points.
+pub fn incr_counter(name: &str, by: u64) {
+    let Some(collector) = current() else { return };
+    let mut state = collector.lock();
+    state.metrics.incr(name, by);
+}
+
+/// Feeds one sample into a named power-of-two histogram of the installed collector's
+/// metrics registry (no-op without a collector) — e.g. per-batch frontier sizes or repair
+/// latencies from the serving layer.
+pub fn observe_value(name: &str, value: u64) {
+    let Some(collector) = current() else { return };
+    let mut state = collector.lock();
+    state.metrics.observe(name, value);
+}
+
 /// Drains the given palette-engine reuse counters into the installed collector's metrics
 /// registry (no-op without a collector): global `palette.*` counters plus per-phase
 /// copies tagged with the name of the innermost open span, so `--trace-out` runs

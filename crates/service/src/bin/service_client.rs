@@ -1,0 +1,146 @@
+//! Command-line client for the coloring daemon.
+//!
+//! Usage:
+//!   service_client replay ADDR [--n N] [--ops N] [--batch N] [--seed S] [--skew F]
+//!                              [--compact-every K] [--insert-weight W] [--remove-weight W]
+//!                              [--query-weight W]
+//!   service_client stats ADDR
+//!   service_client verify ADDR
+//!   service_client shutdown ADDR
+//!
+//! `replay` generates the seeded workload locally (the same generator the E25 benchmark
+//! uses), streams it to the daemon, asks the daemon to re-verify its coloring, and exits
+//! non-zero if the final coloring is illegal or any request fails — which is exactly the
+//! assertion the CI `service-smoke` job makes.
+
+use arbcolor_service::client::ServiceClient;
+use arbcolor_service::workload::{generate, WorkloadConfig, WorkloadOp};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: service_client replay ADDR [--n N] [--ops N] [--batch N] [--seed S] \
+         [--skew F] [--compact-every K] [--insert-weight W] [--remove-weight W] \
+         [--query-weight W]\n       service_client stats|verify|shutdown ADDR"
+    );
+    std::process::exit(2);
+}
+
+fn parse<T: std::str::FromStr>(flag: &str, value: Option<String>) -> T {
+    let Some(value) = value else {
+        eprintln!("service_client: {flag} needs a value");
+        usage();
+    };
+    value.parse().unwrap_or_else(|_| {
+        eprintln!("service_client: cannot parse {flag} value {value:?}");
+        usage();
+    })
+}
+
+fn connect(addr: &str) -> ServiceClient {
+    ServiceClient::connect(addr).unwrap_or_else(|e| {
+        eprintln!("service_client: cannot connect to {addr}: {e}");
+        std::process::exit(1);
+    })
+}
+
+fn fail(context: &str, err: impl std::fmt::Display) -> ! {
+    eprintln!("service_client: {context}: {err}");
+    std::process::exit(1);
+}
+
+fn replay(addr: &str, mut rest: impl Iterator<Item = String>) {
+    let mut config = WorkloadConfig { n: 256, ops: 120, batch_size: 8, ..Default::default() };
+    while let Some(flag) = rest.next() {
+        match flag.as_str() {
+            "--n" => config.n = parse(&flag, rest.next()),
+            "--ops" => config.ops = parse(&flag, rest.next()),
+            "--batch" => config.batch_size = parse(&flag, rest.next()),
+            "--seed" => config.seed = parse(&flag, rest.next()),
+            "--skew" => config.skew = parse(&flag, rest.next()),
+            "--compact-every" => config.compact_every = parse(&flag, rest.next()),
+            "--insert-weight" => config.insert_weight = parse(&flag, rest.next()),
+            "--remove-weight" => config.remove_weight = parse(&flag, rest.next()),
+            "--query-weight" => config.query_weight = parse(&flag, rest.next()),
+            other => {
+                eprintln!("service_client: unknown replay flag {other}");
+                usage();
+            }
+        }
+    }
+    let mut client = connect(addr);
+    let (mut applies, mut queries, mut compactions, mut repaired) = (0u64, 0u64, 0u64, 0u64);
+    for op in generate(&config) {
+        match op {
+            WorkloadOp::Apply(updates) => match client.apply(updates) {
+                Ok(outcome) => {
+                    applies += 1;
+                    repaired += outcome.repaired;
+                }
+                Err(e) => fail("apply failed", e),
+            },
+            WorkloadOp::QueryColors(vertices) => match client.query_colors(vertices) {
+                Ok(_) => queries += 1,
+                Err(e) => fail("query failed", e),
+            },
+            WorkloadOp::Compact => match client.compact() {
+                Ok(_) => compactions += 1,
+                Err(e) => fail("compact failed", e),
+            },
+        }
+    }
+    let (legal, conflicts) = client.verify().unwrap_or_else(|e| fail("verify failed", e));
+    let stats = client.stats().unwrap_or_else(|e| fail("stats failed", e));
+    println!(
+        "replayed seed {}: {applies} applies, {queries} queries, {compactions} compactions, \
+         {repaired} repaired; server at epoch {} with {} edges and {} colors",
+        config.seed, stats.epoch, stats.m, stats.colors
+    );
+    if !legal {
+        eprintln!("service_client: final coloring is ILLEGAL ({conflicts} conflicts)");
+        std::process::exit(1);
+    }
+    println!("final coloring verified legal");
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let Some(command) = args.next() else { usage() };
+    let Some(addr) = args.next() else { usage() };
+    match command.as_str() {
+        "replay" => replay(&addr, args),
+        "stats" => {
+            let stats = connect(&addr).stats().unwrap_or_else(|e| fail("stats failed", e));
+            println!(
+                "n={} m={} epoch={} colors={} max_degree={} batches={} new_edges={} \
+                 removed_edges={} repaired={} compactions={} queries={}",
+                stats.n,
+                stats.m,
+                stats.epoch,
+                stats.colors,
+                stats.max_degree,
+                stats.batches,
+                stats.new_edges,
+                stats.removed_edges,
+                stats.repaired,
+                stats.compactions,
+                stats.queries
+            );
+        }
+        "verify" => {
+            let (legal, conflicts) =
+                connect(&addr).verify().unwrap_or_else(|e| fail("verify failed", e));
+            println!("legal={legal} conflicts={conflicts}");
+            if !legal {
+                std::process::exit(1);
+            }
+        }
+        "shutdown" => {
+            connect(&addr).shutdown().unwrap_or_else(|e| fail("shutdown failed", e));
+            println!("server acknowledged shutdown");
+        }
+        other => {
+            eprintln!("service_client: unknown command {other}");
+            usage();
+        }
+    }
+}

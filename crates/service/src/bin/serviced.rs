@@ -1,0 +1,112 @@
+//! The coloring daemon.
+//!
+//! Usage:
+//!   serviced [--port P] [--port-file PATH] [--n N | --dataset EDGES_FILE]
+//!            [--request-timeout-ms MS] [--idle-timeout-ms MS]
+//!            [--snapshot-history K] [--auto-compact]
+//!
+//! Binds a TCP listener (port 0 = ephemeral), prints the bound address on stdout as
+//! `listening on ADDR`, optionally writes the bare address to `--port-file` (the CI
+//! `service-smoke` job polls that file to discover the ephemeral port), and serves the
+//! typed protocol until a client sends a shutdown request.  Exits 0 on a clean shutdown.
+
+use std::io::Write;
+use std::time::Duration;
+
+use arbcolor_service::server::{ColoringService, ServiceConfig, ServiceServer};
+
+struct Args {
+    port: u16,
+    port_file: Option<String>,
+    n: usize,
+    dataset: Option<String>,
+    config: ServiceConfig,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: serviced [--port P] [--port-file PATH] [--n N | --dataset FILE] \
+         [--request-timeout-ms MS] [--idle-timeout-ms MS] [--snapshot-history K] \
+         [--auto-compact]"
+    );
+    std::process::exit(2);
+}
+
+fn parse<T: std::str::FromStr>(flag: &str, value: Option<String>) -> T {
+    let Some(value) = value else {
+        eprintln!("serviced: {flag} needs a value");
+        usage();
+    };
+    value.parse().unwrap_or_else(|_| {
+        eprintln!("serviced: cannot parse {flag} value {value:?}");
+        usage();
+    })
+}
+
+fn parse_args() -> Args {
+    let mut args =
+        Args { port: 0, port_file: None, n: 1024, dataset: None, config: ServiceConfig::default() };
+    let mut iter = std::env::args().skip(1);
+    while let Some(flag) = iter.next() {
+        match flag.as_str() {
+            "--port" => args.port = parse(&flag, iter.next()),
+            "--port-file" => args.port_file = Some(parse(&flag, iter.next())),
+            "--n" => args.n = parse(&flag, iter.next()),
+            "--dataset" => args.dataset = Some(parse(&flag, iter.next())),
+            "--request-timeout-ms" => {
+                args.config.request_timeout = Duration::from_millis(parse(&flag, iter.next()))
+            }
+            "--idle-timeout-ms" => {
+                args.config.idle_timeout = Duration::from_millis(parse(&flag, iter.next()))
+            }
+            "--snapshot-history" => args.config.snapshot_history = parse(&flag, iter.next()),
+            "--auto-compact" => args.config.auto_compact = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("serviced: unknown flag {other}");
+                usage();
+            }
+        }
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    let service = match &args.dataset {
+        Some(path) => {
+            let graph = arbcolor_graph::io::read_graph(path).unwrap_or_else(|e| {
+                eprintln!("serviced: cannot load dataset {path}: {e}");
+                std::process::exit(2);
+            });
+            ColoringService::new(graph, args.config)
+        }
+        None => ColoringService::empty(args.n, args.config),
+    }
+    .unwrap_or_else(|e| {
+        eprintln!("serviced: cannot start the service: {e}");
+        std::process::exit(2);
+    });
+    let server = ServiceServer::bind(("127.0.0.1", args.port), service).unwrap_or_else(|e| {
+        eprintln!("serviced: cannot bind 127.0.0.1:{}: {e}", args.port);
+        std::process::exit(2);
+    });
+    let addr = server.local_addr().expect("bound listener has an address");
+    println!("listening on {addr}");
+    std::io::stdout().flush().ok();
+    if let Some(path) = &args.port_file {
+        // Write-then-rename so pollers never observe a half-written address.
+        let tmp = format!("{path}.tmp");
+        let write =
+            std::fs::write(&tmp, addr.to_string()).and_then(|()| std::fs::rename(&tmp, path));
+        if let Err(e) = write {
+            eprintln!("serviced: cannot write port file {path}: {e}");
+            std::process::exit(2);
+        }
+    }
+    if let Err(e) = server.run() {
+        eprintln!("serviced: accept loop failed: {e}");
+        std::process::exit(1);
+    }
+    println!("shutdown complete");
+}

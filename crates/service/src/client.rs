@@ -1,0 +1,242 @@
+//! A blocking typed client for the coloring service.
+//!
+//! [`ServiceClient`] wraps one TCP connection and exposes a method per protocol verb;
+//! each method sends a single frame, reads a single reply frame, and either returns the
+//! typed payload or a [`ClientError`].  Server-side typed errors arrive as
+//! [`ClientError::Service`], so callers can match on e.g.
+//! [`ServiceError::EpochUnavailable`]
+//! without string parsing.
+
+use std::fmt;
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use arbcolor::dynamic::{GraphUpdate, RepairStrategy};
+use arbcolor_graph::Vertex;
+
+use crate::protocol::{read_frame, write_frame, Request, Response, ServiceError, ServiceStats};
+
+/// Errors a client call can fail with.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The transport failed (connect, read, write, or timeout).
+    Io(io::Error),
+    /// The server's reply frame could not be decoded.
+    Protocol(ServiceError),
+    /// The server answered with a typed error.
+    Service(ServiceError),
+    /// The server answered with a well-formed reply of the wrong kind.
+    Unexpected {
+        /// What the call was waiting for.
+        expected: &'static str,
+        /// A debug rendering of what arrived instead.
+        got: String,
+    },
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "transport error: {e}"),
+            ClientError::Protocol(e) => write!(f, "protocol error: {e}"),
+            ClientError::Service(e) => write!(f, "service error: {e}"),
+            ClientError::Unexpected { expected, got } => {
+                write!(f, "expected a {expected} reply, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClientError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ClientError::Io(e) => Some(e),
+            ClientError::Protocol(e) | ClientError::Service(e) => Some(e),
+            ClientError::Unexpected { .. } => None,
+        }
+    }
+}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// Outcome of a successful [`ServiceClient::apply`] call (the wire-level projection of
+/// [`BatchOutcome`](arbcolor::dynamic::BatchOutcome)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AppliedBatch {
+    /// Epoch after the batch.
+    pub epoch: u64,
+    /// Edges submitted across the batch's updates.
+    pub submitted_edges: u64,
+    /// Edges genuinely added.
+    pub new_edges: u64,
+    /// Edges genuinely removed.
+    pub removed_edges: u64,
+    /// Conflict-frontier size.
+    pub frontier: u64,
+    /// Vertices recolored by conflict repair.
+    pub repaired: u64,
+    /// Strategy the repair policy chose.
+    pub strategy: RepairStrategy,
+    /// `(colors_before, colors_after, recolored)` when auto-compaction ran.
+    pub compacted: Option<(u64, u64, u64)>,
+}
+
+/// A blocking client over one TCP connection to a [`ServiceServer`](crate::server::ServiceServer).
+#[derive(Debug)]
+pub struct ServiceClient {
+    stream: TcpStream,
+}
+
+impl ServiceClient {
+    /// Connects to a running daemon.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection failures.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> Result<Self, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(ServiceClient { stream })
+    }
+
+    /// Bounds how long each call waits for the server's reply (`None` = forever).
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket-option failures.
+    pub fn set_reply_timeout(&mut self, timeout: Option<Duration>) -> Result<(), ClientError> {
+        self.stream.set_read_timeout(timeout)?;
+        Ok(())
+    }
+
+    fn call(&mut self, request: &Request) -> Result<Response, ClientError> {
+        write_frame(&mut self.stream, &request.encode())?;
+        let payload = read_frame(&mut self.stream)?.ok_or_else(|| {
+            ClientError::Io(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection before replying",
+            ))
+        })?;
+        let response = Response::decode(&payload).map_err(ClientError::Protocol)?;
+        if let Response::Error(err) = response {
+            return Err(ClientError::Service(err));
+        }
+        Ok(response)
+    }
+
+    /// Applies a batch of graph updates.
+    ///
+    /// # Errors
+    ///
+    /// Transport, protocol, or typed service errors (e.g. an out-of-range endpoint).
+    pub fn apply(&mut self, updates: Vec<GraphUpdate>) -> Result<AppliedBatch, ClientError> {
+        match self.call(&Request::Apply(updates))? {
+            Response::Applied {
+                epoch,
+                submitted_edges,
+                new_edges,
+                removed_edges,
+                frontier,
+                repaired,
+                strategy,
+                compacted,
+            } => Ok(AppliedBatch {
+                epoch,
+                submitted_edges,
+                new_edges,
+                removed_edges,
+                frontier,
+                repaired,
+                strategy,
+                compacted,
+            }),
+            other => Err(unexpected("Applied", &other)),
+        }
+    }
+
+    /// Queries the current colors of `vertices`, returned in request order.
+    ///
+    /// # Errors
+    ///
+    /// Transport, protocol, or typed service errors.
+    pub fn query_colors(&mut self, vertices: Vec<Vertex>) -> Result<Vec<u64>, ClientError> {
+        match self.call(&Request::QueryColors(vertices))? {
+            Response::Colors(colors) => Ok(colors),
+            other => Err(unexpected("Colors", &other)),
+        }
+    }
+
+    /// Fetches the full coloring at `epoch` (`None` = current); returns the snapshot's
+    /// epoch alongside one color per vertex.
+    ///
+    /// # Errors
+    ///
+    /// Transport, protocol, or typed service errors — notably
+    /// [`ServiceError::EpochUnavailable`] for evicted epochs.
+    pub fn snapshot(&mut self, epoch: Option<u64>) -> Result<(u64, Vec<u64>), ClientError> {
+        match self.call(&Request::Snapshot(epoch))? {
+            Response::Snapshot { epoch, colors } => Ok((epoch, colors)),
+            other => Err(unexpected("Snapshot", &other)),
+        }
+    }
+
+    /// Fetches service statistics.
+    ///
+    /// # Errors
+    ///
+    /// Transport or protocol errors.
+    pub fn stats(&mut self) -> Result<ServiceStats, ClientError> {
+        match self.call(&Request::Stats)? {
+            Response::Stats(stats) => Ok(stats),
+            other => Err(unexpected("Stats", &other)),
+        }
+    }
+
+    /// Runs a palette-compaction sweep; returns `(epoch, colors_before, colors_after,
+    /// recolored)`.
+    ///
+    /// # Errors
+    ///
+    /// Transport or protocol errors.
+    pub fn compact(&mut self) -> Result<(u64, u64, u64, u64), ClientError> {
+        match self.call(&Request::Compact)? {
+            Response::Compacted { epoch, colors_before, colors_after, recolored } => {
+                Ok((epoch, colors_before, colors_after, recolored))
+            }
+            other => Err(unexpected("Compacted", &other)),
+        }
+    }
+
+    /// Asks the server to re-verify its coloring; returns `(legal, conflicts)`.
+    ///
+    /// # Errors
+    ///
+    /// Transport or protocol errors.
+    pub fn verify(&mut self) -> Result<(bool, u64), ClientError> {
+        match self.call(&Request::Verify)? {
+            Response::Verified { legal, conflicts } => Ok((legal, conflicts)),
+            other => Err(unexpected("Verified", &other)),
+        }
+    }
+
+    /// Asks the daemon to shut down cleanly; returns once the server acknowledges.
+    ///
+    /// # Errors
+    ///
+    /// Transport or protocol errors.
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        match self.call(&Request::Shutdown)? {
+            Response::ShuttingDown => Ok(()),
+            other => Err(unexpected("ShuttingDown", &other)),
+        }
+    }
+}
+
+fn unexpected(expected: &'static str, got: &Response) -> ClientError {
+    ClientError::Unexpected { expected, got: format!("{got:?}") }
+}

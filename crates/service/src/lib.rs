@@ -1,0 +1,36 @@
+//! A long-lived coloring service over the dynamic-recoloring driver.
+//!
+//! Everything the "heavy traffic" axis needs to run the Barenboim–Elkin reproduction as a
+//! *process* rather than a batch experiment:
+//!
+//! * [`protocol`] — a small typed wire protocol (length-prefixed frames, hand-rolled
+//!   encoding, no external dependencies) covering edge mutations, color queries,
+//!   epoch snapshots, palette compaction, verification, stats, and shutdown;
+//! * [`server`] — [`ColoringService`], the protocol-agnostic
+//!   state machine that owns a [`DynamicColoring`](arbcolor::dynamic::DynamicColoring)
+//!   plus an epoch-stamped snapshot history, and
+//!   [`ServiceServer`], the `std::net` TCP daemon that serves it
+//!   with per-request timeouts and typed error replies;
+//! * [`client`] — a blocking typed client speaking the same protocol;
+//! * [`workload`] — a seeded, replayable generator of mixed insert/delete/query/compact
+//!   streams with configurable skew, driving both the CI `service-smoke` job and the E25
+//!   sustained-update benchmark.
+//!
+//! The wire protocol is versioned by a magic byte per frame; both sides reject frames
+//! they cannot parse with a typed [`protocol::ServiceError`] instead of dying. All state
+//! transitions go through `arbcolor::dynamic`, so everything the daemon serves inherits
+//! the workspace-wide determinism guarantee: the same update stream produces bit-identical
+//! colorings wherever it is replayed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod protocol;
+pub mod server;
+pub mod workload;
+
+pub use client::{ClientError, ServiceClient};
+pub use protocol::{Request, Response, ServiceError};
+pub use server::{ColoringService, ServiceConfig, ServiceServer};
+pub use workload::{WorkloadConfig, WorkloadOp};

@@ -1,0 +1,266 @@
+//! Seeded, replayable update workloads for the coloring service.
+//!
+//! [`generate`] expands a [`WorkloadConfig`] into a deterministic stream of
+//! [`WorkloadOp`]s — mixed insert/delete batches, color queries, and periodic compaction
+//! sweeps — using a ChaCha8 stream cipher keyed by the config's seed.  The generator
+//! maintains its own model of the edge set so deletions always target edges that exist
+//! and no batch touches the same edge twice (which keeps the model exactly in sync with
+//! the service's last-write-wins batch semantics).  Same config ⇒ byte-identical stream,
+//! which is what lets the CI `service-smoke` job and the E25 benchmark assert that
+//! replaying a workload twice produces bit-identical colorings.
+//!
+//! Vertex sampling is skewed: endpoint indices are drawn as `⌊n · u^skew⌋` for uniform
+//! `u ∈ [0, 1)`.  `skew = 1` is uniform; larger values concentrate traffic on low-index
+//! vertices, modeling hub-heavy update streams.
+
+use std::collections::BTreeSet;
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use arbcolor::dynamic::GraphUpdate;
+use arbcolor_graph::Vertex;
+
+/// Shape of a generated workload.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorkloadConfig {
+    /// Vertices of the served graph.
+    pub n: usize,
+    /// Total operations to generate.
+    pub ops: usize,
+    /// Edges per mutation batch / vertices per query.
+    pub batch_size: usize,
+    /// Relative weight of edge insertions within a mutation batch.
+    pub insert_weight: u32,
+    /// Relative weight of edge removals within a mutation batch.
+    pub remove_weight: u32,
+    /// Relative weight of query operations against mutation operations.
+    pub query_weight: u32,
+    /// Emit a compaction sweep every this many operations (0 = never).
+    pub compact_every: usize,
+    /// Vertex-sampling skew exponent (`1.0` = uniform, larger = hub-heavier).
+    pub skew: f64,
+    /// RNG seed; the whole stream is a pure function of this config.
+    pub seed: u64,
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        WorkloadConfig {
+            n: 1_000,
+            ops: 200,
+            batch_size: 16,
+            insert_weight: 3,
+            remove_weight: 1,
+            query_weight: 1,
+            compact_every: 50,
+            skew: 1.5,
+            seed: 7,
+        }
+    }
+}
+
+/// One operation of a generated workload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WorkloadOp {
+    /// A mutation batch (mixed insertions and removals, already deduplicated).
+    Apply(Vec<GraphUpdate>),
+    /// A color query over the given vertices.
+    QueryColors(Vec<Vertex>),
+    /// A palette-compaction sweep.
+    Compact,
+}
+
+/// Draws a skewed vertex index in `0..n`.
+fn skewed_vertex(rng: &mut ChaCha8Rng, n: usize, skew: f64) -> Vertex {
+    let u: f64 = rng.gen();
+    let v = (n as f64 * u.powf(skew)) as usize;
+    v.min(n - 1)
+}
+
+/// Draws a canonical `(min, max)` candidate edge with distinct skewed endpoints.
+fn skewed_edge(rng: &mut ChaCha8Rng, n: usize, skew: f64) -> (Vertex, Vertex) {
+    loop {
+        let u = skewed_vertex(rng, n, skew);
+        let v = skewed_vertex(rng, n, skew);
+        if u != v {
+            return (u.min(v), u.max(v));
+        }
+    }
+}
+
+/// Expands `config` into its deterministic operation stream.
+///
+/// The generator tracks the edge set the stream implies, so every `RemoveEdges` entry
+/// names a currently present edge, every `InsertEdges` entry names a currently absent
+/// one, and no batch mentions the same edge twice.  Replaying the stream against a
+/// [`ColoringService`](crate::server::ColoringService) (or a bare
+/// [`DynamicColoring`](arbcolor::dynamic::DynamicColoring)) therefore mutates the graph
+/// exactly as the model predicts.
+///
+/// # Panics
+///
+/// Panics if `config.n < 2`, `config.ops == 0` is fine but `config.batch_size == 0` or a
+/// zero total weight would generate empty batches — those are rejected with a panic
+/// naming the offending field, since a silently empty workload would make benchmarks lie.
+pub fn generate(config: &WorkloadConfig) -> Vec<WorkloadOp> {
+    assert!(config.n >= 2, "workload needs n >= 2, got {}", config.n);
+    assert!(config.batch_size > 0, "workload needs batch_size > 0");
+    assert!(
+        config.insert_weight + config.remove_weight > 0,
+        "workload needs a nonzero insert or remove weight"
+    );
+    let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+    let mut present: BTreeSet<(Vertex, Vertex)> = BTreeSet::new();
+    let mut edges: Vec<(Vertex, Vertex)> = Vec::new();
+    let mut ops = Vec::with_capacity(config.ops);
+    let mutation_weight = config.insert_weight + config.remove_weight;
+    for op_index in 0..config.ops {
+        if config.compact_every > 0 && op_index > 0 && op_index % config.compact_every == 0 {
+            ops.push(WorkloadOp::Compact);
+            continue;
+        }
+        let is_query = rng.gen_range(0..mutation_weight + config.query_weight) >= mutation_weight;
+        if is_query {
+            let vertices: Vec<Vertex> = (0..config.batch_size)
+                .map(|_| skewed_vertex(&mut rng, config.n, config.skew))
+                .collect();
+            ops.push(WorkloadOp::QueryColors(vertices));
+            continue;
+        }
+        let mut inserts = Vec::new();
+        let mut removes = Vec::new();
+        let mut touched: BTreeSet<(Vertex, Vertex)> = BTreeSet::new();
+        for _ in 0..config.batch_size {
+            let remove =
+                !edges.is_empty() && rng.gen_range(0..mutation_weight) >= config.insert_weight;
+            if remove {
+                let at = rng.gen_range(0..edges.len());
+                let edge = edges.swap_remove(at);
+                if touched.insert(edge) {
+                    present.remove(&edge);
+                    removes.push(edge);
+                } else {
+                    // Already inserted in this very batch; put it back untouched.
+                    edges.push(edge);
+                }
+            } else {
+                // A few redraws to find an absent, untouched edge; dense corners of the
+                // skew distribution may fail all of them, in which case the slot is
+                // skipped (batches stay deduplicated rather than padded with no-ops).
+                for _ in 0..8 {
+                    let edge = skewed_edge(&mut rng, config.n, config.skew);
+                    if !present.contains(&edge) && !touched.contains(&edge) {
+                        touched.insert(edge);
+                        present.insert(edge);
+                        edges.push(edge);
+                        inserts.push(edge);
+                        break;
+                    }
+                }
+            }
+        }
+        let mut updates = Vec::new();
+        if !inserts.is_empty() {
+            updates.push(GraphUpdate::InsertEdges(inserts));
+        }
+        if !removes.is_empty() {
+            updates.push(GraphUpdate::RemoveEdges(removes));
+        }
+        if !updates.is_empty() {
+            ops.push(WorkloadOp::Apply(updates));
+        }
+    }
+    ops
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::{Request, Response};
+    use crate::server::{ColoringService, ServiceConfig};
+
+    #[test]
+    fn the_stream_is_a_pure_function_of_its_config() {
+        let config = WorkloadConfig { n: 64, ops: 120, ..WorkloadConfig::default() };
+        assert_eq!(generate(&config), generate(&config));
+        let reseeded = WorkloadConfig { seed: config.seed + 1, ..config };
+        assert_ne!(generate(&config), generate(&reseeded), "seed must matter");
+    }
+
+    #[test]
+    fn removals_always_name_present_edges_and_batches_never_repeat_an_edge() {
+        let config = WorkloadConfig {
+            n: 32,
+            ops: 300,
+            batch_size: 8,
+            insert_weight: 1,
+            remove_weight: 1,
+            ..WorkloadConfig::default()
+        };
+        let mut present: BTreeSet<(Vertex, Vertex)> = BTreeSet::new();
+        let mut saw_removal = false;
+        for op in generate(&config) {
+            let WorkloadOp::Apply(updates) = op else { continue };
+            let mut touched = BTreeSet::new();
+            for update in &updates {
+                for &edge in update.edges() {
+                    assert!(touched.insert(edge), "edge {edge:?} repeated within a batch");
+                    if update.is_insert() {
+                        assert!(present.insert(edge), "inserted a present edge {edge:?}");
+                    } else {
+                        saw_removal = true;
+                        assert!(present.remove(&edge), "removed an absent edge {edge:?}");
+                    }
+                }
+            }
+        }
+        assert!(saw_removal, "the mixed workload never removed anything");
+    }
+
+    #[test]
+    fn replaying_a_workload_keeps_the_service_legal() {
+        let config = WorkloadConfig {
+            n: 48,
+            ops: 80,
+            batch_size: 6,
+            compact_every: 20,
+            ..WorkloadConfig::default()
+        };
+        let mut service = ColoringService::empty(config.n, ServiceConfig::default()).unwrap();
+        for op in generate(&config) {
+            let request = match op {
+                WorkloadOp::Apply(updates) => Request::Apply(updates),
+                WorkloadOp::QueryColors(vertices) => Request::QueryColors(vertices),
+                WorkloadOp::Compact => Request::Compact,
+            };
+            let reply = service.handle(request);
+            assert!(
+                !matches!(reply, Response::Error(_)),
+                "workload replay hit an error: {reply:?}"
+            );
+        }
+        match service.handle(Request::Verify) {
+            Response::Verified { legal: true, conflicts: 0 } => {}
+            other => panic!("replayed service is not legal: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn skew_concentrates_traffic_on_low_vertices() {
+        let mut uniform_rng = ChaCha8Rng::seed_from_u64(5);
+        let mut skewed_rng = ChaCha8Rng::seed_from_u64(5);
+        let n = 1_000;
+        let samples = 2_000;
+        let uniform_mean: f64 =
+            (0..samples).map(|_| skewed_vertex(&mut uniform_rng, n, 1.0) as f64).sum::<f64>()
+                / samples as f64;
+        let skewed_mean: f64 =
+            (0..samples).map(|_| skewed_vertex(&mut skewed_rng, n, 3.0) as f64).sum::<f64>()
+                / samples as f64;
+        assert!(
+            skewed_mean < uniform_mean * 0.6,
+            "skew 3.0 should pull the mean index down (uniform {uniform_mean:.0}, skewed {skewed_mean:.0})"
+        );
+    }
+}

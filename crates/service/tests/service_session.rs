@@ -1,0 +1,207 @@
+//! End-to-end session test: a real TCP server, a real client, the full protocol.
+//!
+//! Spawns the daemon in-process on an ephemeral port and drives one complete session —
+//! mutations, queries, snapshot-at-an-old-epoch, epoch eviction, compaction after
+//! deletions, raw malformed/oversized frames, verification, and a clean shutdown that
+//! actually joins the server thread.
+
+use std::io::Write;
+use std::net::TcpStream;
+use std::time::Duration;
+
+use arbcolor::dynamic::{GraphUpdate, RepairStrategy};
+use arbcolor_service::client::{ClientError, ServiceClient};
+use arbcolor_service::protocol::{read_frame, write_frame, Request, Response, ServiceError};
+use arbcolor_service::server::{ColoringService, ServiceConfig, ServiceServer};
+use arbcolor_service::workload::{generate, WorkloadConfig, WorkloadOp};
+
+fn spawn_server(n: usize, config: ServiceConfig) -> arbcolor_service::server::ServerHandle {
+    let service = ColoringService::empty(n, config).expect("service starts");
+    let server = ServiceServer::bind(("127.0.0.1", 0), service).expect("ephemeral bind");
+    server.spawn().expect("server spawns")
+}
+
+#[test]
+fn a_full_session_over_tcp() {
+    let config = ServiceConfig { snapshot_history: 3, ..ServiceConfig::default() };
+    let handle = spawn_server(16, config);
+    let mut client = ServiceClient::connect(handle.addr()).expect("connect");
+    client.set_reply_timeout(Some(Duration::from_secs(10))).unwrap();
+
+    // Epoch 1: grow a path, no conflicts possible from an empty coloring's perspective.
+    let outcome = client
+        .apply(vec![GraphUpdate::InsertEdges(vec![(0, 1), (1, 2), (2, 3)])])
+        .expect("first batch");
+    assert_eq!(outcome.epoch, 1);
+    assert_eq!(outcome.new_edges, 3);
+
+    // Epoch 2: a mixed batch — deletions resolve before insertions, last write wins.
+    let outcome = client
+        .apply(vec![
+            GraphUpdate::RemoveEdges(vec![(1, 2)]),
+            GraphUpdate::InsertEdges(vec![(0, 2), (3, 4)]),
+        ])
+        .expect("mixed batch");
+    assert_eq!(outcome.epoch, 2);
+    assert_eq!(outcome.removed_edges, 1);
+    assert_eq!(outcome.new_edges, 2);
+
+    // Colors are served in request order and agree with the full snapshot.
+    let colors = client.query_colors(vec![0, 1, 2, 3, 4]).expect("colors");
+    let (epoch, snapshot) = client.snapshot(None).expect("current snapshot");
+    assert_eq!(epoch, 2);
+    assert_eq!(colors.as_slice(), &snapshot[0..5]);
+
+    // The epoch-1 snapshot is still retained and differs from the current one in m.
+    let (old_epoch, old_snapshot) = client.snapshot(Some(1)).expect("old snapshot");
+    assert_eq!(old_epoch, 1);
+    assert_eq!(old_snapshot.len(), snapshot.len());
+
+    // Roll the history window past epoch 1, then watch it report the retained range.
+    for edge in [(4, 5), (5, 6), (6, 7)] {
+        client.apply(vec![GraphUpdate::InsertEdges(vec![edge])]).expect("filler batch");
+    }
+    match client.snapshot(Some(1)) {
+        Err(ClientError::Service(ServiceError::EpochUnavailable {
+            requested: 1,
+            oldest,
+            newest: 5,
+        })) => assert!(oldest > 1),
+        other => panic!("expected EpochUnavailable, got {other:?}"),
+    }
+
+    // Typed validation errors come back over the wire without killing the connection.
+    match client.apply(vec![GraphUpdate::InsertEdges(vec![(0, 99)])]) {
+        Err(ClientError::Service(ServiceError::VertexOutOfRange { vertex: 99, n: 16 })) => {}
+        other => panic!("expected VertexOutOfRange, got {other:?}"),
+    }
+
+    // Deletion slack is reclaimed by an explicit compaction.
+    client
+        .apply(vec![GraphUpdate::RemoveEdges(vec![(0, 1), (0, 2), (2, 3)])])
+        .expect("deletion batch");
+    let (_, before, after, _) = client.compact().expect("compact");
+    assert!(after <= before);
+
+    let (legal, conflicts) = client.verify().expect("verify");
+    assert!(legal);
+    assert_eq!(conflicts, 0);
+
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.n, 16);
+    assert!(stats.batches >= 6);
+    assert!(stats.compactions >= 1);
+
+    client.shutdown().expect("shutdown acknowledged");
+    handle.join().expect("server exits cleanly");
+}
+
+#[test]
+fn malformed_frames_get_typed_replies_and_the_connection_survives() {
+    let handle = spawn_server(8, ServiceConfig::default());
+    let mut stream = TcpStream::connect(handle.addr()).expect("raw connect");
+    stream.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+
+    // A well-framed but unparseable payload: typed Malformed reply, connection stays up.
+    write_frame(&mut stream, &[0xEE, 0xEE, 0xEE]).unwrap();
+    let payload = read_frame(&mut stream).unwrap().expect("a reply frame");
+    match Response::decode(&payload).expect("reply decodes") {
+        Response::Error(ServiceError::Malformed { .. }) => {}
+        other => panic!("expected Malformed, got {other:?}"),
+    }
+
+    // The same connection still serves real requests afterwards.
+    write_frame(&mut stream, &Request::Stats.encode()).unwrap();
+    let payload = read_frame(&mut stream).unwrap().expect("stats reply");
+    assert!(matches!(Response::decode(&payload).unwrap(), Response::Stats(_)));
+
+    // An oversized length prefix draws a typed FrameTooLarge reply before the close.
+    let mut raw = TcpStream::connect(handle.addr()).expect("second raw connect");
+    raw.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    raw.write_all(&u32::MAX.to_be_bytes()).unwrap();
+    raw.flush().unwrap();
+    let payload = read_frame(&mut raw).unwrap().expect("error frame");
+    match Response::decode(&payload).expect("reply decodes") {
+        Response::Error(ServiceError::FrameTooLarge { .. }) => {}
+        other => panic!("expected FrameTooLarge, got {other:?}"),
+    }
+
+    let mut client = ServiceClient::connect(handle.addr()).expect("typed connect");
+    client.shutdown().expect("shutdown");
+    handle.join().expect("clean exit");
+}
+
+#[test]
+fn replayed_workloads_are_bit_identical_across_sessions() {
+    let config = WorkloadConfig {
+        n: 64,
+        ops: 60,
+        batch_size: 6,
+        compact_every: 25,
+        ..WorkloadConfig::default()
+    };
+    let mut fingerprints = Vec::new();
+    for _ in 0..2 {
+        let handle = spawn_server(config.n, ServiceConfig::default());
+        let mut client = ServiceClient::connect(handle.addr()).expect("connect");
+        client.set_reply_timeout(Some(Duration::from_secs(10))).unwrap();
+        let mut strategies = Vec::new();
+        for op in generate(&config) {
+            match op {
+                WorkloadOp::Apply(updates) => {
+                    let outcome = client.apply(updates).expect("apply");
+                    strategies.push((
+                        outcome.frontier,
+                        outcome.repaired,
+                        matches!(outcome.strategy, RepairStrategy::FullRecolor),
+                    ));
+                }
+                WorkloadOp::QueryColors(vertices) => {
+                    client.query_colors(vertices).expect("query");
+                }
+                WorkloadOp::Compact => {
+                    client.compact().expect("compact");
+                }
+            }
+        }
+        let (_, colors) = client.snapshot(None).expect("final snapshot");
+        let (legal, _) = client.verify().expect("verify");
+        assert!(legal, "replayed coloring must be legal");
+        fingerprints.push((colors, strategies));
+        client.shutdown().expect("shutdown");
+        handle.join().expect("clean exit");
+    }
+    assert_eq!(
+        fingerprints[0], fingerprints[1],
+        "the same seeded workload must replay bit-identically"
+    );
+}
+
+#[test]
+fn concurrent_clients_share_one_totally_ordered_service() {
+    let handle = spawn_server(32, ServiceConfig::default());
+    let addr = handle.addr();
+    let writers: Vec<_> = (0..4)
+        .map(|w| {
+            std::thread::spawn(move || {
+                let mut client = ServiceClient::connect(addr).expect("connect");
+                client.set_reply_timeout(Some(Duration::from_secs(10))).unwrap();
+                for i in 0..8usize {
+                    let u = (w * 8 + i) % 31;
+                    client.apply(vec![GraphUpdate::InsertEdges(vec![(u, u + 1)])]).expect("apply");
+                }
+            })
+        })
+        .collect();
+    for writer in writers {
+        writer.join().expect("writer thread");
+    }
+    let mut client = ServiceClient::connect(addr).expect("connect");
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.batches, 32, "every batch from every client must be absorbed");
+    assert_eq!(stats.epoch, 32, "epochs are totally ordered across connections");
+    let (legal, _) = client.verify().expect("verify");
+    assert!(legal);
+    client.shutdown().expect("shutdown");
+    handle.join().expect("clean exit");
+}

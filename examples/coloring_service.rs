@@ -1,0 +1,68 @@
+//! Serving colorings over TCP: an in-process daemon and a typed client session.
+//!
+//! Spawns [`ServiceServer`] on an ephemeral port, then walks one client through the whole
+//! protocol — growth batches, a mixed insert/delete batch, color queries, a snapshot at an
+//! older epoch, palette compaction after deletions, stats, verification, and a clean
+//! shutdown that joins the server thread.  Everything here also works across processes:
+//! `cargo run -p arbcolor_service --bin serviced` and `--bin service_client` speak the
+//! same frames (see README § Serving colorings).
+
+use arbcolor::dynamic::GraphUpdate;
+use arbcolor_service::client::ServiceClient;
+use arbcolor_service::server::{ColoringService, ServiceConfig, ServiceServer};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Start a daemon on an ephemeral port, owning an edgeless 32-vertex graph.
+    let service = ColoringService::empty(32, ServiceConfig::default())?;
+    let handle = ServiceServer::bind(("127.0.0.1", 0), service)?.spawn()?;
+    println!("daemon listening on {}", handle.addr());
+
+    let mut client = ServiceClient::connect(handle.addr())?;
+
+    // 2. Grow a wheel: a 16-cycle plus a hub adjacent to every rim vertex.
+    let rim: Vec<(usize, usize)> = (0..16).map(|v| (v, (v + 1) % 16)).collect();
+    let spokes: Vec<(usize, usize)> = (0..16).map(|v| (v, 16)).collect();
+    let outcome = client.apply(vec![GraphUpdate::InsertEdges(rim)])?;
+    println!(
+        "epoch {}: inserted the rim ({} new edges, strategy {:?})",
+        outcome.epoch, outcome.new_edges, outcome.strategy
+    );
+    let outcome = client.apply(vec![GraphUpdate::InsertEdges(spokes)])?;
+    println!(
+        "epoch {}: inserted the spokes (frontier {}, {} repaired)",
+        outcome.epoch, outcome.frontier, outcome.repaired
+    );
+
+    // 3. Query a few colors and pull a snapshot from one epoch back.
+    let colors = client.query_colors(vec![0, 1, 16])?;
+    println!("colors of 0, 1, hub: {colors:?}");
+    let (epoch, snapshot) = client.snapshot(Some(outcome.epoch - 1))?;
+    println!("snapshot at epoch {epoch} (rim only): {} vertices", snapshot.len());
+
+    // 4. A mixed batch: unhook half the spokes, rewire one rim chord — one apply call.
+    let doomed: Vec<(usize, usize)> = (0..16).step_by(2).map(|v| (v, 16)).collect();
+    let outcome = client
+        .apply(vec![GraphUpdate::RemoveEdges(doomed), GraphUpdate::InsertEdges(vec![(0, 8)])])?;
+    println!(
+        "epoch {}: mixed batch removed {} and added {} edges",
+        outcome.epoch, outcome.removed_edges, outcome.new_edges
+    );
+
+    // 5. Deletions leave palette slack; compaction reclaims it.
+    let (_, before, after, recolored) = client.compact()?;
+    println!("compaction: {before} -> {after} colors ({recolored} vertices recolored)");
+    assert!(after <= before);
+
+    // 6. Verify, read the tallies, and shut the daemon down cleanly.
+    let (legal, conflicts) = client.verify()?;
+    assert!(legal && conflicts == 0);
+    let stats = client.stats()?;
+    println!(
+        "stats: n={} m={} epoch={} colors={} batches={} repaired={}",
+        stats.n, stats.m, stats.epoch, stats.colors, stats.batches, stats.repaired
+    );
+    client.shutdown()?;
+    handle.join()?;
+    println!("daemon exited cleanly");
+    Ok(())
+}

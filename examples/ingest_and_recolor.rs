@@ -1,9 +1,10 @@
-//! Ingest a real graph from disk, color it, then absorb edge insertions with localized
-//! recoloring — the workflow of a coloring service watching a live network.
+//! Ingest a real graph from disk, color it, then absorb mixed edge insertions and
+//! removals with localized recoloring — the workflow of a coloring service watching a
+//! live network.
 //!
 //! Run with `cargo run --release --example ingest_and_recolor`.
 
-use arbcolor::dynamic::{DynamicColoring, RepairStrategy};
+use arbcolor::dynamic::{DynamicColoring, GraphUpdate, RepairStrategy};
 use arbcolor_graph::io;
 use std::path::Path;
 
@@ -31,7 +32,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         karate.max_degree() + 1
     );
     for (i, batch) in held_out.chunks(3).enumerate() {
-        let outcome = dynamic.insert_edges(batch)?;
+        let outcome = dynamic.apply(&[GraphUpdate::InsertEdges(batch.to_vec())])?;
         let strategy = match outcome.strategy {
             RepairStrategy::NoConflict => "no conflict",
             RepairStrategy::LocalRepair => "local repair",
@@ -42,10 +43,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             i + 1,
             outcome.new_edges,
             outcome.frontier,
-            outcome.repaired_vertices,
+            outcome.repaired_vertices(),
             dynamic.graph().n(),
         );
-        assert!(outcome.repaired_vertices < dynamic.graph().n());
+        assert!(outcome.repaired_vertices() < dynamic.graph().n());
     }
 
     // 4. The maintained coloring is legal on the fully restored graph.
@@ -55,5 +56,31 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "final coloring: {} colors, legal on the restored graph",
         dynamic.coloring().distinct_colors()
     );
+
+    // 5. The network shrinks: drop most of the hub's edges (a mixed batch — the second
+    //    update re-inserts one removed edge, exercising last-write-wins resolution), then
+    //    compact the palette to reclaim the slack the deletions freed.
+    let hub = (0..karate.n()).max_by_key(|&v| karate.degree(v)).expect("non-empty graph");
+    let doomed: Vec<_> = dynamic.graph().neighbors(hub).iter().map(|&u| (hub, u)).collect();
+    let kept_back = doomed[0];
+    let outcome = dynamic
+        .apply(&[GraphUpdate::RemoveEdges(doomed), GraphUpdate::InsertEdges(vec![kept_back])])?;
+    println!(
+        "hub teardown: -{} edges, still {} colors before compaction",
+        outcome.removed_edges,
+        dynamic.coloring().distinct_colors()
+    );
+    assert!(dynamic.graph().has_edge(kept_back.0, kept_back.1));
+    let delta = dynamic.compact();
+    println!(
+        "compact(): {} -> {} colors, {} vertices recolored (Δ + 1 = {})",
+        delta.colors_before,
+        delta.colors_after,
+        delta.recolored,
+        dynamic.graph().max_degree() + 1
+    );
+    assert!(delta.colors_after <= delta.colors_before);
+    assert!(delta.colors_after <= dynamic.graph().max_degree() + 1);
+    assert!(dynamic.coloring().is_legal(dynamic.graph()));
     Ok(())
 }

@@ -1,15 +1,18 @@
 //! Cross-crate property suite for the dynamic-recoloring driver.
 //!
-//! The contract of `arbcolor::dynamic` is that after every insertion batch the maintained
-//! coloring is (a) legal on the grown graph, (b) within `Δ + 1` colors, and (c) untouched
-//! outside the conflict frontier under local repair — and that the whole sequence is
-//! bit-identical across executor kinds.  This suite drives those claims over the full
-//! generator suite with randomized hold-out batches.
+//! The contract of `arbcolor::dynamic` is that after every `apply` batch the maintained
+//! coloring is (a) legal on the mutated graph, (b) within `Δ + 1` colors once `compact()`
+//! reclaims deletion slack, and (c) untouched outside the conflict frontier under local
+//! repair — and that the whole update sequence is bit-identical across executor kinds.
+//! This suite drives those claims over the full generator suite with randomized hold-out
+//! batches and interleaved insert/delete streams.
 
-use arbcolor::dynamic::{DynamicColoring, RepairStrategy};
+use arbcolor::dynamic::{DynamicColoring, GraphUpdate, RepairStrategy};
 use arbcolor_graph::{Graph, Vertex};
 use arbcolor_runtime::{default_executor, set_default_executor, ExecutorKind};
 use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
 
 mod common;
 use common::generator_suite;
@@ -33,6 +36,11 @@ fn hold_out(graph: &Graph, stride: usize, batches: usize) -> (Graph, Vec<Vec<(Ve
     (base, held)
 }
 
+/// A deterministic delete batch: a pseudo-random sample of the current edges.
+fn delete_batch(g: &Graph, rng: &mut ChaCha8Rng, count: usize) -> Vec<(Vertex, Vertex)> {
+    (0..count.min(g.m())).map(|_| g.edges()[rng.gen_range(0..g.m())]).collect()
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(6))]
 
@@ -50,7 +58,8 @@ proptest! {
             let mut dynamic = DynamicColoring::new(base).expect("initial coloring");
             for batch in &batches {
                 let before = dynamic.coloring().clone();
-                let outcome = dynamic.insert_edges(batch).unwrap();
+                let outcome =
+                    dynamic.apply(&[GraphUpdate::InsertEdges(batch.clone())]).unwrap();
                 prop_assert!(dynamic.coloring().is_legal(dynamic.graph()),
                     "illegal after a batch on {}", family);
                 prop_assert!(
@@ -59,51 +68,108 @@ proptest! {
                 prop_assert!(outcome.frontier <= 2 * batch.len(), "frontier bound on {}", family);
                 if outcome.strategy == RepairStrategy::LocalRepair {
                     // Local repair only ever recolors frontier vertices.
-                    let changed = dynamic
+                    let changed: Vec<Vertex> = dynamic
                         .coloring()
                         .colors()
                         .iter()
                         .zip(before.colors())
-                        .filter(|(a, b)| a != b)
-                        .count();
-                    prop_assert!(changed <= outcome.frontier,
+                        .enumerate()
+                        .filter(|(_, (a, b))| a != b)
+                        .map(|(v, _)| v)
+                        .collect();
+                    prop_assert!(changed.len() <= outcome.frontier,
                         "local repair touched non-frontier vertices on {}", family);
-                    prop_assert_eq!(changed, outcome.repaired_vertices,
-                        "repair count on {}", family);
+                    prop_assert_eq!(&changed, &outcome.repaired, "repaired set on {}", family);
                 }
             }
             // The final graph is the original one (same edges, same identifiers).
             prop_assert_eq!(dynamic.graph().edges(), g.edges(), "edges restored on {}", family);
         }
     }
+
+    #[test]
+    fn interleaved_insert_delete_batches_stay_legal_and_compact_within_the_palette_bound(
+        n in 16usize..72,
+        seed in 0u64..1_000,
+    ) {
+        for (family, g) in generator_suite(n, seed) {
+            if g.m() < 6 {
+                continue;
+            }
+            let mut rng = ChaCha8Rng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9) ^ n as u64);
+            let (base, batches) = hold_out(&g, 3, 3);
+            let mut dynamic = DynamicColoring::new(base).expect("initial coloring");
+            for batch in &batches {
+                // One mixed batch per round: re-insert held-out edges and delete a random
+                // sample of the current ones in the same `apply` call.
+                let deletions = delete_batch(dynamic.graph(), &mut rng, batch.len());
+                let outcome = dynamic
+                    .apply(&[
+                        GraphUpdate::InsertEdges(batch.clone()),
+                        GraphUpdate::RemoveEdges(deletions),
+                    ])
+                    .unwrap();
+                prop_assert!(dynamic.coloring().is_legal(dynamic.graph()),
+                    "illegal after a mixed batch on {}", family);
+                prop_assert!(outcome.frontier <= 2 * batch.len(), "frontier bound on {}", family);
+            }
+            // Deletions may leave palette slack; compaction must reclaim it down to the
+            // (deg+1) bound of the *current* graph, monotonically.
+            let before = dynamic.coloring().distinct_colors();
+            let delta = dynamic.compact();
+            prop_assert_eq!(delta.colors_before, before, "delta bookkeeping on {}", family);
+            prop_assert!(delta.colors_after <= delta.colors_before,
+                "compaction increased colors on {}", family);
+            prop_assert!(
+                dynamic.coloring().distinct_colors() <= dynamic.graph().max_degree() + 1,
+                "compacted palette exceeded Δ+1 on {}", family);
+            prop_assert!(dynamic.coloring().is_legal(dynamic.graph()),
+                "compaction broke legality on {}", family);
+        }
+    }
 }
 
-/// The same insertion sequence replayed under every executor kind produces bit-identical
-/// colorings and batch outcomes (the E20 guarantee, pinned here at test sizes).
+/// The same mixed update sequence (inserts, deletes, and a compaction sweep) replayed
+/// under every executor kind produces bit-identical colorings and batch outcomes (the
+/// E20/E25 guarantee, pinned here at test sizes).
 #[test]
 fn repair_sequences_are_bit_identical_across_executor_kinds() {
     let g = arbcolor_graph::generators::union_of_random_forests(300, 3, 17)
         .unwrap()
         .with_shuffled_ids(4);
     let (base, batches) = hold_out(&g, 5, 3);
-    /// Final colors plus per-batch `(frontier, repaired)` counts of one replay.
-    type SequenceFingerprint = (Vec<u64>, Vec<(usize, usize)>);
+    /// Final colors, per-batch `(frontier, repaired)` counts, and the compaction delta of
+    /// one replay.
+    type SequenceFingerprint = (Vec<u64>, Vec<(usize, Vec<Vertex>)>, (usize, usize));
     let previous = default_executor();
     let mut reference: Option<SequenceFingerprint> = None;
     for kind in [ExecutorKind::Sequential, ExecutorKind::sharded(3), ExecutorKind::Reference] {
         set_default_executor(kind);
+        let mut rng = ChaCha8Rng::seed_from_u64(23);
         let mut dynamic = DynamicColoring::new(base.clone()).unwrap();
         let mut counts = Vec::new();
         for batch in &batches {
-            let outcome = dynamic.insert_edges(batch).unwrap();
-            counts.push((outcome.frontier, outcome.repaired_vertices));
+            let deletions = delete_batch(dynamic.graph(), &mut rng, 4);
+            let outcome = dynamic
+                .apply(&[
+                    GraphUpdate::InsertEdges(batch.clone()),
+                    GraphUpdate::RemoveEdges(deletions),
+                ])
+                .unwrap();
+            counts.push((outcome.frontier, outcome.repaired.clone()));
         }
+        let delta = dynamic.compact();
         let colors = dynamic.coloring().colors().to_vec();
         match &reference {
-            None => reference = Some((colors, counts)),
-            Some((ref_colors, ref_counts)) => {
+            None => reference = Some((colors, counts, (delta.colors_after, delta.recolored))),
+            Some((ref_colors, ref_counts, ref_delta)) => {
                 assert_eq!(&colors, ref_colors, "colorings diverged under {kind:?}");
                 assert_eq!(&counts, ref_counts, "repair counts diverged under {kind:?}");
+                assert_eq!(
+                    &(delta.colors_after, delta.recolored),
+                    ref_delta,
+                    "compaction diverged under {kind:?}"
+                );
             }
         }
     }
@@ -119,8 +185,8 @@ fn ingested_graph_survives_dynamic_growth() {
     let (base, batches) = hold_out(&g, 6, 2);
     let mut dynamic = DynamicColoring::new(base).unwrap();
     for batch in &batches {
-        let outcome = dynamic.insert_edges(batch).unwrap();
-        assert!(outcome.repaired_vertices < g.n());
+        let outcome = dynamic.apply(&[GraphUpdate::InsertEdges(batch.clone())]).unwrap();
+        assert!(outcome.repaired_vertices() < g.n());
     }
     assert_eq!(dynamic.graph().m(), g.m());
     assert!(dynamic.coloring().is_legal(dynamic.graph()));
